@@ -1,0 +1,39 @@
+"""Ablation — index backend comparison (R*-tree, grid, cluster, scan).
+
+The paper indexes with an R*-tree (via LibGist) and cites the grid
+file as an alternative.  This bench compares page accesses across four
+backends — the R*-tree, the grid file, a k-means cluster index, and a
+linear scan — for the same range-query workload, confirming the
+framework's backend neutrality (identical answers, asserted) and
+ranking their costs.  Logic:
+``repro.experiments.run_backend_ablation``.
+"""
+
+import pytest
+
+from repro.experiments import run_backend_ablation
+
+from _harness import print_series
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_index_backends(benchmark, scale):
+    db_size = min(scale.fig10_db, 5000)
+    rows, answers = benchmark.pedantic(
+        run_backend_ablation, args=(db_size, scale.fig8_queries),
+        rounds=1, iterations=1,
+    )
+    print_series(
+        f"Ablation: mean page accesses per range query by backend "
+        f"({db_size} series)",
+        rows,
+    )
+    # All backends agree on the candidate sets (same geometry).
+    assert (answers["rstar"] == answers["grid"] == answers["cluster"]
+            == answers["linear"])
+    pages = dict(zip(rows["backend"], rows["pages_per_query"]))
+    # The hierarchical/partitioned indexes beat a full scan — meaningful
+    # only once the database spans many pages.
+    if db_size >= 1000:
+        assert pages["rstar"] < pages["linear"]
+        assert pages["cluster"] < pages["linear"]

@@ -1,0 +1,30 @@
+"""Ablation — optimal multi-step k-NN vs full-scan k-NN.
+
+Section 4.3 notes that a k-NN query "can be built on top of such a
+range query" citing Seidl & Kriegel's optimal multi-step algorithm.
+This bench quantifies what the index buys: exact-DTW refinements per
+10-NN query with the multi-step algorithm vs the database size a
+linear scan would refine.  Logic: ``repro.experiments.run_knn_ablation``.
+"""
+
+import pytest
+
+from repro.experiments import run_knn_ablation
+
+from _harness import print_series
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_multistep_knn(benchmark, scale):
+    db_size = min(scale.fig10_db, 5000)
+    rows = benchmark.pedantic(
+        run_knn_ablation, args=(db_size, scale.fig8_queries),
+        rounds=1, iterations=1,
+    )
+    print_series(
+        f"Ablation: exact-DTW refinements per 10-NN query, "
+        f"multi-step vs full scan ({db_size} series)",
+        rows,
+    )
+    assert rows["refined_multistep"][0] < db_size / 10
+    assert rows["refined_multistep"][1] < db_size / 2

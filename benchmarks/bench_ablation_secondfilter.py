@@ -1,0 +1,39 @@
+"""Ablation — the paper's two-stage filter cascade (Section 5.2).
+
+"LB will be used as a second filter after the indexing scheme,
+Keogh_PAA or New_PAA, returns a superset of answer."  This bench
+measures what that second, full-dimension envelope check buys: the
+fraction of index candidates that skip the exact DTW refinement, per
+warping width, for both envelope transforms.  Logic:
+``repro.experiments.run_second_filter_ablation``.
+"""
+
+import pytest
+
+from repro.experiments import run_second_filter_ablation
+
+from _harness import print_series
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_second_filter(benchmark, scale):
+    db_size = min(scale.fig10_db, 5000)
+    rows = benchmark.pedantic(
+        run_second_filter_ablation, args=(db_size, scale.fig8_queries),
+        rounds=1, iterations=1,
+    )
+    print_series(
+        f"Ablation: second-filter (full-dim LB) savings per range query "
+        f"({db_size} series, eps=0.5*sqrt(n))",
+        rows,
+    )
+    for c, p, e in zip(rows["candidates"], rows["pruned_by_LB"],
+                       rows["exact_dtw"]):
+        # Each column is independently rounded to 0.1.
+        assert abs(c - (p + e)) <= 0.21
+    keogh_rows = [i for i, t in enumerate(rows["transform"])
+                  if t == "Keogh_PAA"]
+    total_c = sum(rows["candidates"][i] for i in keogh_rows)
+    total_p = sum(rows["pruned_by_LB"][i] for i in keogh_rows)
+    if total_c > 0:
+        assert total_p / total_c > 0.2

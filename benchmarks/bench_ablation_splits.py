@@ -1,0 +1,33 @@
+"""Ablation — R* split vs Guttman quadratic vs Guttman linear.
+
+The paper indexes with an R*-tree; R* earns its star through its split
+algorithm (margin-driven axis choice, overlap-driven index choice,
+forced reinsertion).  This ablation builds the same feature database
+with each split strategy under dynamic insertion and compares range-
+query page accesses.  Logic: ``repro.experiments.run_split_ablation``.
+"""
+
+import pytest
+
+from repro.experiments import run_split_ablation
+
+from _harness import print_series
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_split_strategies(benchmark, scale):
+    db_size = min(scale.fig10_db, 3000)
+    rows = benchmark.pedantic(
+        run_split_ablation, args=(db_size, scale.fig8_queries),
+        rounds=1, iterations=1,
+    )
+    print_series(
+        f"Ablation: page accesses per range query by split strategy "
+        f"({db_size} series, dynamic inserts)",
+        rows,
+    )
+    pages = dict(zip(rows["strategy"], rows["pages_per_query"]))
+    # R* should not lose to Guttman's splits (small tolerance: the
+    # workload is random, not adversarial).
+    assert pages["rstar"] <= pages["quadratic"] * 1.15
+    assert pages["rstar"] <= pages["linear"] * 1.15

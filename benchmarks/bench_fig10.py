@@ -1,0 +1,46 @@
+"""Figure 10 — scalability on a large random-walk database.
+
+Paper setup: 50,000 random-walk series of length 128, indexed by 8
+reduced dimensions in an R*-tree; same sweep and measures as Figure 9.
+
+Paper result: same shape as the music database — New_PAA retrieves
+fewer candidates and touches fewer pages at every width, with the gap
+widening as the width grows.
+
+Default scale uses a reduced database; REPRO_SCALE=full runs 50,000.
+Logic: ``repro.experiments.run_fig10``.
+"""
+
+import pytest
+
+from repro.experiments import THRESHOLDS, run_fig10
+
+from _harness import print_series
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_large_random_walk_database(benchmark, scale):
+    rows, results = benchmark.pedantic(
+        run_fig10, args=(scale,), rounds=1, iterations=1
+    )
+    print_series(
+        f"Figure 10: candidates and page accesses, random-walk database "
+        f"of {scale.fig10_db} series ({scale.fig8_queries} queries/point, "
+        f"{scale.name} scale)",
+        rows,
+    )
+    for (delta, eps), point in results.items():
+        assert point["New"][0] <= point["Keogh"][0] + 1e-9
+    if scale.fig10_db < 1000:
+        return  # gap-widening is statistical; needs a real workload
+    # The advantage should widen with the warping width.
+    for eps in THRESHOLDS:
+        small_gap = (
+            results[(scale.sweep_deltas[0], eps)]["Keogh"][0]
+            - results[(scale.sweep_deltas[0], eps)]["New"][0]
+        )
+        large_gap = (
+            results[(scale.sweep_deltas[-1], eps)]["Keogh"][0]
+            - results[(scale.sweep_deltas[-1], eps)]["New"][0]
+        )
+        assert large_gap >= small_gap - 1e-9

@@ -1,0 +1,40 @@
+"""Figure 6 — tightness of lower bound across 24 datasets.
+
+Paper setup: for each of 24 UCR datasets, 50 random series of length
+256, mean-subtracted; warping width 0.1; PAA reduction from 256 to 4
+dimensions; tightness T = (lower bound) / (true DTW) averaged over all
+pairs.  Methods: LB (full-dimension envelope — the unindexable
+ceiling), New_PAA (the paper's), Keogh_PAA (prior art).
+
+Paper result: LB highest everywhere; New_PAA is always above
+Keogh_PAA, about 2x on average.  Logic: ``repro.experiments.run_fig6``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import FIG6_DIMS, FIG6_LENGTH, run_fig6
+
+from _harness import print_series
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_tightness_across_datasets(benchmark, scale):
+    rows = benchmark.pedantic(run_fig6, args=(scale,), rounds=1, iterations=1)
+    print_series(
+        f"Figure 6: mean tightness of lower bound, n={FIG6_LENGTH} -> "
+        f"N={FIG6_DIMS}, delta=0.1 ({scale.fig6_series} series/dataset, "
+        f"{scale.name} scale)",
+        rows,
+    )
+    lb = np.array(rows["LB"])
+    new = np.array(rows["New_PAA"])
+    keogh = np.array(rows["Keogh_PAA"])
+    # Shape: LB dominates both reductions; New_PAA >= Keogh_PAA on
+    # every dataset; the average advantage is substantial.
+    assert np.all(lb >= new - 1e-9)
+    assert np.all(new >= keogh - 1e-9)
+    assert new.mean() >= 1.2 * keogh.mean()
+    print(f"\nmean T: LB={lb.mean():.3f}  New_PAA={new.mean():.3f}  "
+          f"Keogh_PAA={keogh.mean():.3f}  "
+          f"ratio New/Keogh={new.mean() / keogh.mean():.2f}")

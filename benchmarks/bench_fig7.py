@@ -1,0 +1,44 @@
+"""Figure 7 — tightness vs warping width on random walks.
+
+Paper setup: random-walk series of length 256, mean-subtracted, PAA/
+DFT/SVD reduced to 4 dimensions; warping widths 0 to 0.1; each point
+averaged over 500 pairs.  Methods: LB (full-dim ceiling), New_PAA,
+Keogh_PAA, SVD, DFT (the latter two via the sign-split envelope
+transform — the paper's general framework).
+
+Paper result: at width 0 (Euclidean distance) SVD is the tightest
+reduction; as the width grows, New_PAA overtakes DFT and SVD (its
+coefficients are all positive), and New_PAA > Keogh_PAA everywhere.
+Logic: ``repro.experiments.run_fig7``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import FIG6_DIMS, FIG6_LENGTH, run_fig7
+
+from _harness import print_series
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_tightness_vs_width(benchmark, scale):
+    rows = benchmark.pedantic(run_fig7, args=(scale,), rounds=1, iterations=1)
+    print_series(
+        f"Figure 7: mean tightness vs warping width, random walks, "
+        f"n={FIG6_LENGTH} -> N={FIG6_DIMS} ({scale.fig7_pairs} pairs/point, "
+        f"{scale.name} scale)",
+        rows,
+    )
+    lb = np.array(rows["LB"])
+    new = np.array(rows["New_PAA"])
+    keogh = np.array(rows["Keogh_PAA"])
+    svd = np.array(rows["SVD"])
+    # Shape: LB is the ceiling; New_PAA >= Keogh_PAA everywhere; at
+    # width 0 SVD is the best reduction; at the largest width New_PAA
+    # beats SVD and DFT.
+    assert np.all(lb >= new - 1e-9)
+    assert np.all(new >= keogh - 1e-9)
+    assert svd[0] >= max(rows["New_PAA"][0], rows["DFT"][0],
+                         rows["Keogh_PAA"][0]) - 1e-9
+    assert new[-1] >= svd[-1] - 1e-9
+    assert new[-1] >= rows["DFT"][-1] - 1e-9

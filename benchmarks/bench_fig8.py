@@ -1,0 +1,39 @@
+"""Figure 8 — candidates retrieved vs warping width (melody database).
+
+Paper setup: the 1000-melody Beatles database; range queries with
+thresholds eps in {0.2, 0.8} (range n*eps in the paper's per-point
+units — here realised as radius eps * sqrt(n) on the normal forms);
+warping width swept from 0.02 to 0.2; number of candidates retrieved
+by the Keogh_PAA index vs the New_PAA index.
+
+Paper result: candidates grow with the warping width for both, but
+New_PAA retrieves up to ~10x fewer.  Logic:
+``repro.experiments.run_fig8``.
+"""
+
+import pytest
+
+from repro.experiments import THRESHOLDS, run_fig8
+
+from _harness import print_series
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_candidates_melody_db(benchmark, scale):
+    rows, results = benchmark.pedantic(
+        run_fig8, args=(scale,), rounds=1, iterations=1
+    )
+    print_series(
+        f"Figure 8: mean candidates retrieved, melody database "
+        f"({scale.corpus_songs * scale.corpus_per_song} melodies, "
+        f"{scale.fig8_queries} queries/point, {scale.name} scale)",
+        rows,
+    )
+    # Shape: New_PAA never retrieves more candidates than Keogh_PAA,
+    # and counts grow with the warping width.
+    for (delta, eps), point in results.items():
+        assert point["New"][0] <= point["Keogh"][0] + 1e-9
+    for eps in THRESHOLDS:
+        first = results[(scale.sweep_deltas[0], eps)]["Keogh"][0]
+        last = results[(scale.sweep_deltas[-1], eps)]["Keogh"][0]
+        assert last >= first

@@ -1,0 +1,40 @@
+"""Figure 9 — scalability on a large music database.
+
+Paper setup: 35,000 melody time series extracted from the melody
+channel of Internet MIDI files, length 128, indexed by 8 reduced
+dimensions in an R*-tree; range queries with thresholds eps in
+{0.2, 0.8}; warping width swept 0.02-0.2; two cost measures per point:
+mean candidates retrieved and mean page accesses, for Keogh_PAA vs
+New_PAA.
+
+Paper result: both measures grow with the width; New_PAA grows far
+more slowly (the gap widens with the width); page accesses are
+proportional to candidates.
+
+Default scale uses a reduced database; REPRO_SCALE=full runs 35,000.
+Logic: ``repro.experiments.run_fig9``.
+"""
+
+import pytest
+
+from repro.experiments import run_fig9
+
+from _harness import print_series
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_large_music_database(benchmark, scale):
+    rows, results = benchmark.pedantic(
+        run_fig9, args=(scale,), rounds=1, iterations=1
+    )
+    print_series(
+        f"Figure 9: candidates and page accesses, music database of "
+        f"{scale.fig9_db} series ({scale.fig8_queries} queries/point, "
+        f"{scale.name} scale)",
+        rows,
+    )
+    for (delta, eps), point in results.items():
+        cand_new, pages_new = point["New"]
+        cand_keogh, pages_keogh = point["Keogh"]
+        assert cand_new <= cand_keogh + 1e-9
+        assert pages_new <= pages_keogh * 1.25 + 2  # pages track candidates

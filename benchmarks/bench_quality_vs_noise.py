@@ -1,0 +1,31 @@
+"""Extension — retrieval robustness vs singer error magnitude.
+
+Tables 2 and 3 sample two singer populations; this bench sweeps the
+error knobs continuously, from machine-perfect to worse-than-poor, and
+reports top-1/top-10 retrieval at each level.  It locates the cliff:
+how badly can people sing before the DTW approach stops finding their
+song?  Logic: ``repro.experiments.run_noise_sweep``.
+"""
+
+import pytest
+
+from repro.experiments import run_noise_sweep
+
+from _harness import print_series
+
+
+@pytest.mark.benchmark(group="quality")
+def test_quality_vs_noise(benchmark, scale):
+    rows = benchmark.pedantic(
+        run_noise_sweep, args=(scale,), rounds=1, iterations=1
+    )
+    print_series(
+        f"Extension: retrieval vs singer error level "
+        f"(0 = perfect, 1 = the paper's poor singer; "
+        f"{scale.table_queries} queries/level)",
+        rows,
+    )
+    # Perfect singers must be perfect; quality must degrade with error.
+    assert rows["top1"][0] == scale.table_queries
+    assert rows["top10"][0] >= rows["top10"][-1]
+    assert rows["mean_rank"][-1] >= rows["mean_rank"][0]

@@ -1,0 +1,39 @@
+"""Scalability — query cost vs database size.
+
+The paper's abstract claims "the net result is high scalability"; its
+Figures 9-10 fix the database size and sweep the warping width.  This
+bench completes the picture: at a fixed width (the paper's sweet spot
+0.1), how do page accesses grow as the database grows, for the R*-tree
+warping index vs a linear scan?
+
+Expected: scan pages grow linearly by construction; index pages grow
+sublinearly (the tree prunes whole subtrees), and the gap widens with
+size — the operational meaning of "scalable".  Logic:
+``repro.experiments.run_size_scaling``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_size_scaling
+
+from _harness import print_series
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_scalability_with_database_size(benchmark, scale):
+    rows = benchmark.pedantic(
+        run_size_scaling, args=(scale,), rounds=1, iterations=1
+    )
+    print_series(
+        "Scalability: mean page accesses per range query vs database "
+        "size (delta=0.1, eps=0.4*sqrt(n))",
+        rows,
+    )
+    pages_r = np.array(rows["pages_rstar"], dtype=float)
+    pages_s = np.array(rows["pages_scan"], dtype=float)
+    # Scan cost is linear in size; the index must grow strictly slower.
+    scan_growth = pages_s[-1] / pages_s[0]
+    index_growth = pages_r[-1] / max(pages_r[0], 1.0)
+    assert index_growth < scan_growth
+    assert pages_r[-1] < pages_s[-1]

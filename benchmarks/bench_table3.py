@@ -1,0 +1,29 @@
+"""Table 3 — poor singers vs warping width.
+
+Paper setup: 20 hum queries by poor singers, ranked with DTW at
+warping widths delta in {0.05, 0.1, 0.2}.  Paper result: moving from
+0.05 to 0.1 helps a lot; 0.2 adds little (and slightly hurts rank-1 in
+the paper) — the non-monotone sweet spot.  Logic:
+``repro.experiments.run_table3``.
+"""
+
+import pytest
+
+from repro.experiments import run_table3
+from repro.qbh.evaluation import format_rank_tables
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_warping_widths(benchmark, scale):
+    tables = benchmark.pedantic(run_table3, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_rank_tables(
+        tables,
+        title=f"Table 3: poor-singer retrieval vs warping width "
+              f"({scale.table_queries} queries, {scale.name} scale)",
+    ))
+    by_delta = {t.name: t for t in tables}
+    # Shape: some warping beats none-to-little; delta=0.1 should be at
+    # least as good as the extremes in top-10 retrieval.
+    mid = by_delta["delta=0.1"].in_top(10)
+    assert mid >= by_delta["delta=0.05"].in_top(10) - 1

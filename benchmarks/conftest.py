@@ -1,0 +1,17 @@
+"""Pytest wiring for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper (or
+an ablation) by calling into :mod:`repro.experiments`, printing the
+same rows the paper reports, and asserting the qualitative *shape*.
+Set ``REPRO_SCALE=full`` for the paper's workload sizes, or
+``REPRO_SCALE=smoke`` for a seconds-scale pass.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentScale, active_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return active_scale()

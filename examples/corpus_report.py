@@ -1,0 +1,52 @@
+"""Corpus report: what's in the melody database before you index it.
+
+Runs the corpus analyzer over a generated collection and prints the
+statistics a librarian would want — interval and duration profiles,
+key distribution, pitch range, duplicates — with terminal bar charts.
+
+Run with:  python examples/corpus_report.py
+"""
+
+from repro.music.analysis import analyze_corpus, find_duplicates
+from repro.music.corpus import generate_corpus, segment_corpus
+from repro.music.theory import interval_name
+from repro.viz import ascii_bars
+
+
+def main() -> None:
+    songs = generate_corpus(25, seed=21)
+    melodies = segment_corpus(songs, per_song=20, seed=21)
+    stats = analyze_corpus(melodies)
+
+    print(f"Corpus: {len(songs)} songs segmented into {len(melodies)} "
+          f"melodies\n")
+    print(stats.summary())
+
+    print("\nMost common melodic intervals:")
+    intervals = stats.most_common_intervals(8)
+    labels = [
+        f"{semis:+d} ({interval_name(semis)})" for semis, _ in intervals
+    ]
+    print(ascii_bars(labels, [count for _, count in intervals], width=40))
+
+    print("\nNote durations (beats):")
+    durations = stats.duration_histogram.most_common(6)
+    print(ascii_bars(
+        [f"{beats:g}" for beats, _ in durations],
+        [count for _, count in durations],
+        width=40,
+    ))
+
+    print("\nKey distribution (top 6):")
+    keys = stats.key_distribution.most_common(6)
+    print(ascii_bars([k for k, _ in keys], [c for _, c in keys], width=40))
+
+    groups = find_duplicates(melodies)
+    duplicated = sum(len(g) for g in groups)
+    print(f"\nDuplicates: {len(groups)} groups covering {duplicated} "
+          f"melodies (phrase repetition within songs — these tie in "
+          f"query rankings).")
+
+
+if __name__ == "__main__":
+    main()

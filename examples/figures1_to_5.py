@@ -1,0 +1,104 @@
+"""Reproduce the paper's illustrative figures 1-5 as ASCII plots.
+
+Figure 1 — a hummed pitch time series (via synthesis + pitch tracking)
+Figure 2 — a melody and its time-series representation
+Figure 3 — hum and melody after normal-form transformation
+Figure 4 — a warping path under the local (Sakoe-Chiba) constraint
+Figure 5 — Keogh vs New PAA reductions of a time-series envelope
+
+Run with:  python examples/figures1_to_5.py
+"""
+
+import numpy as np
+
+from repro import (
+    KeoghPAAEnvelopeTransform,
+    NewPAAEnvelopeTransform,
+    SingerProfile,
+    hum_melody,
+    k_envelope,
+    normalize,
+    track_pitch,
+)
+from repro.dtw.path import warping_path
+from repro.hum.synthesis import synthesize_pitch_series
+from repro.music.corpus import EXAMPLE_PHRASE
+from repro.viz import ascii_series, ascii_warping_grid
+
+
+def ascii_plot(series, *, height=12, title="", marker="*"):
+    """Print a series with range annotation via repro.viz."""
+    arr = np.asarray(series, dtype=float)
+    finite = arr[np.isfinite(arr)]
+    print()
+    print(ascii_series(arr, height=height, title=title, marker=marker))
+    print(f"(min={finite.min():.1f}, max={finite.max():.1f}, n={arr.size})")
+
+
+def figure1():
+    rng = np.random.default_rng(2)
+    sung = hum_melody(EXAMPLE_PHRASE, SingerProfile.better(), rng)
+    wave = synthesize_pitch_series(sung, rng=rng)
+    tracked = track_pitch(wave).pitch_series()
+    ascii_plot(tracked, title="Figure 1: pitch time series of a hummed phrase")
+    return tracked
+
+
+def figure2():
+    series = EXAMPLE_PHRASE.to_time_series(8)
+    ascii_plot(series, title="Figure 2: melody and its time series "
+                             "(piecewise-constant pitch)")
+    return series
+
+
+def figure3(hum, melody_series):
+    hum_norm = normalize(hum, length=128)
+    mel_norm = normalize(melody_series, length=128)
+    ascii_plot(hum_norm, title="Figure 3a: hum in normal form "
+                               "(shift + uniform time warp)")
+    ascii_plot(mel_norm, title="Figure 3b: melody in normal form")
+    diff = float(np.linalg.norm(hum_norm - mel_norm))
+    print(f"Euclidean distance between normal forms: {diff:.2f}")
+
+
+def figure4():
+    rng = np.random.default_rng(4)
+    x = np.cumsum(rng.normal(size=12))
+    y = np.cumsum(rng.normal(size=12))
+    k = 2
+    path = warping_path(x, y, k=k)
+    print(f"\n--- Figure 4: warping path with local constraint k={k} ---")
+    print(ascii_warping_grid(path, 12, 12, k=k))
+    print("# = warping path, . = admissible band (width 2k+1 = 5)")
+
+
+def figure5():
+    rng = np.random.default_rng(6)
+    series = np.cumsum(rng.normal(size=64))
+    series -= series.mean()
+    env = k_envelope(series, 5)
+    new = NewPAAEnvelopeTransform(64, 8)
+    keogh = KeoghPAAEnvelopeTransform(64, 8)
+    fe_new = new.reduce(env)
+    fe_keogh = keogh.reduce(env)
+    width_new = fe_new.width().sum()
+    width_keogh = fe_keogh.width().sum()
+    print("\n--- Figure 5: PAA reductions of the envelope ---")
+    print(f"{'frame':>5} {'Keogh_L':>8} {'New_L':>8} {'New_U':>8} {'Keogh_U':>8}")
+    for i in range(8):
+        print(f"{i:>5} {fe_keogh.lower[i]:>8.2f} {fe_new.lower[i]:>8.2f} "
+              f"{fe_new.upper[i]:>8.2f} {fe_keogh.upper[i]:>8.2f}")
+    print(f"total band width: Keogh={width_keogh:.2f}  New={width_new:.2f} "
+          f"(New is always inside Keogh -> tighter lower bounds)")
+
+
+def main() -> None:
+    hum = figure1()
+    melody_series = figure2()
+    figure3(hum, melody_series)
+    figure4()
+    figure5()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Live search: the ranking converges while the user is still humming.
+
+Streams synthesized hum audio in small "microphone callback" chunks
+through the online pitch tracker into a progressive query, printing
+each intermediate ranking — the search-as-you-hum experience a real
+frontend would build from these pieces.
+
+Run with:  python examples/live_search.py
+"""
+
+import numpy as np
+
+from repro import (
+    OnlinePitchTracker,
+    ProgressiveQuery,
+    QueryByHummingSystem,
+    SingerProfile,
+    generate_corpus,
+    hum_melody,
+    segment_corpus,
+)
+from repro.hum.synthesis import synthesize_pitch_series
+
+CHUNK = 2048  # samples per simulated microphone callback (256 ms @ 8 kHz)
+
+
+def main() -> None:
+    melodies = segment_corpus(generate_corpus(12, seed=30), per_song=15, seed=30)
+    system = QueryByHummingSystem(melodies, delta=0.1)
+    print(f"database: {len(system)} melodies")
+
+    rng = np.random.default_rng(8)
+    target = 77
+    print(f"user starts humming {melodies[target].name!r} ...\n")
+    sung = hum_melody(melodies[target], SingerProfile.better(), rng)
+    wave = synthesize_pitch_series(sung, rng=rng)
+
+    tracker = OnlinePitchTracker()
+    search = ProgressiveQuery(system, k=3, min_frames=150, every=100,
+                              stability=3)
+
+    for start in range(0, wave.size, CHUNK):
+        frames = tracker.feed(wave[start : start + CHUNK])
+        voiced = [f for f in frames if np.isfinite(f)]
+        snapshot = search.feed(voiced)
+        if snapshot is None:
+            continue
+        seconds = snapshot.frames_heard / 100.0
+        top = ", ".join(f"{name} ({dist:.1f})"
+                        for name, dist in snapshot.results)
+        state = " CONVERGED" if snapshot.converged else ""
+        print(f"[{seconds:5.1f}s heard]  {top}{state}")
+        if snapshot.converged:
+            break
+
+    final = search.snapshots[-1]
+    hit = final.top.split("#")[0] == melodies[target].name.split("#")[0]
+    print(f"\nfinal answer: {final.top} "
+          f"({'correct song' if hit else 'WRONG'}) after "
+          f"{final.frames_heard / 100.0:.1f}s of a "
+          f"{sung.size / 100.0:.1f}s hum")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,379 @@
+"""Command-line interface for the query-by-humming system.
+
+Subcommands mirror a real deployment's lifecycle::
+
+    repro corpus  --songs 50 --out corpus/          # build a MIDI corpus
+    repro index   --corpus corpus/ --out index.npz  # build the warping index
+    repro hum     --corpus corpus/ --melody 123 --out hum.npy
+    repro query   --index index.npz --hum hum.npy -k 10
+    repro demo                                      # end-to-end in memory
+
+Hum inputs to ``query`` may be ``.npy`` pitch-series files (MIDI pitch
+per 10 ms frame, as the pitch tracker emits) or ``.mid`` files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_corpus(args) -> int:
+    from .music.corpus import generate_corpus, segment_corpus
+    from .persistence import save_corpus
+
+    songs = generate_corpus(args.songs, seed=args.seed)
+    melodies = segment_corpus(songs, per_song=args.per_song, seed=args.seed)
+    save_corpus(melodies, args.out)
+    print(f"wrote {len(melodies)} melodies from {args.songs} songs to {args.out}")
+    return 0
+
+
+def _cmd_index(args) -> int:
+    from .core.envelope_transforms import (
+        KeoghPAAEnvelopeTransform,
+        NewPAAEnvelopeTransform,
+    )
+    from .core.normal_form import NormalForm
+    from .index.gemini import WarpingIndex
+    from .persistence import load_corpus, save_index
+
+    melodies = load_corpus(args.corpus)
+    series = [m.to_time_series(8) for m in melodies]
+    length = args.normal_length
+    if args.transform == "new_paa":
+        env_t = NewPAAEnvelopeTransform(length, args.features)
+    else:
+        env_t = KeoghPAAEnvelopeTransform(length, args.features)
+    index = WarpingIndex(
+        series,
+        delta=args.delta,
+        env_transform=env_t,
+        normal_form=NormalForm(length=length),
+        index_kind=args.backend,
+        ids=[m.name or str(i) for i, m in enumerate(melodies)],
+    )
+    save_index(index, args.out)
+    print(f"indexed {len(index)} melodies (delta={args.delta}, "
+          f"{args.transform}, {args.backend}) -> {args.out}")
+    return 0
+
+
+def _load_hum(path: str) -> np.ndarray:
+    if path.endswith(".npy"):
+        return np.load(path)
+    if path.endswith(".mid"):
+        from .music.midi import MidiFile
+
+        with open(path, "rb") as handle:
+            melody = MidiFile.from_bytes(handle.read()).to_melody()
+        return melody.to_time_series(8).astype(float)
+    raise ValueError(f"unsupported hum input {path!r} (want .npy or .mid)")
+
+
+def _cmd_query(args) -> int:
+    from .persistence import load_index
+
+    index = load_index(args.index)
+    hum = _load_hum(args.hum)
+    results, stats = index.knn_query(hum, args.k)
+    print(f"db={len(index)}  candidates={stats.candidates}  "
+          f"pages={stats.page_accesses}  refined={stats.dtw_computations}")
+    for rank, (name, dist) in enumerate(results, start=1):
+        print(f"{rank:3d}. {name}  (DTW distance {dist:.3f})")
+    return 0
+
+
+def _cmd_hum(args) -> int:
+    from .hum.singer import SingerProfile, hum_melody
+    from .persistence import load_corpus
+
+    melodies = load_corpus(args.corpus)
+    if not 0 <= args.melody < len(melodies):
+        print(f"error: melody index {args.melody} out of range "
+              f"[0, {len(melodies)})", file=sys.stderr)
+        return 2
+    profile = (SingerProfile.poor() if args.profile == "poor"
+               else SingerProfile.better())
+    rng = np.random.default_rng(args.seed)
+    hum = hum_melody(melodies[args.melody], profile, rng)
+    np.save(args.out, hum)
+    print(f"hummed {melodies[args.melody].name!r} as a {args.profile} singer "
+          f"({hum.size} frames) -> {args.out}")
+    return 0
+
+
+def _cmd_assess(args) -> int:
+    from .persistence import load_corpus
+    from .qbh.scoring import assess_humming
+
+    melodies = load_corpus(args.corpus)
+    if not 0 <= args.melody < len(melodies):
+        print(f"error: melody index {args.melody} out of range "
+              f"[0, {len(melodies)})", file=sys.stderr)
+        return 2
+    melody = melodies[args.melody]
+    hum = _load_hum(args.hum)
+    report = assess_humming(hum, melody)
+    print(f"assessing your humming of {melody.name!r}:")
+    print(f"  grade: {report.grade()}")
+    print(f"  mean |pitch error|: {report.mean_abs_pitch_error:.2f} semitones")
+    print(f"  timing consistency: {report.timing_consistency:.2f}")
+    worst = report.worst_note
+    if worst is not None and abs(worst.pitch_error) > 0.5:
+        direction = "sharp" if worst.pitch_error > 0 else "flat"
+        print(f"  worst note: #{worst.index} "
+              f"({melody.notes[worst.index].name}), "
+              f"{abs(worst.pitch_error):.1f} semitones {direction}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .music.analysis import analyze_corpus, find_duplicates
+    from .persistence import load_corpus
+
+    melodies = load_corpus(args.corpus)
+    stats = analyze_corpus(melodies, estimate_keys=not args.no_keys)
+    print(stats.summary())
+    duplicates = find_duplicates(melodies)
+    print(f"duplicate groups: {len(duplicates)}")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .music.notation import melody_to_abc
+    from .persistence import load_corpus
+
+    melodies = load_corpus(args.corpus)
+    if not 0 <= args.melody < len(melodies):
+        print(f"error: melody index {args.melody} out of range "
+              f"[0, {len(melodies)})", file=sys.stderr)
+        return 2
+    melody = melodies[args.melody]
+    abc = melody_to_abc(melody, title=melody.name)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(abc)
+        print(f"wrote {melody.name!r} to {args.out}")
+    else:
+        print(abc, end="")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .hum.singer import SingerProfile, hum_melody
+    from .persistence import load_corpus
+    from .tuning import tune_feature_count
+
+    melodies = load_corpus(args.corpus)
+    series = [m.to_time_series(8) for m in melodies]
+    rng = np.random.default_rng(args.seed)
+    targets = rng.choice(len(melodies), size=min(args.queries, len(melodies)),
+                         replace=False)
+    queries = [
+        hum_melody(melodies[int(t)], SingerProfile.better(), rng)
+        for t in targets
+    ]
+    report = tune_feature_count(
+        series, queries, delta=args.delta,
+        normal_length=args.normal_length,
+        candidates_grid=tuple(args.grid),
+    )
+    print(report.summary())
+    print(f"\nrecommended feature count: {report.recommended}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from . import experiments
+
+    scale = experiments.active_scale()
+    small_db = min(scale.fig10_db, 5000)
+    runners = {
+        "table2": lambda: experiments.run_table2(scale),
+        "table3": lambda: experiments.run_table3(scale),
+        "fig6": lambda: experiments.run_fig6(scale),
+        "fig7": lambda: experiments.run_fig7(scale),
+        "fig8": lambda: experiments.run_fig8(scale),
+        "fig9": lambda: experiments.run_fig9(scale),
+        "fig10": lambda: experiments.run_fig10(scale),
+        "scaling": lambda: experiments.run_size_scaling(scale),
+        "signsplit": lambda: experiments.run_signsplit_ablation(
+            max(200, scale.fig7_pairs)),
+        "knn": lambda: experiments.run_knn_ablation(
+            small_db, scale.fig8_queries),
+        "backends": lambda: experiments.run_backend_ablation(
+            small_db, scale.fig8_queries),
+        "secondfilter": lambda: experiments.run_second_filter_ablation(
+            small_db, scale.fig8_queries),
+        "splits": lambda: experiments.run_split_ablation(
+            min(scale.fig10_db, 3000), scale.fig8_queries),
+        "noise": lambda: experiments.run_noise_sweep(scale),
+    }
+    if args.which not in runners:
+        print(f"error: unknown experiment {args.which!r}; choose from "
+              f"{sorted(runners)}", file=sys.stderr)
+        return 2
+    print(f"running {args.which} at {scale.name} scale "
+          f"(set REPRO_SCALE=full|smoke to change) ...")
+    result = runners[args.which]()
+    if args.which in ("table2", "table3"):
+        from .qbh.evaluation import format_rank_tables
+
+        tables = list(result) if isinstance(result, (list, tuple)) else [result]
+        print(format_rank_tables(tables, title=args.which))
+    else:
+        rows = result[0] if isinstance(result, tuple) else result
+        print(experiments.format_series(args.which, rows))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments import active_scale, generate_report
+
+    scale = active_scale()
+    print(f"generating reproduction report at {scale.name} scale ...",
+          file=sys.stderr)
+    text = generate_report(
+        scale, include=tuple(args.sections) if args.sections else None
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from .hum.singer import SingerProfile, hum_melody
+    from .music.corpus import generate_corpus, segment_corpus
+    from .qbh.system import QueryByHummingSystem
+
+    melodies = segment_corpus(generate_corpus(args.songs, seed=args.seed),
+                              per_song=20, seed=args.seed)
+    system = QueryByHummingSystem(melodies, delta=0.1)
+    rng = np.random.default_rng(args.seed)
+    target = int(rng.integers(len(melodies)))
+    hum = hum_melody(melodies[target], SingerProfile.better(), rng)
+    results, stats = system.query(hum, k=5)
+    print(f"database: {len(system)} melodies; hummed {melodies[target].name!r}")
+    print(f"filter: {stats.candidates} candidates, "
+          f"{stats.page_accesses} page accesses")
+    for rank, (name, dist) in enumerate(results, start=1):
+        marker = "  <-- target" if name == melodies[target].name else ""
+        print(f"{rank}. {name} ({dist:.2f}){marker}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query by humming with warping indexes (SIGMOD 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_corpus = sub.add_parser("corpus", help="generate a MIDI melody corpus")
+    p_corpus.add_argument("--songs", type=int, default=50)
+    p_corpus.add_argument("--per-song", type=int, default=20)
+    p_corpus.add_argument("--seed", type=int, default=1)
+    p_corpus.add_argument("--out", required=True)
+    p_corpus.set_defaults(func=_cmd_corpus)
+
+    p_index = sub.add_parser("index", help="build and save a warping index")
+    p_index.add_argument("--corpus", required=True)
+    p_index.add_argument("--out", required=True)
+    p_index.add_argument("--delta", type=float, default=0.1)
+    p_index.add_argument("--features", type=int, default=8)
+    p_index.add_argument("--normal-length", type=int, default=128)
+    p_index.add_argument("--transform", choices=("new_paa", "keogh_paa"),
+                         default="new_paa")
+    p_index.add_argument("--backend", choices=("rstar", "grid", "linear"),
+                         default="rstar")
+    p_index.set_defaults(func=_cmd_index)
+
+    p_hum = sub.add_parser("hum", help="simulate humming a corpus melody")
+    p_hum.add_argument("--corpus", required=True)
+    p_hum.add_argument("--melody", type=int, required=True)
+    p_hum.add_argument("--profile", choices=("better", "poor"),
+                       default="better")
+    p_hum.add_argument("--seed", type=int, default=0)
+    p_hum.add_argument("--out", required=True)
+    p_hum.set_defaults(func=_cmd_hum)
+
+    p_query = sub.add_parser("query", help="query a saved index with a hum")
+    p_query.add_argument("--index", required=True)
+    p_query.add_argument("--hum", required=True,
+                         help=".npy pitch series or .mid melody")
+    p_query.add_argument("-k", type=int, default=10)
+    p_query.set_defaults(func=_cmd_query)
+
+    p_assess = sub.add_parser("assess",
+                              help="grade a hum against its intended melody")
+    p_assess.add_argument("--corpus", required=True)
+    p_assess.add_argument("--melody", type=int, required=True)
+    p_assess.add_argument("--hum", required=True,
+                          help=".npy pitch series or .mid melody")
+    p_assess.set_defaults(func=_cmd_assess)
+
+    p_analyze = sub.add_parser("analyze", help="corpus statistics report")
+    p_analyze.add_argument("--corpus", required=True)
+    p_analyze.add_argument("--no-keys", action="store_true",
+                           help="skip key estimation (faster)")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_export = sub.add_parser("export",
+                              help="render a corpus melody as ABC notation")
+    p_export.add_argument("--corpus", required=True)
+    p_export.add_argument("--melody", type=int, required=True)
+    p_export.add_argument("--out", help="write to a file instead of stdout")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_tune = sub.add_parser("tune",
+                            help="recommend a feature dimensionality")
+    p_tune.add_argument("--corpus", required=True)
+    p_tune.add_argument("--delta", type=float, default=0.1)
+    p_tune.add_argument("--normal-length", type=int, default=128)
+    p_tune.add_argument("--queries", type=int, default=5)
+    p_tune.add_argument("--grid", type=int, nargs="+", default=[4, 8, 16, 32])
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_exp = sub.add_parser("experiment",
+                           help="regenerate one of the paper's tables/figures")
+    p_exp.add_argument(
+        "which",
+        help="table2|table3|fig6|fig7|fig8|fig9|fig10|scaling|"
+             "signsplit|knn|backends|secondfilter|splits|noise",
+    )
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_report = sub.add_parser(
+        "report",
+        help="run every experiment and write one markdown report",
+    )
+    p_report.add_argument("--out", help="output file (default: stdout)")
+    p_report.add_argument("--sections", nargs="+",
+                          help="subset of experiment sections to run")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_demo = sub.add_parser("demo", help="end-to-end demo in memory")
+    p_demo.add_argument("--songs", type=int, default=20)
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

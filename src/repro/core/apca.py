@@ -1,0 +1,194 @@
+"""Adaptive Piecewise Constant Approximation (APCA).
+
+The paper's related work cites APCA (Keogh, Chakrabarti, Mehrotra &
+Pazzani 2001) among the dimensionality reductions usable under the
+GEMINI framework.  Unlike PAA/DFT/SVD, APCA is **not a linear
+transform** — its segment boundaries adapt to each series — so Lemma 3
+does not apply and it cannot ride the paper's envelope-transform
+machinery directly.  It is included here both as the cited Euclidean
+competitor and to mark the framework's boundary; its DTW support comes
+from a *per-candidate* bound instead: the query's envelope is averaged
+over the candidate's own segmentation, which is container-invariant by
+convexity (Jensen's inequality on the squared interval distance).
+
+Segments are found by greedy bottom-up merging, minimising the squared
+reconstruction error — O(n log n) and within a small factor of the
+optimal dynamic-programming segmentation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from .envelope import Envelope
+from .series import as_series
+
+__all__ = ["APCA", "apca_approximate", "apca_euclidean_lb", "apca_dtw_lb"]
+
+
+@dataclass(frozen=True)
+class APCA:
+    """An adaptive piecewise-constant approximation of one series.
+
+    Attributes
+    ----------
+    values:
+        Mean value of each segment.
+    ends:
+        Exclusive end index of each segment (``ends[-1]`` equals the
+        original length); segment ``j`` covers
+        ``[ends[j-1], ends[j])`` with ``ends[-1-1]`` read as 0.
+    """
+
+    values: np.ndarray
+    ends: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        ends = np.asarray(self.ends, dtype=np.int64)
+        if values.ndim != 1 or ends.shape != values.shape:
+            raise ValueError("values and ends must be 1-D and equally long")
+        if values.size == 0:
+            raise ValueError("APCA must have at least one segment")
+        starts = np.concatenate([[0], ends[:-1]])
+        if np.any(ends <= starts):
+            raise ValueError("segment ends must be strictly increasing")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "ends", ends)
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def length(self) -> int:
+        return int(self.ends[-1])
+
+    def starts(self) -> np.ndarray:
+        return np.concatenate([[0], self.ends[:-1]])
+
+    def reconstruct(self) -> np.ndarray:
+        """The piecewise-constant series the approximation encodes."""
+        widths = self.ends - self.starts()
+        return np.repeat(self.values, widths)
+
+    def memory_floats(self) -> int:
+        """Storage cost in floats (2 per segment, as in the APCA paper)."""
+        return 2 * self.n_segments
+
+
+def apca_approximate(series, n_segments: int) -> APCA:
+    """Greedy bottom-up APCA of *series* with *n_segments* pieces.
+
+    Starts from one segment per sample and repeatedly merges the
+    adjacent pair whose merge increases the squared error least.
+    """
+    arr = as_series(series)
+    n = arr.size
+    if not 1 <= n_segments <= n:
+        raise ValueError(
+            f"need 1 <= n_segments <= {n}, got {n_segments}"
+        )
+    if n_segments == n:
+        return APCA(values=arr.copy(), ends=np.arange(1, n + 1))
+
+    # Doubly linked segment list with (sum, sumsq, count) statistics.
+    sums = arr.copy()
+    sumsqs = arr * arr
+    counts = np.ones(n)
+    prev = np.arange(-1, n - 1)
+    next_ = np.arange(1, n + 1)  # n means "none"
+    alive = np.ones(n, dtype=bool)
+
+    def sse(s, ss, c):
+        return ss - s * s / c
+
+    def merge_cost(a, b):
+        s = sums[a] + sums[b]
+        ss = sumsqs[a] + sumsqs[b]
+        c = counts[a] + counts[b]
+        return (
+            sse(s, ss, c)
+            - sse(sums[a], sumsqs[a], counts[a])
+            - sse(sums[b], sumsqs[b], counts[b])
+        )
+
+    heap = [(merge_cost(i, i + 1), i, i + 1) for i in range(n - 1)]
+    heapq.heapify(heap)
+    remaining = n
+    while remaining > n_segments and heap:
+        cost, a, b = heapq.heappop(heap)
+        if not (alive[a] and alive[b]) or next_[a] != b:
+            continue
+        # Merge b into a.
+        sums[a] += sums[b]
+        sumsqs[a] += sumsqs[b]
+        counts[a] += counts[b]
+        alive[b] = False
+        next_[a] = next_[b]
+        if next_[a] < n:
+            prev[next_[a]] = a
+            heapq.heappush(heap, (merge_cost(a, next_[a]), a, next_[a]))
+        if prev[a] >= 0:
+            heapq.heappush(heap, (merge_cost(prev[a], a), prev[a], a))
+        remaining -= 1
+
+    values, ends = [], []
+    i = 0
+    position = 0
+    while i < n:
+        position += int(counts[i])
+        values.append(sums[i] / counts[i])
+        ends.append(position)
+        i = next_[i]
+    return APCA(values=np.array(values), ends=np.array(ends))
+
+
+def apca_euclidean_lb(query, apca: APCA) -> float:
+    """Lower bound of ``D(query, original)`` from the candidate's APCA.
+
+    Per segment, Cauchy-Schwarz gives
+    ``sum (q_i - c_j)^2 >= w_j (mean(q over segment) - c_j)^2`` for the
+    *approximation*; because each APCA value is the segment mean of the
+    original, the same inequality holds against the original series.
+    """
+    q = as_series(query)
+    if q.size != apca.length:
+        raise ValueError(
+            f"query length {q.size} does not match APCA length {apca.length}"
+        )
+    total = 0.0
+    start = 0
+    for value, end in zip(apca.values, apca.ends):
+        width = end - start
+        q_mean = q[start:end].mean()
+        total += width * (q_mean - value) ** 2
+        start = end
+    return float(np.sqrt(total))
+
+
+def apca_dtw_lb(query_envelope: Envelope, apca: APCA) -> float:
+    """Lower bound of ``D_DTW(k)(original, query)`` (adaptive New_PAA).
+
+    The query's ``k``-envelope is averaged over the candidate's own
+    segmentation; by convexity of the squared interval distance this
+    lower-bounds LB_Keogh, hence the constrained DTW distance.
+    """
+    if len(query_envelope) != apca.length:
+        raise ValueError(
+            f"envelope length {len(query_envelope)} does not match APCA "
+            f"length {apca.length}"
+        )
+    total = 0.0
+    start = 0
+    for value, end in zip(apca.values, apca.ends):
+        width = end - start
+        lower = query_envelope.lower[start:end].mean()
+        upper = query_envelope.upper[start:end].mean()
+        gap = max(value - upper, lower - value, 0.0)
+        total += width * gap * gap
+        start = end
+    return float(np.sqrt(total))

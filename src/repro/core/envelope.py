@@ -1,0 +1,175 @@
+"""Time-series envelopes (Definition 6) and envelope distances (Definition 7).
+
+The ``k``-envelope of a series brackets each sample by the minimum and
+maximum over a window of half-width ``k``; it is the geometric object
+every DTW lower bound in this library is built from.  Envelopes are
+computed in O(n) with the monotonic-deque sliding min/max algorithm
+(Lemire 2006), not the naive O(nk) scan.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .series import as_series
+
+__all__ = [
+    "Envelope",
+    "k_envelope",
+    "sliding_min",
+    "sliding_max",
+    "envelope_distance",
+    "warping_width_to_k",
+    "k_to_warping_width",
+]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A lower/upper band around a time series.
+
+    Attributes
+    ----------
+    lower:
+        Lower bound at each sample, ``EnvL_k`` in the paper.
+    upper:
+        Upper bound at each sample, ``EnvU_k`` in the paper.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        lower = as_series(self.lower)
+        upper = as_series(self.upper)
+        if lower.size != upper.size:
+            raise ValueError(
+                f"envelope sides differ in length: {lower.size} != {upper.size}"
+            )
+        if np.any(lower > upper + 1e-12):
+            raise ValueError("lower envelope exceeds upper envelope")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    def __len__(self) -> int:
+        return int(self.lower.size)
+
+    def contains(self, series, *, atol: float = 1e-9) -> bool:
+        """True if *series* lies within the band at every sample."""
+        arr = as_series(series)
+        if arr.size != len(self):
+            return False
+        return bool(
+            np.all(arr >= self.lower - atol) and np.all(arr <= self.upper + atol)
+        )
+
+    def width(self) -> np.ndarray:
+        """Pointwise band width ``upper - lower``."""
+        return self.upper - self.lower
+
+    def clip(self, series) -> np.ndarray:
+        """Project *series* onto the band (the nearest point inside it)."""
+        arr = as_series(series)
+        if arr.size != len(self):
+            raise ValueError(
+                f"series length {arr.size} does not match envelope length {len(self)}"
+            )
+        return np.clip(arr, self.lower, self.upper)
+
+
+def _sliding_extremum(arr: np.ndarray, k: int, *, take_max: bool) -> np.ndarray:
+    """Sliding window extremum with window [i-k, i+k], O(n) via deque."""
+    n = arr.size
+    out = np.empty(n, dtype=np.float64)
+    window: deque[int] = deque()  # indices, extremum at the front
+
+    def dominated(new: float, old: float) -> bool:
+        return new >= old if take_max else new <= old
+
+    # Index j enters the deque when it becomes visible (j <= i + k) and
+    # leaves when it falls out of range (j < i - k).
+    j = 0
+    for i in range(n):
+        while j < n and j <= i + k:
+            while window and dominated(arr[j], arr[window[-1]]):
+                window.pop()
+            window.append(j)
+            j += 1
+        while window[0] < i - k:
+            window.popleft()
+        out[i] = arr[window[0]]
+    return out
+
+
+def sliding_max(series, k: int) -> np.ndarray:
+    """Max over the window ``[i-k, i+k]`` at every position, in O(n)."""
+    if k < 0:
+        raise ValueError(f"window half-width must be >= 0, got {k}")
+    arr = as_series(series)
+    if k == 0:
+        return arr.copy()
+    return _sliding_extremum(arr, k, take_max=True)
+
+
+def sliding_min(series, k: int) -> np.ndarray:
+    """Min over the window ``[i-k, i+k]`` at every position, in O(n)."""
+    if k < 0:
+        raise ValueError(f"window half-width must be >= 0, got {k}")
+    arr = as_series(series)
+    if k == 0:
+        return arr.copy()
+    return _sliding_extremum(arr, k, take_max=False)
+
+
+def k_envelope(series, k: int) -> Envelope:
+    """The ``k``-envelope ``Env_k`` of a series (Definition 6)."""
+    return Envelope(lower=sliding_min(series, k), upper=sliding_max(series, k))
+
+
+def envelope_distance(series, envelope: Envelope, *, metric: str = "euclidean") -> float:
+    """Distance from a series to an envelope (Definition 7).
+
+    ``D(x, e) = min_{z in e} D(x, z)``: only the parts of *series* that
+    stick out of the band contribute.  Supports the Euclidean metric
+    (the paper's, default) and Manhattan.
+    """
+    arr = as_series(series)
+    if arr.size != len(envelope):
+        raise ValueError(
+            f"series length {arr.size} does not match envelope length {len(envelope)}"
+        )
+    above = np.maximum(arr - envelope.upper, 0.0)
+    below = np.maximum(envelope.lower - arr, 0.0)
+    if metric == "euclidean":
+        return float(np.sqrt(np.sum(above * above + below * below)))
+    if metric == "manhattan":
+        return float(np.sum(above + below))
+    raise ValueError(
+        f"metric must be 'euclidean' or 'manhattan', got {metric!r}"
+    )
+
+
+def warping_width_to_k(delta: float, n: int) -> int:
+    """Convert a warping width ``delta = (2k+1)/n`` to the band half-width k.
+
+    The result is clamped to ``[0, n-1]``; fractional widths round down,
+    matching the Sakoe-Chiba beam of ``2k+1`` cells the paper describes.
+    """
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError(f"warping width must be in [0, 1], got {delta}")
+    if n < 1:
+        raise ValueError("series length must be positive")
+    k = int((delta * n - 1) // 2) if delta * n >= 1 else 0
+    return max(0, min(k, n - 1))
+
+
+def k_to_warping_width(k: int, n: int) -> float:
+    """Convert a band half-width back to the warping width ``(2k+1)/n``."""
+    if k < 0:
+        raise ValueError("band half-width must be >= 0")
+    if n < 1:
+        raise ValueError("series length must be positive")
+    return (2 * k + 1) / n

@@ -1,0 +1,115 @@
+"""Lower bounds for the constrained DTW distance.
+
+Three families, from loosest to tightest:
+
+* :func:`lb_yi` — the global bound of Yi, Jagadish & Faloutsos (1998):
+  only the overall min/max of the candidate is used.
+* :func:`lb_keogh` — the envelope bound (Keogh 2002, Lemma 2 in the
+  paper): distance from the query to the candidate's ``k``-envelope in
+  full dimension.  Tightest, but not indexable without reduction.
+* :func:`lb_envelope_transform` — the paper's Theorem 1: distance in
+  the *reduced feature space* between the transformed query and the
+  container-invariantly transformed envelope.  This is the quantity an
+  index can actually evaluate; the envelope transform decides how
+  tight it is (New_PAA vs Keogh_PAA vs DFT vs SVD ...).
+
+:func:`tightness` computes the paper's evaluation metric
+``T = lower bound / true DTW distance`` used in Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .envelope import Envelope, envelope_distance, k_envelope
+from .envelope_transforms import EnvelopeTransform
+from .series import as_series
+
+__all__ = [
+    "lb_yi",
+    "lb_keogh",
+    "lb_envelope_transform",
+    "tightness",
+]
+
+
+def lb_yi(query, candidate, *, metric: str = "euclidean") -> float:
+    """Global lower bound of Yi et al. (1998).
+
+    Every query sample above the candidate's maximum (or below its
+    minimum) must pay at least the excess, whatever the warping.  Uses
+    just two values of the candidate, so it is cheap but loose — the
+    paper's motivation for local (envelope) bounds.
+    """
+    q = as_series(query)
+    c = as_series(candidate)
+    band = Envelope(
+        lower=np.full(q.size, c.min()), upper=np.full(q.size, c.max())
+    )
+    return envelope_distance(q, band, metric=metric)
+
+
+def lb_keogh(query, candidate, k: int, *, metric: str = "euclidean") -> float:
+    """Envelope lower bound in full dimension (Lemma 2).
+
+    ``D(x, Env_k(y)) <= D_DTW(k)(x, y)``.  Both series must have equal
+    length (apply the UTW normal form first).  Valid for both the
+    Euclidean and the Manhattan ground metric.
+    """
+    q = as_series(query)
+    c = as_series(candidate)
+    if q.size != c.size:
+        raise ValueError(
+            f"series lengths differ ({q.size} != {c.size}); "
+            "apply the UTW normal form before lower-bounding"
+        )
+    return envelope_distance(q, k_envelope(c, k), metric=metric)
+
+
+def lb_envelope_transform(
+    env_transform: EnvelopeTransform,
+    query,
+    candidate=None,
+    *,
+    k: int | None = None,
+    envelope: Envelope | None = None,
+    feature_envelope: Envelope | None = None,
+    query_features: np.ndarray | None = None,
+) -> float:
+    """Feature-space lower bound of Theorem 1.
+
+    ``D(T(x), T(Env_k(y))) <= D_DTW(k)(x, y)`` whenever the envelope
+    transform is container-invariant and the underlying series
+    transform is lower-bounding.
+
+    The candidate can be given three ways, from rawest to most
+    precomputed: as a series (with ``k``), as a full-dimension
+    ``envelope``, or directly as a ``feature_envelope``.  Likewise the
+    query can be supplied pre-transformed via ``query_features`` — the
+    form an index uses when scanning many candidates for one query.
+    """
+    if feature_envelope is None:
+        if envelope is None:
+            if candidate is None or k is None:
+                raise ValueError(
+                    "provide candidate+k, envelope, or feature_envelope"
+                )
+            envelope = k_envelope(candidate, k)
+        feature_envelope = env_transform.reduce(envelope)
+    if query_features is None:
+        query_features = env_transform.transform_series(query)
+    return envelope_distance(query_features, feature_envelope)
+
+
+def tightness(lower_bound: float, true_distance: float) -> float:
+    """The tightness metric ``T`` of the experiments section.
+
+    ``T = lower bound / true DTW distance``, in ``[0, 1]`` for any
+    correct bound; defined as 1 when the true distance is zero (a
+    correct bound must be zero too).
+    """
+    if lower_bound < 0 or true_distance < 0:
+        raise ValueError("distances must be non-negative")
+    if true_distance == 0.0:
+        return 1.0
+    return lower_bound / true_distance

@@ -1,0 +1,110 @@
+"""Normal forms that make similarity invariant to shift and tempo.
+
+Section 3.3 of the paper: before any distance is computed, both the hum
+query and the candidate melodies are put into a *normal form* that
+
+* subtracts the mean pitch (shift invariance — users do not hum at the
+  right absolute pitch), and
+* uniformly rescales the time axis to a fixed length (Uniform Time
+  Warping normal form — users hum at half to double tempo but roughly
+  consistently).
+
+Optionally the amplitude can also be normalised to unit standard
+deviation, which additionally forgives compressed or exaggerated
+intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .series import as_series, uniform_resample
+
+__all__ = ["NormalForm", "shift_normalize", "utw_normal_form", "normalize"]
+
+#: Default length of the UTW normal form; a "predefined large number"
+#: divisible by many melody lengths so that upsampling is usually exact.
+DEFAULT_NORMAL_LENGTH = 256
+
+
+@dataclass(frozen=True)
+class NormalForm:
+    """Configuration of the normalisation pipeline.
+
+    Attributes
+    ----------
+    length:
+        Target length of the UTW normal form, or ``None`` to keep the
+        original sampling.
+    shift:
+        Subtract the mean pitch (absolute-pitch invariance).
+    scale:
+        Divide by the standard deviation (interval-size invariance).
+        The paper's system uses shift-only; scaling is an extension.
+    """
+
+    length: int | None = DEFAULT_NORMAL_LENGTH
+    shift: bool = True
+    scale: bool = False
+
+    def __post_init__(self) -> None:
+        if self.length is not None and self.length < 2:
+            raise ValueError(f"normal-form length must be >= 2, got {self.length}")
+
+    def apply(self, series) -> np.ndarray:
+        """Apply the configured normalisation to *series*."""
+        return normalize(
+            series, length=self.length, shift=self.shift, scale=self.scale
+        )
+
+
+def shift_normalize(series) -> np.ndarray:
+    """Subtract the mean, making the series invariant to transposition."""
+    arr = as_series(series)
+    return arr - arr.mean()
+
+
+def utw_normal_form(series, length: int = DEFAULT_NORMAL_LENGTH) -> np.ndarray:
+    """Uniformly stretch/squeeze the series to *length* samples.
+
+    Two series in the same UTW normal form can be compared point by
+    point regardless of their original tempos (Definition 2, Lemma 1).
+    """
+    return uniform_resample(series, length)
+
+
+def normalize(
+    series,
+    *,
+    length: int | None = DEFAULT_NORMAL_LENGTH,
+    shift: bool = True,
+    scale: bool = False,
+    eps: float = 1e-12,
+) -> np.ndarray:
+    """Full normalisation pipeline: tempo, then shift, then scale.
+
+    Parameters
+    ----------
+    series:
+        Input pitch time series.
+    length:
+        UTW normal-form length; ``None`` skips time rescaling.
+    shift:
+        Subtract the mean.
+    scale:
+        Divide by the standard deviation (no-op for constant series).
+    eps:
+        Standard deviations below this are treated as zero.
+    """
+    arr = as_series(series)
+    if length is not None:
+        arr = uniform_resample(arr, length)
+    if shift:
+        arr = arr - arr.mean()
+    if scale:
+        std = arr.std()
+        if std > eps:
+            arr = arr / std
+    return arr

@@ -1,0 +1,118 @@
+"""Query-time series transformations (Rafiei & Mendelzon 1997).
+
+The related work the paper builds on allows "transformations, including
+shifting, scaling and moving average, on the time series before
+similarity queries".  Shifting and time scaling are already normal-form
+citizens (:mod:`repro.core.normal_form`); this module supplies the
+rest: smoothing filters that suppress pitch-tracker jitter before
+matching, amplitude scaling, and trend removal.
+
+All functions preserve length and return new arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .series import as_series
+
+__all__ = [
+    "moving_average",
+    "exponential_smoothing",
+    "median_smoothing",
+    "amplitude_normalize",
+    "detrend",
+    "clip_outliers",
+]
+
+
+def moving_average(series, window: int) -> np.ndarray:
+    """Centred moving average with edge-shrunk windows.
+
+    The classic query transformation of Rafiei & Mendelzon: matching
+    smoothed series finds trends rather than exact shapes.  Window
+    must be odd so the filter is centred and phase-free.
+    """
+    arr = as_series(series)
+    if window < 1 or window % 2 == 0:
+        raise ValueError(f"window must be a positive odd number, got {window}")
+    if window == 1:
+        return arr.copy()
+    half = window // 2
+    padded = np.concatenate([arr[:1].repeat(half), arr, arr[-1:].repeat(half)])
+    kernel = np.ones(window) / window
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def exponential_smoothing(series, alpha: float) -> np.ndarray:
+    """First-order exponential smoothing ``s_i = a x_i + (1-a) s_{i-1}``."""
+    arr = as_series(series)
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    out = np.empty_like(arr)
+    out[0] = arr[0]
+    for i in range(1, arr.size):
+        out[i] = alpha * arr[i] + (1.0 - alpha) * out[i - 1]
+    return out
+
+
+def median_smoothing(series, window: int) -> np.ndarray:
+    """Centred running median — removes impulsive pitch-tracker blips
+    without rounding note corners the way a mean filter does."""
+    arr = as_series(series)
+    if window < 1 or window % 2 == 0:
+        raise ValueError(f"window must be a positive odd number, got {window}")
+    if window == 1:
+        return arr.copy()
+    half = window // 2
+    out = np.empty_like(arr)
+    for i in range(arr.size):
+        lo = max(0, i - half)
+        hi = min(arr.size, i + half + 1)
+        out[i] = np.median(arr[lo:hi])
+    return out
+
+
+def amplitude_normalize(series, *, eps: float = 1e-12) -> np.ndarray:
+    """Zero-mean, unit-variance scaling (full z-normalisation).
+
+    Complements the shift-only normal form when interval *sizes*
+    should also be forgiven (a singer compressing every leap).
+    Constant series map to zeros.
+    """
+    arr = as_series(series)
+    centred = arr - arr.mean()
+    std = centred.std()
+    if std <= eps:
+        return np.zeros_like(arr)
+    return centred / std
+
+
+def detrend(series) -> np.ndarray:
+    """Remove the least-squares linear trend.
+
+    Useful against cumulative pitch drift — a singer slowly going
+    flat — which shifting alone cannot absorb.
+    """
+    arr = as_series(series)
+    if arr.size == 1:
+        return np.zeros(1)
+    t = np.arange(arr.size, dtype=np.float64)
+    slope, intercept = np.polyfit(t, arr, 1)
+    return arr - (slope * t + intercept)
+
+
+def clip_outliers(series, *, n_sigmas: float = 3.0) -> np.ndarray:
+    """Clamp samples further than ``n_sigmas`` deviations from the mean.
+
+    A cheap guard against octave errors surviving the pitch tracker's
+    median filter.
+    """
+    arr = as_series(series)
+    if n_sigmas <= 0:
+        raise ValueError(f"n_sigmas must be positive, got {n_sigmas}")
+    mean = arr.mean()
+    std = arr.std()
+    if std == 0.0:
+        return arr.copy()
+    return np.clip(arr, mean - n_sigmas * std, mean + n_sigmas * std)

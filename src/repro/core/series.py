@@ -1,0 +1,113 @@
+"""Time-series primitives shared by the whole library.
+
+Throughout the package a *time series* is a one-dimensional
+``numpy.ndarray`` of ``float64``.  This module holds the validation and
+resampling helpers that everything else builds on, in particular the
+``w``-upsampling operator :math:`U_w` from Definition 3 of the paper,
+which repeats every sample ``w`` times and underlies Uniform Time
+Warping (Lemma 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "as_series",
+    "upsample",
+    "uniform_resample",
+    "common_length",
+    "first",
+    "rest",
+]
+
+
+def as_series(values, *, min_length: int = 1) -> np.ndarray:
+    """Validate *values* and return it as a float64 1-D array.
+
+    Parameters
+    ----------
+    values:
+        Any sequence of numbers (list, tuple, ndarray, ...).
+    min_length:
+        Minimum number of samples required.
+
+    Raises
+    ------
+    ValueError
+        If the input is not one-dimensional, is shorter than
+        *min_length*, or contains NaN/inf values.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"time series must be 1-D, got shape {arr.shape}")
+    if arr.size < min_length:
+        raise ValueError(
+            f"time series must have at least {min_length} samples, got {arr.size}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("time series must contain only finite values")
+    return arr
+
+
+def upsample(series, w: int) -> np.ndarray:
+    """Return the ``w``-upsampling :math:`U_w(x)` of *series*.
+
+    Each value is repeated ``w`` times, so a series of length ``n``
+    becomes one of length ``n * w`` (Definition 3).
+
+    >>> upsample([1.0, 2.0], 3)
+    array([1., 1., 1., 2., 2., 2.])
+    """
+    if w < 1:
+        raise ValueError(f"upsampling factor must be >= 1, got {w}")
+    arr = as_series(series)
+    return np.repeat(arr, w)
+
+
+def uniform_resample(series, length: int) -> np.ndarray:
+    """Uniformly stretch or squeeze *series* to exactly *length* samples.
+
+    This realises the Uniform Time Warping normal form: sample ``i`` of
+    the output takes the value ``x[ceil((i+1) * n / length) - 1]``,
+    matching the paper's ``x_{ceil(i/m)}`` indexing.  When *length* is a
+    multiple of ``len(series)`` this coincides with :func:`upsample`.
+    """
+    if length < 1:
+        raise ValueError(f"target length must be >= 1, got {length}")
+    arr = as_series(series)
+    n = arr.size
+    # Positions 1..length map to ceil(i * n / length) in 1-based indexing.
+    idx = np.ceil(np.arange(1, length + 1) * (n / length)).astype(np.int64) - 1
+    np.clip(idx, 0, n - 1, out=idx)
+    return arr[idx]
+
+
+def common_length(n: int, m: int, *, cap: int | None = None) -> int:
+    """Smallest common length two series can be upsampled to.
+
+    Returns ``lcm(n, m)`` unless *cap* is given and the LCM exceeds it,
+    in which case *cap* itself is returned (uniform resampling to a cap
+    is the practical approximation the paper suggests with its
+    "predefined large number" ``nw``).
+    """
+    if n < 1 or m < 1:
+        raise ValueError("series lengths must be positive")
+    lcm = math.lcm(n, m)
+    if cap is not None and lcm > cap:
+        return cap
+    return lcm
+
+
+def first(series) -> float:
+    """``First(x)``: the first element of the series (Table 1)."""
+    arr = as_series(series)
+    return float(arr[0])
+
+
+def rest(series) -> np.ndarray:
+    """``Rest(x)``: the series without its first element (Table 1)."""
+    arr = as_series(series, min_length=2)
+    return arr[1:]

@@ -1,0 +1,329 @@
+"""Synthetic time-series families standing in for the UCR archive.
+
+Figure 6 of the paper evaluates lower-bound tightness on 24 datasets
+from the UCR Time Series Data Mining Archive, spanning finance,
+medicine, industry, astronomy and music.  The archive is not shipped
+here, so each family is recreated synthetically with the qualitative
+character its name implies (periodic, chaotic, bursty, drifting, ...).
+The *heterogeneity* across families is what the experiment needs — the
+claim under test is that New_PAA dominates Keogh_PAA on all of them.
+
+Every generator takes ``(n, rng)`` and returns one series of length
+``n``; :data:`GENERATORS` maps the paper's dataset numbering to them.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["GENERATORS", "dataset_names", "make_dataset", "random_walks"]
+
+Generator = Callable[[int, np.random.Generator], np.ndarray]
+
+
+def _t(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.float64)
+
+
+def sunspot(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Solar-cycle-like: rectified slow oscillation, modulated amplitude."""
+    t = _t(n)
+    period = n / rng.uniform(4, 7)
+    amp = 1.0 + 0.5 * np.sin(2 * np.pi * t / (period * 3.7) + rng.uniform(0, 6))
+    base = np.abs(np.sin(np.pi * t / period + rng.uniform(0, np.pi))) ** 1.5
+    return amp * base + 0.05 * rng.normal(size=n)
+
+
+def power(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Electric load: sharp daily cycle with a weekly dip."""
+    t = _t(n)
+    day = n / rng.uniform(8, 12)
+    daily = np.clip(np.sin(2 * np.pi * t / day), 0, None) ** 0.5
+    weekly = 1.0 - 0.4 * (np.sin(2 * np.pi * t / (day * 7)) > 0.7)
+    return daily * weekly + 0.08 * rng.normal(size=n)
+
+
+def spot_exrates(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Exchange rates: low-volatility random walk."""
+    return np.cumsum(rng.normal(0, 0.3, size=n))
+
+
+def shuttle(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Telemetry: long constant levels with abrupt regime changes."""
+    series = np.empty(n)
+    level = rng.normal(0, 1)
+    i = 0
+    while i < n:
+        length = int(rng.integers(n // 16 + 1, n // 4 + 2))
+        series[i : i + length] = level
+        i += length
+        level += rng.choice([-2.0, -1.0, 1.0, 2.0])
+    return series + 0.05 * rng.normal(size=n)
+
+
+def water(n: int, rng: np.random.Generator) -> np.ndarray:
+    """River levels: seasonal swell plus trend and noise."""
+    t = _t(n)
+    season = np.sin(2 * np.pi * t / (n / rng.uniform(2, 4)) + rng.uniform(0, 6))
+    trend = rng.uniform(-1, 1) * t / n
+    return season + trend + 0.15 * rng.normal(size=n)
+
+
+def chaotic(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Logistic-map chaos, lightly smoothed."""
+    x = rng.uniform(0.2, 0.8)
+    values = np.empty(n)
+    for i in range(n):
+        x = 3.9 * x * (1.0 - x)
+        values[i] = x
+    kernel = np.ones(3) / 3.0
+    return np.convolve(values, kernel, mode="same")
+
+
+def streamgen(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Piecewise-linear trends with breakpoints."""
+    series = np.empty(n)
+    value = 0.0
+    slope = rng.normal(0, 0.05)
+    for i in range(n):
+        if rng.random() < 4.0 / n:
+            slope = rng.normal(0, 0.05)
+        value += slope
+        series[i] = value
+    return series + 0.1 * rng.normal(size=n)
+
+
+def ocean(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Swell: a few superposed smooth waves."""
+    t = _t(n)
+    series = np.zeros(n)
+    for _ in range(3):
+        period = n / rng.uniform(3, 20)
+        series += rng.uniform(0.3, 1.0) * np.sin(
+            2 * np.pi * t / period + rng.uniform(0, 2 * np.pi)
+        )
+    return series + 0.05 * rng.normal(size=n)
+
+
+def tide(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Tides: semidiurnal + diurnal constituents."""
+    t = _t(n)
+    semi = n / rng.uniform(10, 14)
+    return (
+        np.sin(2 * np.pi * t / semi)
+        + 0.5 * np.sin(2 * np.pi * t / (semi * 2.1) + rng.uniform(0, 6))
+        + 0.05 * rng.normal(size=n)
+    )
+
+
+def cstr(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Reactor: first-order lag chasing random step setpoints."""
+    series = np.empty(n)
+    state = 0.0
+    target = rng.normal(0, 1)
+    tau = rng.uniform(0.02, 0.1)
+    for i in range(n):
+        if rng.random() < 3.0 / n:
+            target = rng.normal(0, 1)
+        state += tau * (target - state)
+        series[i] = state
+    return series + 0.03 * rng.normal(size=n)
+
+
+def winding(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Industrial winding: oscillatory AR(2) process."""
+    a1, a2 = 1.6, -0.7
+    series = np.zeros(n)
+    for i in range(2, n):
+        series[i] = a1 * series[i - 1] + a2 * series[i - 2] + rng.normal(0, 0.2)
+    return series
+
+
+def dryer2(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Hair dryer benchmark: lagged response to a binary input."""
+    series = np.zeros(n)
+    state = 0.0
+    inp = 0.0
+    for i in range(n):
+        if rng.random() < 8.0 / n:
+            inp = rng.choice([0.0, 1.0])
+        state += 0.15 * (inp - state)
+        series[i] = state + 0.05 * rng.normal()
+    return series
+
+
+def ph_data(n: int, rng: np.random.Generator) -> np.ndarray:
+    """pH: plateaus with dosing steps and slow drift."""
+    series = np.empty(n)
+    level = 7.0
+    for i in range(n):
+        if rng.random() < 5.0 / n:
+            level += rng.choice([-1.0, 1.0]) * rng.uniform(0.5, 1.5)
+        level += rng.normal(0, 0.01)
+        series[i] = level
+    return series + 0.05 * rng.normal(size=n)
+
+
+def power_plant(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Plant output: daily cycle, weekly cycle, slow ramp."""
+    t = _t(n)
+    day = n / rng.uniform(6, 10)
+    return (
+        np.sin(2 * np.pi * t / day)
+        + 0.3 * np.sin(2 * np.pi * t / (day * 7) + rng.uniform(0, 6))
+        + 0.2 * t / n * rng.uniform(-1, 1)
+        + 0.1 * rng.normal(size=n)
+    )
+
+
+def balleam(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Ball-and-beam: damped oscillations after random kicks."""
+    series = np.zeros(n)
+    pos, vel = 0.0, 0.0
+    for i in range(n):
+        if rng.random() < 6.0 / n:
+            vel += rng.normal(0, 1.5)
+        acc = -0.05 * pos - 0.08 * vel
+        vel += acc
+        pos += vel
+        series[i] = pos
+    return series + 0.02 * rng.normal(size=n)
+
+
+def standard_poor(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Equity index: geometric Brownian motion (log price)."""
+    returns = rng.normal(0.0003, 0.01, size=n)
+    return np.cumsum(returns) * 30.0
+
+
+def soil_temp(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Soil temperature: seasonal wave with damped daily ripple."""
+    t = _t(n)
+    return (
+        np.sin(2 * np.pi * t / n * rng.uniform(1, 2))
+        + 0.2 * np.sin(2 * np.pi * t / (n / 30.0))
+        + 0.05 * rng.normal(size=n)
+    )
+
+
+def wool(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Commodity prices: drifting walk with yearly seasonality."""
+    t = _t(n)
+    walk = np.cumsum(rng.normal(0, 0.2, size=n))
+    return walk + 1.5 * np.sin(2 * np.pi * t / (n / rng.uniform(2, 5)))
+
+
+def infrasound(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Infrasound: quiet background with oscillatory wave packets."""
+    t = _t(n)
+    series = 0.05 * rng.normal(size=n)
+    for _ in range(int(rng.integers(2, 5))):
+        centre = rng.uniform(0.1, 0.9) * n
+        width = rng.uniform(0.02, 0.08) * n
+        envelope = np.exp(-0.5 * ((t - centre) / width) ** 2)
+        series += envelope * np.sin(2 * np.pi * t / rng.uniform(4, 10))
+    return series
+
+
+def eeg(n: int, rng: np.random.Generator) -> np.ndarray:
+    """EEG: broadband AR(1)-coloured noise."""
+    series = np.zeros(n)
+    for i in range(1, n):
+        series[i] = 0.92 * series[i - 1] + rng.normal(0, 0.4)
+    return series
+
+
+def koski_eeg(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Koski EEG: rhythmic alpha-like oscillation, wandering amplitude."""
+    t = _t(n)
+    period = rng.uniform(8, 14)
+    amp = 1.0 + 0.5 * np.sin(2 * np.pi * t / (n / 3.0) + rng.uniform(0, 6))
+    return amp * np.sin(2 * np.pi * t / period) + 0.2 * rng.normal(size=n)
+
+
+def buoy_sensor(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Buoy: seasonal signal over a drifting baseline with spikes."""
+    t = _t(n)
+    base = np.cumsum(rng.normal(0, 0.05, size=n))
+    series = base + np.sin(2 * np.pi * t / (n / rng.uniform(3, 6)))
+    spikes = rng.random(n) < 3.0 / n
+    series[spikes] += rng.normal(0, 3, size=int(spikes.sum()))
+    return series
+
+
+def burst(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Burst: near-silence broken by short high-energy events."""
+    series = 0.05 * rng.normal(size=n)
+    for _ in range(int(rng.integers(2, 6))):
+        start = int(rng.integers(0, max(1, n - n // 10)))
+        length = int(rng.integers(n // 50 + 1, n // 10 + 2))
+        series[start : start + length] += rng.normal(0, 2.0, size=min(length, n - start))
+    return series
+
+
+def random_walk(n: int, rng: np.random.Generator) -> np.ndarray:
+    """The most-studied indexing benchmark: a standard random walk."""
+    return np.cumsum(rng.normal(size=n))
+
+
+#: Paper's Figure 6 dataset numbering (1-24) to generator.
+GENERATORS: dict[str, Generator] = {
+    "Sunspot": sunspot,
+    "Power": power,
+    "Spot_Exrates": spot_exrates,
+    "Shuttle": shuttle,
+    "Water": water,
+    "Chaotic": chaotic,
+    "Streamgen": streamgen,
+    "Ocean": ocean,
+    "Tide": tide,
+    "CSTR": cstr,
+    "Winding": winding,
+    "Dryer2": dryer2,
+    "Ph_Data": ph_data,
+    "Power_Plant": power_plant,
+    "Balleam": balleam,
+    "Standard_Poor": standard_poor,
+    "Soil_Temp": soil_temp,
+    "Wool": wool,
+    "Infrasound": infrasound,
+    "EEG": eeg,
+    "Koski_EEG": koski_eeg,
+    "Buoy_Sensor": buoy_sensor,
+    "Burst": burst,
+    "Random_Walk": random_walk,
+}
+
+
+def dataset_names() -> list[str]:
+    """The 24 dataset names in the paper's Figure 6 order."""
+    return list(GENERATORS)
+
+
+def make_dataset(
+    name: str, count: int, length: int, *, seed: int = 0
+) -> np.ndarray:
+    """Generate ``count`` series of ``length`` from the named family.
+
+    Deterministic per ``(name, count, length, seed)``.
+    """
+    if name not in GENERATORS:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {dataset_names()}"
+        )
+    if count < 1 or length < 1:
+        raise ValueError("count and length must be >= 1")
+    # zlib.crc32 is stable across processes (str hash() is salted).
+    mixed = (zlib.crc32(name.encode()) ^ (seed * 0x9E3779B9)) & 0xFFFFFFFFFFFF
+    rng = np.random.default_rng(mixed)
+    gen = GENERATORS[name]
+    return np.vstack([gen(length, rng) for _ in range(count)])
+
+
+def random_walks(count: int, length: int, *, seed: int = 0) -> np.ndarray:
+    """Batch of random-walk series (Figures 7 and 10)."""
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.normal(size=(count, length)), axis=1)

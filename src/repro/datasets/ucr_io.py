@@ -1,0 +1,120 @@
+"""UCR time-series archive file format.
+
+Figure 6 runs on datasets from the UCR Time Series Data Mining Archive
+(Keogh & Folias 2002).  The archive itself cannot be bundled, but this
+module reads and writes its classic on-disk format — one series per
+line, optional class label first, whitespace- or comma-separated — so
+a user who has the archive can run the benchmarks on the real data by
+pointing the generators at their files.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["read_ucr_file", "write_ucr_file", "load_ucr_directory"]
+
+
+def read_ucr_file(
+    path: str | os.PathLike, *, has_labels: bool = True
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Read a UCR-format file.
+
+    Parameters
+    ----------
+    path:
+        File with one series per line; fields separated by commas or
+        whitespace.
+    has_labels:
+        Whether the first field of each line is a class label.
+
+    Returns
+    -------
+    (data, labels)
+        ``data`` has shape ``(m, n)``; ``labels`` is a float array of
+        length ``m`` or ``None`` when *has_labels* is false.
+
+    Raises
+    ------
+    ValueError
+        On ragged rows, non-numeric fields, or empty files.
+    """
+    rows: list[list[float]] = []
+    labels: list[float] = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.replace(",", " ").split()
+            try:
+                values = [float(field) for field in fields]
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}: non-numeric field on line {line_no}"
+                ) from exc
+            if has_labels:
+                if len(values) < 2:
+                    raise ValueError(
+                        f"{path}: line {line_no} has a label but no samples"
+                    )
+                labels.append(values[0])
+                values = values[1:]
+            rows.append(values)
+    if not rows:
+        raise ValueError(f"{path}: no series found")
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise ValueError(f"{path}: ragged rows (expected width {width})")
+    data = np.asarray(rows, dtype=np.float64)
+    return data, (np.asarray(labels) if has_labels else None)
+
+
+def write_ucr_file(
+    path: str | os.PathLike,
+    data,
+    labels=None,
+    *,
+    delimiter: str = ",",
+) -> None:
+    """Write series (and optional labels) in UCR format."""
+    matrix = np.asarray(data, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {matrix.shape}")
+    if labels is not None:
+        labels = np.asarray(labels, dtype=np.float64)
+        if labels.shape != (matrix.shape[0],):
+            raise ValueError(
+                f"need one label per series: {labels.shape} vs "
+                f"{matrix.shape[0]} series"
+            )
+    with open(path, "w") as handle:
+        for row_index in range(matrix.shape[0]):
+            fields = []
+            if labels is not None:
+                fields.append(f"{labels[row_index]:g}")
+            fields.extend(f"{value:.10g}" for value in matrix[row_index])
+            handle.write(delimiter.join(fields) + "\n")
+
+
+def load_ucr_directory(
+    directory: str | os.PathLike, *, has_labels: bool = True
+) -> dict[str, np.ndarray]:
+    """Load every UCR-format file of a directory, keyed by stem.
+
+    Convenient for re-running Figure 6 on a local copy of the archive:
+    each file becomes one named dataset.
+    """
+    datasets: dict[str, np.ndarray] = {}
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        if not os.path.isfile(path):
+            continue
+        stem = os.path.splitext(name)[0]
+        data, _ = read_ucr_file(path, has_labels=has_labels)
+        datasets[stem] = data
+    if not datasets:
+        raise ValueError(f"no dataset files found in {directory}")
+    return datasets

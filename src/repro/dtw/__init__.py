@@ -1,0 +1,32 @@
+"""Dynamic Time Warping distances and warping paths."""
+
+from .distance import (
+    dtw_distance,
+    ldtw_distance,
+    ldtw_distance_batch,
+    utw_distance,
+    warping_distance,
+)
+from .multivariate import (
+    lb_keogh_multivariate,
+    lb_paa_multivariate,
+    mdtw_distance,
+    multivariate_envelope,
+)
+from .path import cost_matrix, is_valid_path, path_cost, warping_path
+
+__all__ = [
+    "dtw_distance",
+    "ldtw_distance",
+    "ldtw_distance_batch",
+    "utw_distance",
+    "warping_distance",
+    "lb_keogh_multivariate",
+    "lb_paa_multivariate",
+    "mdtw_distance",
+    "multivariate_envelope",
+    "cost_matrix",
+    "is_valid_path",
+    "path_cost",
+    "warping_path",
+]

@@ -1,0 +1,113 @@
+"""Warping paths: recovery, validation, and cost (Section 4).
+
+A warping path aligns two series cell by cell through the DP grid.
+:func:`warping_path` recovers an optimal path by backtracking through
+the full cost matrix (use it for analysis and visualisation — the
+distance functions in :mod:`repro.dtw.distance` avoid materialising the
+matrix).  :func:`is_valid_path` checks the paper's monotonicity,
+continuity, boundary, and band constraints.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.series import as_series
+
+__all__ = ["cost_matrix", "warping_path", "is_valid_path", "path_cost"]
+
+
+def cost_matrix(x, y, k: int | None = None) -> np.ndarray:
+    """Accumulated squared-cost DTW matrix (``inf`` outside the band).
+
+    Entry ``(i, j)`` is the minimal accumulated squared cost of any
+    admissible path from ``(0, 0)`` to ``(i, j)``.
+    """
+    xa = as_series(x)
+    ya = as_series(y)
+    n, m = xa.size, ya.size
+    band = max(n, m) if k is None else k
+    if band < 0:
+        raise ValueError(f"band half-width must be >= 0, got {band}")
+    acc = np.full((n, m), math.inf)
+    for i in range(n):
+        lo = max(0, i - band)
+        hi = min(m - 1, i + band)
+        for j in range(lo, hi + 1):
+            cost = (xa[i] - ya[j]) ** 2
+            if i == 0 and j == 0:
+                acc[i, j] = cost
+                continue
+            best = math.inf
+            if i > 0:
+                best = min(best, acc[i - 1, j])
+                if j > 0:
+                    best = min(best, acc[i - 1, j - 1])
+            if j > 0:
+                best = min(best, acc[i, j - 1])
+            if best != math.inf:
+                acc[i, j] = best + cost
+    return acc
+
+
+def warping_path(x, y, k: int | None = None) -> list[tuple[int, int]]:
+    """An optimal warping path from ``(0, 0)`` to ``(n-1, m-1)``.
+
+    Returns the list of aligned index pairs.  Raises ``ValueError``
+    when the band admits no path (lengths differ by more than ``k``).
+    """
+    acc = cost_matrix(x, y, k)
+    n, m = acc.shape
+    if not math.isfinite(acc[n - 1, m - 1]):
+        raise ValueError("no admissible warping path within the band")
+    path = [(n - 1, m - 1)]
+    i, j = n - 1, m - 1
+    while (i, j) != (0, 0):
+        candidates = []
+        if i > 0 and j > 0:
+            candidates.append((acc[i - 1, j - 1], (i - 1, j - 1)))
+        if i > 0:
+            candidates.append((acc[i - 1, j], (i - 1, j)))
+        if j > 0:
+            candidates.append((acc[i, j - 1], (i, j - 1)))
+        _, (i, j) = min(candidates, key=lambda item: item[0])
+        path.append((i, j))
+    path.reverse()
+    return path
+
+
+def is_valid_path(
+    path: list[tuple[int, int]], n: int, m: int, k: int | None = None
+) -> bool:
+    """Check a path against the paper's constraints.
+
+    Boundary (starts at ``(0, 0)``, ends at ``(n-1, m-1)``),
+    monotonicity and continuity (steps advance each axis by 0 or 1,
+    and at least one axis by 1), and — if ``k`` is given — the band
+    constraint ``|i - j| <= k`` at every cell.
+    """
+    if not path:
+        return False
+    if path[0] != (0, 0) or path[-1] != (n - 1, m - 1):
+        return False
+    for (i0, j0), (i1, j1) in zip(path, path[1:]):
+        di, dj = i1 - i0, j1 - j0
+        if di < 0 or dj < 0:          # monotonic
+            return False
+        if di > 1 or dj > 1:          # continuous
+            return False
+        if di == 0 and dj == 0:       # must advance
+            return False
+    if k is not None and any(abs(i - j) > k for i, j in path):
+        return False
+    return all(0 <= i < n and 0 <= j < m for i, j in path)
+
+
+def path_cost(x, y, path: list[tuple[int, int]]) -> float:
+    """Euclidean cost of a specific alignment (sqrt of summed squares)."""
+    xa = as_series(x)
+    ya = as_series(y)
+    total = sum((xa[i] - ya[j]) ** 2 for i, j in path)
+    return math.sqrt(total)

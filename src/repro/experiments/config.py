@@ -1,0 +1,101 @@
+"""Workload configuration for the paper's experiments.
+
+Every experiment function in :mod:`repro.experiments` takes an
+:class:`ExperimentScale`; three presets are provided:
+
+* :data:`PAPER` — the sizes reported in the paper (35,000-melody music
+  database, 50,000 random walks, 500 pairs per point, ...);
+* :data:`REDUCED` — the default for the benchmark suite, sized to run
+  in minutes;
+* :data:`SMOKE` — seconds-scale, for tests.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "PAPER", "REDUCED", "SMOKE", "active_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Workload sizes for the experiment suite.
+
+    Attributes mirror the knobs of the paper's evaluation section; see
+    each experiment module for which attributes it reads.
+    """
+
+    name: str
+    table_queries: int          # hum queries per singer group (paper: 20)
+    corpus_songs: int           # songs in the quality corpus (paper: 50)
+    corpus_per_song: int        # melodies per song (paper: 20)
+    fig6_series: int            # series per dataset (paper: 50)
+    fig7_pairs: int             # pairs per warping width (paper: 500)
+    fig8_queries: int           # queries per (delta, threshold) point
+    fig9_db: int                # music database size (paper: 35,000)
+    fig10_db: int               # random-walk database size (paper: 50,000)
+    sweep_deltas: tuple         # warping widths for Figures 8-10
+
+    def __post_init__(self) -> None:
+        for field_name in ("table_queries", "corpus_songs", "corpus_per_song",
+                           "fig6_series", "fig7_pairs", "fig8_queries",
+                           "fig9_db", "fig10_db"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+        if not self.sweep_deltas:
+            raise ValueError("sweep_deltas must not be empty")
+
+
+PAPER = ExperimentScale(
+    name="paper",
+    table_queries=20,
+    corpus_songs=50,
+    corpus_per_song=20,
+    fig6_series=50,
+    fig7_pairs=500,
+    fig8_queries=20,
+    fig9_db=35000,
+    fig10_db=50000,
+    sweep_deltas=(0.02, 0.04, 0.06, 0.08, 0.1, 0.12, 0.14, 0.16, 0.18, 0.2),
+)
+
+REDUCED = ExperimentScale(
+    name="reduced",
+    table_queries=20,
+    corpus_songs=50,
+    corpus_per_song=20,
+    fig6_series=16,
+    fig7_pairs=60,
+    fig8_queries=8,
+    fig9_db=4000,
+    fig10_db=5000,
+    sweep_deltas=(0.02, 0.06, 0.1, 0.14, 0.2),
+)
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    table_queries=3,
+    corpus_songs=5,
+    corpus_per_song=6,
+    fig6_series=4,
+    fig7_pairs=5,
+    fig8_queries=2,
+    fig9_db=200,
+    fig10_db=200,
+    sweep_deltas=(0.05, 0.2),
+)
+
+
+def active_scale() -> ExperimentScale:
+    """The scale selected by the ``REPRO_SCALE`` environment variable.
+
+    ``full``/``paper`` → :data:`PAPER`; ``smoke`` → :data:`SMOKE`;
+    anything else (including unset) → :data:`REDUCED`.
+    """
+    value = os.environ.get("REPRO_SCALE", "").lower()
+    if value in ("full", "paper"):
+        return PAPER
+    if value == "smoke":
+        return SMOKE
+    return REDUCED

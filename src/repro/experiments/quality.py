@@ -1,0 +1,85 @@
+"""Retrieval-quality experiments: Tables 2 and 3.
+
+Table 2 compares the time-series (DTW) approach against the contour
+baseline on better-singer queries, both fed by the same audio →
+pitch-tracking front end.  Table 3 sweeps the warping width with
+poor-singer queries.  See EXPERIMENTS.md for paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hum.pitch_tracking import track_pitch
+from ..hum.segmentation import segment_notes
+from ..hum.singer import SingerProfile, hum_melody
+from ..hum.synthesis import synthesize_pitch_series
+from ..music.contour import ContourIndex, contour_string
+from ..music.corpus import generate_corpus, segment_corpus
+from ..qbh.evaluation import RankTable
+from ..qbh.system import QueryByHummingSystem
+from .config import ExperimentScale
+
+__all__ = ["build_quality_corpus", "run_table2", "run_table3", "TABLE3_DELTAS"]
+
+TABLE3_DELTAS = (0.05, 0.1, 0.2)
+
+
+def build_quality_corpus(scale: ExperimentScale, *, seed: int = 1):
+    """The melody database of the quality experiments (paper: 1000)."""
+    return segment_corpus(
+        generate_corpus(scale.corpus_songs, seed=seed),
+        per_song=scale.corpus_per_song,
+        seed=seed,
+    )
+
+
+def run_table2(scale: ExperimentScale, *, seed: int = 42) -> tuple[RankTable, RankTable]:
+    """Table 2: ranks under the time-series vs contour approaches.
+
+    Returns ``(time_series_table, contour_table)``.
+    """
+    melodies = build_quality_corpus(scale)
+    system = QueryByHummingSystem(melodies, delta=0.1, normal_length=128)
+    contour_index = ContourIndex(melodies, levels=3)
+
+    rng = np.random.default_rng(seed)
+    profile = SingerProfile.better()
+    ts_table = RankTable(name="Time series")
+    ct_table = RankTable(name="Contour")
+    targets = rng.choice(len(melodies), size=scale.table_queries, replace=False)
+    for target in targets:
+        sung = hum_melody(melodies[int(target)], profile, rng)
+        # Microphone round trip shared by both approaches.
+        wave = synthesize_pitch_series(sung, rng=rng)
+        track = track_pitch(wave)
+        ts_table.add(system.rank_of(track.pitch_series(), int(target)))
+        # Contour pipeline: error-prone note segmentation on top.
+        try:
+            segmented = segment_notes(track.pitches)
+            query_contour = contour_string(segmented)
+            ct_rank = contour_index.rank_of(query_contour, int(target))
+        except ValueError:
+            ct_rank = len(melodies)  # transcription failed entirely
+        ct_table.add(ct_rank)
+    return ts_table, ct_table
+
+
+def run_table3(scale: ExperimentScale, *, seed: int = 7) -> list[RankTable]:
+    """Table 3: poor-singer ranks at each warping width."""
+    melodies = build_quality_corpus(scale)
+    systems = {
+        delta: QueryByHummingSystem(melodies, delta=delta, normal_length=128)
+        for delta in TABLE3_DELTAS
+    }
+    rng = np.random.default_rng(seed)
+    profile = SingerProfile.poor()
+    targets = rng.choice(len(melodies), size=scale.table_queries, replace=False)
+    hums = [(int(t), hum_melody(melodies[int(t)], profile, rng)) for t in targets]
+    tables = []
+    for delta in TABLE3_DELTAS:
+        table = RankTable(name=f"delta={delta}")
+        for target, hum in hums:
+            table.add(systems[delta].rank_of(hum, target))
+        tables.append(table)
+    return tables

@@ -1,0 +1,41 @@
+"""Formatting for experiment results (aligned text tables)."""
+
+from __future__ import annotations
+
+__all__ = ["format_series"]
+
+
+def format_series(title: str, columns: dict) -> str:
+    """Aligned columnar rendering of an experiment's output rows.
+
+    *columns* maps column name to an equal-length list of cell values;
+    numbers are rendered with ``%g``.
+    """
+    if not columns:
+        raise ValueError("need at least one column")
+    keys = list(columns)
+    lengths = {len(columns[k]) for k in keys}
+    if len(lengths) != 1:
+        raise ValueError(f"columns have unequal lengths: {sorted(lengths)}")
+
+    def render(value) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, (int, float)):
+            return f"{value:g}"
+        return str(value)
+
+    widths = [
+        max(len(k), max((len(render(v)) for v in columns[k]), default=0))
+        for k in keys
+    ]
+    lines = [f"=== {title} ==="] if title else []
+    lines.append("  ".join(k.ljust(w) for k, w in zip(keys, widths)))
+    (n_rows,) = lengths
+    for row in range(n_rows):
+        lines.append(
+            "  ".join(
+                render(columns[k][row]).ljust(w) for k, w in zip(keys, widths)
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Lower-bound-tightness experiments: Figures 6 and 7.
+
+Both compute the paper's metric ``T = lower bound / true DTW`` —
+Figure 6 across the 24 heterogeneous dataset families at one warping
+width, Figure 7 across warping widths on random walks with the wider
+transform line-up (LB, New_PAA, Keogh_PAA, SVD, DFT).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.envelope import k_envelope, warping_width_to_k
+from ..core.envelope_transforms import (
+    EnvelopeTransform,
+    KeoghPAAEnvelopeTransform,
+    NewPAAEnvelopeTransform,
+    SignSplitEnvelopeTransform,
+)
+from ..core.lower_bounds import lb_envelope_transform, tightness
+from ..core.transforms import DFTTransform, IdentityTransform, SVDTransform
+from ..datasets.generators import dataset_names, make_dataset, random_walks
+from ..dtw.distance import ldtw_distance
+from .config import ExperimentScale
+
+__all__ = ["mean_pairwise_tightness", "run_fig6", "run_fig7",
+           "FIG6_LENGTH", "FIG6_DIMS", "FIG7_WIDTHS"]
+
+FIG6_LENGTH = 256
+FIG6_DIMS = 4
+FIG6_DELTA = 0.1
+FIG7_WIDTHS = (0.0, 0.02, 0.04, 0.06, 0.08, 0.1)
+FIG7_METHODS = ("LB", "New_PAA", "Keogh_PAA", "SVD", "DFT")
+
+
+def mean_pairwise_tightness(
+    data: np.ndarray,
+    env_transforms: dict[str, EnvelopeTransform],
+    k: int,
+) -> dict[str, float]:
+    """Average tightness per method over all ordered pairs of rows."""
+    count = data.shape[0]
+    envelopes = [k_envelope(data[i], k) for i in range(count)]
+    feature_envs = {
+        name: [t.reduce(env) for env in envelopes]
+        for name, t in env_transforms.items()
+    }
+    features = {
+        name: [t.transform_series(data[i]) for i in range(count)]
+        for name, t in env_transforms.items()
+    }
+    totals = {name: 0.0 for name in env_transforms}
+    pairs = 0
+    for i in range(count):
+        for j in range(count):
+            if i == j:
+                continue
+            true_dtw = ldtw_distance(data[i], data[j], k)
+            if true_dtw == 0.0:
+                continue
+            pairs += 1
+            for name in env_transforms:
+                lb = lb_envelope_transform(
+                    env_transforms[name],
+                    None,
+                    feature_envelope=feature_envs[name][j],
+                    query_features=features[name][i],
+                )
+                totals[name] += tightness(lb, true_dtw)
+    return {name: totals[name] / max(pairs, 1) for name in env_transforms}
+
+
+def run_fig6(scale: ExperimentScale, *, seed: int = 0) -> dict:
+    """Figure 6: mean T per dataset for LB / New_PAA / Keogh_PAA."""
+    k = warping_width_to_k(FIG6_DELTA, FIG6_LENGTH)
+    env_transforms = {
+        "LB": SignSplitEnvelopeTransform(IdentityTransform(FIG6_LENGTH)),
+        "New_PAA": NewPAAEnvelopeTransform(FIG6_LENGTH, FIG6_DIMS),
+        "Keogh_PAA": KeoghPAAEnvelopeTransform(FIG6_LENGTH, FIG6_DIMS),
+    }
+    rows = {"dataset": [], "LB": [], "New_PAA": [], "Keogh_PAA": []}
+    for number, name in enumerate(dataset_names(), start=1):
+        data = make_dataset(name, scale.fig6_series, FIG6_LENGTH, seed=seed)
+        data = data - data.mean(axis=1, keepdims=True)
+        result = mean_pairwise_tightness(data, env_transforms, k)
+        rows["dataset"].append(f"{number}.{name}")
+        for method in ("LB", "New_PAA", "Keogh_PAA"):
+            rows[method].append(round(result[method], 3))
+    return rows
+
+
+def run_fig7(scale: ExperimentScale, *, seed: int = 11) -> dict:
+    """Figure 7: mean T vs warping width on random walks."""
+    pairs = scale.fig7_pairs
+    data = random_walks(2 * pairs + 200, FIG6_LENGTH, seed=seed)
+    data = data - data.mean(axis=1, keepdims=True)
+    train, pool = data[:200], data[200:]
+    env_transforms = {
+        "LB": SignSplitEnvelopeTransform(IdentityTransform(FIG6_LENGTH)),
+        "New_PAA": NewPAAEnvelopeTransform(FIG6_LENGTH, FIG6_DIMS),
+        "Keogh_PAA": KeoghPAAEnvelopeTransform(FIG6_LENGTH, FIG6_DIMS),
+        "SVD": SignSplitEnvelopeTransform(
+            SVDTransform.fit(train, FIG6_DIMS), name="SVD"
+        ),
+        "DFT": SignSplitEnvelopeTransform(
+            DFTTransform(FIG6_LENGTH, FIG6_DIMS), name="DFT"
+        ),
+    }
+    rows: dict = {"width": list(FIG7_WIDTHS)}
+    rows.update({m: [] for m in FIG7_METHODS})
+    for width in FIG7_WIDTHS:
+        k = warping_width_to_k(width, FIG6_LENGTH)
+        totals = {m: 0.0 for m in FIG7_METHODS}
+        counted = 0
+        for p in range(pairs):
+            x, y = pool[2 * p], pool[2 * p + 1]
+            true_dtw = ldtw_distance(x, y, k)
+            if true_dtw == 0.0:
+                continue
+            counted += 1
+            env = k_envelope(y, k)
+            for m in FIG7_METHODS:
+                lb = lb_envelope_transform(env_transforms[m], x, envelope=env)
+                totals[m] += tightness(lb, true_dtw)
+        for m in FIG7_METHODS:
+            rows[m].append(round(totals[m] / max(counted, 1), 3))
+    return rows

@@ -1,0 +1,24 @@
+"""Humming substrate: singer models, audio synthesis, pitch tracking."""
+
+from .noise import add_noise, babble_noise, mains_hum, snr_db, white_noise
+from .online import OnlinePitchTracker
+from .pitch_tracking import PitchTrack, track_pitch
+from .segmentation import segment_notes
+from .singer import SingerProfile, hum_melody
+from .synthesis import synthesize_melody, synthesize_pitch_series
+
+__all__ = [
+    "add_noise",
+    "babble_noise",
+    "mains_hum",
+    "snr_db",
+    "white_noise",
+    "OnlinePitchTracker",
+    "PitchTrack",
+    "track_pitch",
+    "segment_notes",
+    "SingerProfile",
+    "hum_melody",
+    "synthesize_melody",
+    "synthesize_pitch_series",
+]

@@ -1,0 +1,86 @@
+"""Acoustic noise models for robustness testing.
+
+Real hum queries arrive with room tone, mains hum, and background
+chatter.  These generators produce the classic contaminations at a
+chosen signal-to-noise ratio so the pitch tracker and the end-to-end
+system can be tested against realistic microphone conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["white_noise", "mains_hum", "babble_noise", "add_noise", "snr_db"]
+
+
+def white_noise(n_samples: int, rng: np.random.Generator) -> np.ndarray:
+    """Flat-spectrum room tone (unit RMS)."""
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    return rng.normal(0.0, 1.0, size=n_samples)
+
+
+def mains_hum(n_samples: int, *, sample_rate: int = 8000,
+              frequency: float = 50.0) -> np.ndarray:
+    """Mains interference: the fundamental plus odd harmonics (unit RMS)."""
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    t = np.arange(n_samples) / sample_rate
+    wave = (
+        np.sin(2 * np.pi * frequency * t)
+        + 0.5 * np.sin(2 * np.pi * 3 * frequency * t)
+        + 0.25 * np.sin(2 * np.pi * 5 * frequency * t)
+    )
+    return wave / np.sqrt(np.mean(wave**2))
+
+
+def babble_noise(n_samples: int, rng: np.random.Generator, *,
+                 sample_rate: int = 8000, n_voices: int = 6) -> np.ndarray:
+    """Background-chatter surrogate: several wandering tonal voices.
+
+    Not speech, but spectrally voice-like — pitched energy moving
+    through the tracker's search band, the hardest kind of noise for
+    an autocorrelation pitch detector.  Unit RMS.
+    """
+    if n_samples < 1 or n_voices < 1:
+        raise ValueError("n_samples and n_voices must be >= 1")
+    t = np.arange(n_samples) / sample_rate
+    wave = np.zeros(n_samples)
+    for _ in range(n_voices):
+        base = rng.uniform(100, 300)
+        wobble = 20 * np.sin(2 * np.pi * rng.uniform(0.2, 1.5) * t
+                             + rng.uniform(0, 6))
+        envelope = 0.5 + 0.5 * np.sin(2 * np.pi * rng.uniform(0.3, 2.0) * t
+                                      + rng.uniform(0, 6))
+        phase = 2 * np.pi * np.cumsum(base + wobble) / sample_rate
+        wave += envelope * np.sin(phase)
+    return wave / np.sqrt(np.mean(wave**2))
+
+
+def add_noise(signal, noise, *, snr_db_target: float) -> np.ndarray:
+    """Mix *noise* into *signal* at the requested SNR (dB).
+
+    The noise is rescaled so that ``10 log10(P_signal / P_noise)``
+    equals *snr_db_target*; the signal is untouched.
+    """
+    sig = np.asarray(signal, dtype=np.float64)
+    noi = np.asarray(noise, dtype=np.float64)
+    if sig.shape != noi.shape:
+        raise ValueError(
+            f"signal and noise shapes differ: {sig.shape} vs {noi.shape}"
+        )
+    p_signal = float(np.mean(sig**2))
+    p_noise = float(np.mean(noi**2))
+    if p_signal <= 0 or p_noise <= 0:
+        raise ValueError("signal and noise must have positive power")
+    scale = np.sqrt(p_signal / (p_noise * 10 ** (snr_db_target / 10.0)))
+    return sig + scale * noi
+
+
+def snr_db(signal, noise) -> float:
+    """Measured signal-to-noise ratio in dB."""
+    p_signal = float(np.mean(np.asarray(signal, dtype=np.float64) ** 2))
+    p_noise = float(np.mean(np.asarray(noise, dtype=np.float64) ** 2))
+    if p_signal <= 0 or p_noise <= 0:
+        raise ValueError("signal and noise must have positive power")
+    return 10.0 * np.log10(p_signal / p_noise)

@@ -1,0 +1,121 @@
+"""Streaming pitch tracking.
+
+The offline tracker (:func:`repro.hum.pitch_tracking.track_pitch`)
+needs the whole recording; a live query-by-humming frontend gets audio
+in small buffers.  :class:`OnlinePitchTracker` accepts arbitrary-sized
+chunks via :meth:`feed` and emits pitch frames as soon as their
+analysis windows complete, with exactly the same per-frame results as
+the offline tracker (modulo the offline median filter, which needs
+future frames; a causal variant is applied instead).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..music.melody import hz_to_midi
+from .pitch_tracking import _frame_pitch_hz
+
+__all__ = ["OnlinePitchTracker"]
+
+
+class OnlinePitchTracker:
+    """Incremental pitch tracker over streamed audio.
+
+    Parameters match :func:`~repro.hum.pitch_tracking.track_pitch`;
+    ``median_width`` here is a *causal* running median over the last
+    frames (an online filter cannot see the future).
+
+    Usage::
+
+        tracker = OnlinePitchTracker()
+        for chunk in microphone():
+            for pitch in tracker.feed(chunk):
+                ...  # MIDI pitch or NaN, one per 10 ms frame
+        pitches = tracker.pitch_series()
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_rate: int = 8000,
+        frame_ms: float = 10.0,
+        window_ms: float = 32.0,
+        fmin: float = 80.0,
+        fmax: float = 700.0,
+        energy_threshold: float = 0.01,
+        periodicity_threshold: float = 0.5,
+        median_width: int = 5,
+    ) -> None:
+        if not 0 < fmin < fmax:
+            raise ValueError("need 0 < fmin < fmax")
+        if median_width < 1:
+            raise ValueError("median width must be >= 1")
+        self.sample_rate = sample_rate
+        self.hop = max(1, int(round(sample_rate * frame_ms / 1000.0)))
+        self.window = max(self.hop, int(round(sample_rate * window_ms / 1000.0)))
+        self._lag_min = max(1, int(sample_rate / fmax))
+        self._lag_max = int(np.ceil(sample_rate / fmin))
+        self._fmin = fmin
+        self._fmax = fmax
+        self._energy_threshold = energy_threshold
+        self._periodicity_threshold = periodicity_threshold
+        self._median_width = median_width
+        self._buffer = np.zeros(0)
+        self._recent_voiced: deque[float] = deque(maxlen=median_width)
+        self._history: list[float] = []
+
+    @property
+    def frames_emitted(self) -> int:
+        return len(self._history)
+
+    def feed(self, samples) -> list[float]:
+        """Consume an audio chunk; return newly completed pitch frames.
+
+        Each returned value is a MIDI pitch or ``NaN`` (unvoiced), in
+        frame order.  Chunks may be any size, including empty.
+        """
+        chunk = np.asarray(samples, dtype=np.float64)
+        if chunk.ndim != 1:
+            raise ValueError("audio chunks must be 1-D")
+        self._buffer = np.concatenate([self._buffer, chunk])
+        emitted: list[float] = []
+        while self._buffer.size >= self.window:
+            frame = self._buffer[: self.window]
+            emitted.append(self._analyse(frame))
+            self._buffer = self._buffer[self.hop :]
+        self._history.extend(emitted)
+        return emitted
+
+    def _analyse(self, frame: np.ndarray) -> float:
+        rms = float(np.sqrt(np.mean(frame * frame)))
+        if rms < self._energy_threshold:
+            return float("nan")
+        freq = _frame_pitch_hz(
+            frame, self.sample_rate, self._lag_min, self._lag_max,
+            self._periodicity_threshold,
+        )
+        if np.isnan(freq) or not self._fmin * 0.9 <= freq <= self._fmax * 1.1:
+            return float("nan")
+        pitch = hz_to_midi(freq)
+        if self._median_width > 1:
+            self._recent_voiced.append(pitch)
+            return float(np.median(self._recent_voiced))
+        return float(pitch)
+
+    def pitch_series(self) -> np.ndarray:
+        """All voiced frames emitted so far (the query-ready series)."""
+        arr = np.asarray(self._history, dtype=np.float64)
+        return arr[np.isfinite(arr)]
+
+    def pitches(self) -> np.ndarray:
+        """All frames emitted so far, NaN where unvoiced."""
+        return np.asarray(self._history, dtype=np.float64)
+
+    def reset(self) -> None:
+        """Forget all buffered audio and emitted frames."""
+        self._buffer = np.zeros(0)
+        self._recent_voiced.clear()
+        self._history.clear()

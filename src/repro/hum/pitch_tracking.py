@@ -1,0 +1,193 @@
+"""Autocorrelation pitch tracking (Section 3.1's front end).
+
+The acoustic input is cut into 10 ms frames; each frame is resolved to
+a pitch with a normalised-autocorrelation detector in the style of
+Tolonen & Karjalainen [27]: window the signal, autocorrelate, pick the
+strongest peak in the plausible period range, refine it with parabolic
+interpolation, and gate on energy + periodicity for voicing.  The
+result is a pitch time series with unvoiced frames marked; the query
+system simply drops them, as the paper does with silence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..music.melody import hz_to_midi
+
+__all__ = ["PitchTrack", "track_pitch"]
+
+
+@dataclass(frozen=True)
+class PitchTrack:
+    """Frame-level pitch-tracking output.
+
+    Attributes
+    ----------
+    pitches:
+        MIDI pitch per frame (``NaN`` where unvoiced).
+    voiced:
+        Boolean mask of voiced frames.
+    frame_rate:
+        Frames per second.
+    """
+
+    pitches: np.ndarray
+    voiced: np.ndarray
+    frame_rate: int
+
+    def __len__(self) -> int:
+        return int(self.pitches.size)
+
+    def pitch_series(self) -> np.ndarray:
+        """Voiced pitches only — the series the query system consumes."""
+        return self.pitches[self.voiced].copy()
+
+    @property
+    def voiced_fraction(self) -> float:
+        if self.pitches.size == 0:
+            return 0.0
+        return float(self.voiced.mean())
+
+
+def _frame_pitch_hz(
+    frame: np.ndarray,
+    sample_rate: int,
+    lag_min: int,
+    lag_max: int,
+    periodicity_threshold: float,
+) -> float:
+    """Pitch of one window in Hz, or NaN if unvoiced.
+
+    Uses the *unbiased* autocorrelation (each lag divided by the
+    number of overlapping samples) so the peak is not dragged toward
+    shorter lags by the overlap taper, and picks the smallest lag
+    within 15% of the strongest peak so the fundamental wins over its
+    subharmonics (octave-error suppression).
+    """
+    frame = frame - frame.mean()
+    energy = float(np.dot(frame, frame))
+    if energy <= 1e-10:
+        return np.nan
+    n = frame.size
+    # Full autocorrelation via numpy (O(n^2) but windows are tiny).
+    corr = np.correlate(frame, frame, mode="full")[n - 1 :]
+    overlap = n - np.arange(n, dtype=np.float64)
+    corr_unbiased = corr / overlap
+    if lag_max >= n:
+        lag_max = n - 1
+    if lag_max <= lag_min:
+        return np.nan
+    segment = corr_unbiased[lag_min : lag_max + 1]
+    peak_value = float(segment.max())
+    # Normalised peak height gates voicing.
+    if peak_value / corr_unbiased[0] < periodicity_threshold:
+        return np.nan
+    near_peak = np.nonzero(segment >= 0.85 * peak_value)[0]
+    first = int(near_peak[0])
+    # Walk from the first crossing up to its local maximum — the true
+    # apex of the earliest (fundamental) peak.
+    while first + 1 < segment.size and segment[first + 1] >= segment[first]:
+        first += 1
+    best = first + lag_min
+    # Parabolic interpolation around the peak for sub-sample lag.
+    lag = float(best)
+    if 0 < best < n - 1:
+        left = corr_unbiased[best - 1]
+        centre = corr_unbiased[best]
+        right = corr_unbiased[best + 1]
+        denom = left - 2 * centre + right
+        if abs(denom) > 1e-12:
+            lag += 0.5 * (left - right) / denom
+    if lag <= 0:
+        return np.nan
+    return sample_rate / lag
+
+
+def track_pitch(
+    waveform,
+    *,
+    sample_rate: int = 8000,
+    frame_ms: float = 10.0,
+    window_ms: float = 32.0,
+    fmin: float = 80.0,
+    fmax: float = 700.0,
+    energy_threshold: float = 0.01,
+    periodicity_threshold: float = 0.5,
+    median_width: int = 5,
+) -> PitchTrack:
+    """Track the pitch of a mono waveform.
+
+    Parameters
+    ----------
+    waveform:
+        Audio samples in ``[-1, 1]``.
+    sample_rate:
+        Samples per second.
+    frame_ms:
+        Hop between frames (the paper's 10 ms).
+    window_ms:
+        Analysis window length (must cover at least two periods of
+        *fmin*).
+    fmin, fmax:
+        Plausible pitch range of humming (80-700 Hz covers hummed
+        melodies brought into a comfortable vocal register).
+    energy_threshold:
+        RMS below this is unvoiced.
+    periodicity_threshold:
+        Normalised autocorrelation peak below this is unvoiced.
+    median_width:
+        Width of the post-hoc median filter that removes octave blips
+        (set 1 to disable).
+    """
+    audio = np.asarray(waveform, dtype=np.float64)
+    if audio.ndim != 1 or audio.size == 0:
+        raise ValueError("waveform must be a non-empty 1-D array")
+    if not 0 < fmin < fmax:
+        raise ValueError("need 0 < fmin < fmax")
+    hop = max(1, int(round(sample_rate * frame_ms / 1000.0)))
+    window = max(hop, int(round(sample_rate * window_ms / 1000.0)))
+    if window > audio.size:
+        window = audio.size
+    lag_min = max(1, int(sample_rate / fmax))
+    lag_max = int(np.ceil(sample_rate / fmin))
+
+    pitches = []
+    for start in range(0, audio.size - window + 1, hop):
+        # Rectangular frames: the unbiased autocorrelation inside the
+        # detector compensates the overlap taper exactly, whereas a
+        # shaped window would re-introduce a short-lag bias.
+        frame = audio[start : start + window]
+        rms = float(np.sqrt(np.mean(frame * frame)))
+        if rms < energy_threshold:
+            pitches.append(np.nan)
+            continue
+        freq = _frame_pitch_hz(
+            frame, sample_rate, lag_min, lag_max, periodicity_threshold
+        )
+        if np.isnan(freq) or not fmin * 0.9 <= freq <= fmax * 1.1:
+            pitches.append(np.nan)
+        else:
+            pitches.append(hz_to_midi(freq))
+    contour = np.asarray(pitches)
+
+    if median_width > 1 and contour.size:
+        contour = _voiced_median_filter(contour, median_width)
+    voiced = np.isfinite(contour)
+    frame_rate = int(round(1000.0 / frame_ms))
+    return PitchTrack(pitches=contour, voiced=voiced, frame_rate=frame_rate)
+
+
+def _voiced_median_filter(contour: np.ndarray, width: int) -> np.ndarray:
+    """Median-filter voiced frames, leaving unvoiced gaps in place."""
+    result = contour.copy()
+    half = width // 2
+    voiced_idx = np.nonzero(np.isfinite(contour))[0]
+    voiced_vals = contour[voiced_idx]
+    for pos in range(voiced_idx.size):
+        lo = max(0, pos - half)
+        hi = min(voiced_idx.size, pos + half + 1)
+        result[voiced_idx[pos]] = np.median(voiced_vals[lo:hi])
+    return result

@@ -1,0 +1,110 @@
+"""Note segmentation from a pitch contour — the error-prone step.
+
+The contour (string) approach needs discrete notes, and the paper's
+central criticism is that "no good algorithm is known to segment a time
+series of pitches into discrete notes".  This module implements the
+standard heuristics anyway — split on unvoiced gaps and on sustained
+pitch jumps — because the Table 2 comparison needs a realistic
+note-based front end whose mistakes propagate into the contour method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..music.melody import Melody, Note
+
+__all__ = ["segment_notes"]
+
+
+def segment_notes(
+    pitches,
+    *,
+    frame_rate: int = 100,
+    min_note_frames: int = 4,
+    pitch_jump: float = 0.8,
+    jump_sustain_frames: int = 3,
+    beat_seconds: float = 0.5,
+) -> Melody:
+    """Segment a frame-level pitch contour into notes.
+
+    Parameters
+    ----------
+    pitches:
+        MIDI pitch per frame; ``NaN`` marks unvoiced frames (gaps).
+    frame_rate:
+        Frames per second.
+    min_note_frames:
+        Segments shorter than this are merged into their neighbour
+        (or dropped if isolated) — they are usually tracking glitches.
+    pitch_jump:
+        A change of at least this many semitones...
+    jump_sustain_frames:
+        ...sustained for this many frames starts a new note.
+    beat_seconds:
+        Seconds per beat used to express durations in beats.
+
+    Returns
+    -------
+    Melody
+        Median pitch and duration of every detected note.
+
+    Raises
+    ------
+    ValueError
+        If no notes are detected.
+    """
+    contour = np.asarray(pitches, dtype=np.float64)
+    if contour.ndim != 1 or contour.size == 0:
+        raise ValueError("pitch contour must be a non-empty 1-D array")
+    if min_note_frames < 1 or jump_sustain_frames < 1:
+        raise ValueError("frame thresholds must be >= 1")
+
+    # Pass 1: split on voicing boundaries.
+    voiced = np.isfinite(contour)
+    segments: list[tuple[int, int]] = []
+    start = None
+    for i, flag in enumerate(voiced):
+        if flag and start is None:
+            start = i
+        elif not flag and start is not None:
+            segments.append((start, i))
+            start = None
+    if start is not None:
+        segments.append((start, contour.size))
+
+    # Pass 2: split voiced segments on sustained pitch jumps.
+    final: list[tuple[int, int]] = []
+    for seg_start, seg_end in segments:
+        anchor = seg_start
+        reference = contour[seg_start]
+        i = seg_start + 1
+        while i < seg_end:
+            if abs(contour[i] - reference) >= pitch_jump:
+                sustain_end = min(i + jump_sustain_frames, seg_end)
+                window = contour[i:sustain_end]
+                if window.size and np.all(
+                    np.abs(window - reference) >= pitch_jump * 0.75
+                ):
+                    final.append((anchor, i))
+                    anchor = i
+                    reference = contour[i]
+                    i = sustain_end
+                    continue
+            # Track slow drift so vibrato does not shatter the note.
+            reference = 0.9 * reference + 0.1 * contour[i]
+            i += 1
+        final.append((anchor, seg_end))
+
+    # Pass 3: drop or absorb fragments shorter than min_note_frames.
+    notes: list[Note] = []
+    for seg_start, seg_end in final:
+        length = seg_end - seg_start
+        if length < min_note_frames:
+            continue
+        pitch = float(np.median(contour[seg_start:seg_end]))
+        duration_beats = (length / frame_rate) / beat_seconds
+        notes.append(Note(pitch=pitch, duration=duration_beats))
+    if not notes:
+        raise ValueError("no notes detected in the pitch contour")
+    return Melody(notes, name="segmented")

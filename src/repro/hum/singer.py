@@ -1,0 +1,203 @@
+"""Singer models: how real humming deviates from the score.
+
+The paper evaluates with hum queries from "better" and "poor" singers.
+This module reproduces those inputs synthetically by injecting exactly
+the inaccuracies Section 3.3 enumerates:
+
+1. **absolute pitch** — a global transposition (almost nobody has
+   perfect pitch);
+2. **tempo** — a global time-scaling between half and double speed;
+3. **relative pitch** — per-note interval errors plus a slow drift;
+4. **local timing** — per-note duration jitter (the thing DTW absorbs).
+
+A :class:`SingerProfile` holds the error magnitudes; two calibrated
+profiles, :meth:`SingerProfile.better` and :meth:`SingerProfile.poor`,
+correspond to the paper's two singer groups.  :func:`hum_melody`
+renders a melody through a profile into a pitch time series sampled at
+10 ms frames, i.e. what the pitch tracker of Section 3.1 would output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..music.melody import Melody
+
+__all__ = ["SingerProfile", "hum_melody"]
+
+
+@dataclass(frozen=True)
+class SingerProfile:
+    """Error magnitudes of a (synthetic) hummer.
+
+    All pitch quantities are in semitones; all timing quantities are
+    dimensionless factors.
+
+    Attributes
+    ----------
+    transpose_range:
+        Uniform range of the global transposition.
+    tempo_range:
+        Uniform range of the global tempo factor (1.0 = true tempo).
+    note_pitch_std:
+        Per-note interval error.
+    drift_std:
+        Per-note random-walk drift of the reference pitch.
+    duration_jitter_std:
+        Log-normal sigma of per-note duration (local timing error).
+    frame_noise_std:
+        Within-note frame-to-frame pitch wobble.
+    vibrato_depth / vibrato_rate_hz:
+        Sinusoidal vibrato applied inside each note.
+    drop_note_prob:
+        Probability of forgetting a note entirely (poor singers skip
+        or slur notes; the first and last note are never dropped).
+    voice_register:
+        When set, the singer transposes the melody so its median pitch
+        lands uniformly in this MIDI range — how people actually bring
+        a tune into their own voice.  Overrides *transpose_range*.
+    glide_fraction:
+        Portamento: the fraction of each note's frames spent gliding
+        from the previous pitch.  Harmless to DTW matching but fatal
+        to note segmentation — a key reason the contour pipeline
+        underperforms on real humming.
+    frame_rate:
+        Pitch frames per second (the paper uses 10 ms frames = 100).
+    """
+
+    transpose_range: tuple[float, float] = (-5.0, 5.0)
+    tempo_range: tuple[float, float] = (0.7, 1.4)
+    note_pitch_std: float = 0.3
+    drift_std: float = 0.05
+    duration_jitter_std: float = 0.15
+    frame_noise_std: float = 0.08
+    vibrato_depth: float = 0.15
+    vibrato_rate_hz: float = 5.5
+    drop_note_prob: float = 0.0
+    voice_register: tuple[float, float] | None = None
+    glide_fraction: float = 0.0
+    frame_rate: int = 100
+
+    def __post_init__(self) -> None:
+        if self.tempo_range[0] <= 0:
+            raise ValueError("tempo factors must be positive")
+        if self.frame_rate < 1:
+            raise ValueError("frame rate must be >= 1")
+        for name in ("note_pitch_std", "drift_std", "duration_jitter_std",
+                     "frame_noise_std", "vibrato_depth"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if not 0.0 <= self.drop_note_prob < 1.0:
+            raise ValueError("drop_note_prob must be in [0, 1)")
+        if not 0.0 <= self.glide_fraction < 1.0:
+            raise ValueError("glide_fraction must be in [0, 1)")
+
+    @classmethod
+    def perfect(cls) -> "SingerProfile":
+        """A machine: no errors at all (useful in tests)."""
+        return cls(
+            transpose_range=(0.0, 0.0),
+            tempo_range=(1.0, 1.0),
+            note_pitch_std=0.0,
+            drift_std=0.0,
+            duration_jitter_std=0.0,
+            frame_noise_std=0.0,
+            vibrato_depth=0.0,
+        )
+
+    @classmethod
+    def better(cls) -> "SingerProfile":
+        """The paper's "better singers": right notes, imperfect timing."""
+        return cls(
+            transpose_range=(-4.0, 4.0),
+            tempo_range=(0.8, 1.25),
+            note_pitch_std=0.25,
+            drift_std=0.04,
+            duration_jitter_std=0.12,
+            frame_noise_std=0.06,
+            vibrato_depth=0.12,
+            voice_register=(54.0, 64.0),
+            glide_fraction=0.3,
+        )
+
+    @classmethod
+    def poor(cls) -> "SingerProfile":
+        """The paper's "poor singers" (e.g. one of the authors)."""
+        return cls(
+            transpose_range=(-6.0, 6.0),
+            tempo_range=(0.55, 1.8),
+            note_pitch_std=1.1,
+            drift_std=0.22,
+            duration_jitter_std=0.5,
+            frame_noise_std=0.15,
+            vibrato_depth=0.25,
+            drop_note_prob=0.1,
+            voice_register=(52.0, 66.0),
+            glide_fraction=0.45,
+        )
+
+
+def hum_melody(
+    melody: Melody,
+    profile: SingerProfile,
+    rng: np.random.Generator,
+    *,
+    tempo_bpm: float = 100.0,
+) -> np.ndarray:
+    """Render *melody* through a singer into a pitch time series.
+
+    Returns MIDI pitch values sampled at ``profile.frame_rate`` frames
+    per second — the same representation the pitch tracker produces
+    from microphone audio, so it can be fed straight to the query
+    system.
+    """
+    if tempo_bpm <= 0:
+        raise ValueError(f"tempo must be positive, got {tempo_bpm}")
+    if profile.voice_register is not None:
+        register = rng.uniform(*profile.voice_register)
+        transpose = register - float(np.median(melody.pitches()))
+    else:
+        transpose = rng.uniform(*profile.transpose_range)
+    tempo = rng.uniform(*profile.tempo_range)
+    seconds_per_beat = 60.0 / tempo_bpm / tempo
+
+    frames: list[np.ndarray] = []
+    drift = 0.0
+    phase = rng.uniform(0, 2 * np.pi)
+    last_index = len(melody) - 1
+    for position, note in enumerate(melody):
+        if (
+            profile.drop_note_prob > 0
+            and 0 < position < last_index
+            and rng.random() < profile.drop_note_prob
+        ):
+            continue
+        drift += rng.normal(0.0, profile.drift_std)
+        sung_pitch = note.pitch + transpose + drift
+        if profile.note_pitch_std > 0:
+            sung_pitch += rng.normal(0.0, profile.note_pitch_std)
+        duration_s = note.duration * seconds_per_beat
+        if profile.duration_jitter_std > 0:
+            duration_s *= rng.lognormal(0.0, profile.duration_jitter_std)
+        n_frames = max(2, int(round(duration_s * profile.frame_rate)))
+        t = np.arange(n_frames) / profile.frame_rate
+        pitch = np.full(n_frames, sung_pitch)
+        if profile.glide_fraction > 0 and frames:
+            previous_pitch = frames[-1][-1]
+            n_glide = min(n_frames - 1, int(round(n_frames * profile.glide_fraction)))
+            if n_glide > 0:
+                ramp = 0.5 * (1 - np.cos(np.linspace(0, np.pi, n_glide)))
+                pitch[:n_glide] = previous_pitch + ramp * (
+                    sung_pitch - previous_pitch
+                )
+        if profile.vibrato_depth > 0:
+            pitch += profile.vibrato_depth * np.sin(
+                2 * np.pi * profile.vibrato_rate_hz * t + phase
+            )
+            phase += 2 * np.pi * profile.vibrato_rate_hz * n_frames / profile.frame_rate
+        if profile.frame_noise_std > 0:
+            pitch += rng.normal(0.0, profile.frame_noise_std, size=n_frames)
+        frames.append(pitch)
+    return np.concatenate(frames)

@@ -1,0 +1,231 @@
+"""Cluster index: a flat two-level alternative to the R*-tree.
+
+Feature vectors are partitioned by k-means (scipy); each cluster keeps
+the bounding box of its members.  A query prunes whole clusters by
+box distance and scans the survivors — the inverted-file layout used
+by modern vector stores, here with *exact* semantics because pruning
+uses bounding geometry rather than probe counts.
+
+Included as a fourth interchangeable backend: it often beats the grid
+file in high dimensions (data-adapted partitions) while staying far
+simpler than the R*-tree.  Page accesses count scanned clusters plus
+one directory read.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+from scipy.cluster.vq import kmeans2
+
+__all__ = ["ClusterIndex"]
+
+
+def _check_metric(metric: str) -> bool:
+    if metric not in ("euclidean", "manhattan"):
+        raise ValueError(
+            f"metric must be 'euclidean' or 'manhattan', got {metric!r}"
+        )
+    return metric == "manhattan"
+
+
+class ClusterIndex:
+    """k-means partitioned point index with exact rectangle queries.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(m, dim)``.
+    ids:
+        Optional identifiers, default ``range(m)``.
+    n_clusters:
+        Number of partitions; default ``ceil(sqrt(m))`` (balanced
+        directory-vs-bucket scan).
+    seed:
+        k-means initialisation seed (the index is deterministic).
+    """
+
+    def __init__(
+        self,
+        points,
+        ids=None,
+        *,
+        n_clusters: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {pts.shape}")
+        m, dim = pts.shape
+        if ids is None:
+            ids = range(m)
+        ids = list(ids)
+        if len(ids) != m:
+            raise ValueError(f"{m} points but {len(ids)} ids")
+        self.dim = dim
+        self.page_accesses = 0
+        self._size = m
+        if m == 0:
+            self._clusters: list[dict] = []
+            return
+        if n_clusters is None:
+            n_clusters = max(1, math.isqrt(m))
+        n_clusters = min(n_clusters, m)
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if n_clusters == 1:
+            labels = np.zeros(m, dtype=np.int64)
+        else:
+            _, labels = kmeans2(pts, n_clusters, minit="points", seed=seed)
+        self._clusters = []
+        for label in np.unique(labels):
+            member_rows = np.nonzero(labels == label)[0]
+            members = pts[member_rows]
+            self._clusters.append(
+                {
+                    "points": members,
+                    "ids": [ids[r] for r in member_rows],
+                    "lower": members.min(axis=0),
+                    "upper": members.max(axis=0),
+                }
+            )
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self._clusters)
+
+    def reset_stats(self) -> None:
+        """Zero the page-access counter (between measured queries)."""
+        self.page_accesses = 0
+
+    def insert(self, point, item_id) -> None:
+        """Add one point to its nearest cluster (boxes stretch)."""
+        pt = np.asarray(point, dtype=np.float64)
+        if pt.shape != (self.dim,):
+            raise ValueError(f"expected a point of shape ({self.dim},)")
+        if not self._clusters:
+            self._clusters.append(
+                {"points": pt[None, :].copy(), "ids": [item_id],
+                 "lower": pt.copy(), "upper": pt.copy()}
+            )
+            self._size += 1
+            return
+        centres = np.array([
+            (c["lower"] + c["upper"]) / 2.0 for c in self._clusters
+        ])
+        nearest = int(np.argmin(np.linalg.norm(centres - pt, axis=1)))
+        cluster = self._clusters[nearest]
+        cluster["points"] = np.vstack([cluster["points"], pt])
+        cluster["ids"].append(item_id)
+        np.minimum(cluster["lower"], pt, out=cluster["lower"])
+        np.maximum(cluster["upper"], pt, out=cluster["upper"])
+        self._size += 1
+
+    def delete(self, point, item_id) -> bool:
+        """Remove one (point, id) entry; returns False if absent."""
+        pt = np.asarray(point, dtype=np.float64)
+        if pt.shape != (self.dim,):
+            raise ValueError(f"expected a point of shape ({self.dim},)")
+        for cluster in self._clusters:
+            for pos, stored_id in enumerate(cluster["ids"]):
+                if stored_id == item_id and np.array_equal(
+                    cluster["points"][pos], pt
+                ):
+                    cluster["points"] = np.delete(cluster["points"], pos,
+                                                  axis=0)
+                    cluster["ids"].pop(pos)
+                    self._size -= 1
+                    if not cluster["ids"]:
+                        self._clusters.remove(cluster)
+                    # Boxes stay conservative (sound, just looser).
+                    return True
+        return False
+
+    def _gaps(self, arr, q_lower, q_upper):
+        return np.maximum(q_lower - arr, 0.0) + np.maximum(arr - q_upper, 0.0)
+
+    def _check_rect(self, rect_lower, rect_upper):
+        q_lower = np.asarray(rect_lower, dtype=np.float64)
+        q_upper = np.asarray(rect_upper, dtype=np.float64)
+        if q_lower.shape != (self.dim,) or q_upper.shape != (self.dim,):
+            raise ValueError(f"query rectangle must have shape ({self.dim},)")
+        if np.any(q_lower > q_upper):
+            raise ValueError("query rectangle has lower > upper")
+        return q_lower, q_upper
+
+    def range_search(self, rect_lower, rect_upper, radius: float, *,
+                     metric: str = "euclidean") -> list:
+        """All ids within *radius* of the query rectangle (exact)."""
+        manhattan = _check_metric(metric)
+        q_lower, q_upper = self._check_rect(rect_lower, rect_upper)
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        self.page_accesses += 1  # the cluster directory
+        results = []
+        for cluster in self._clusters:
+            gap = np.maximum(q_lower - cluster["upper"], 0.0) + np.maximum(
+                cluster["lower"] - q_upper, 0.0
+            )
+            box_dist = float(np.sum(gap)) if manhattan else float(
+                np.sqrt(gap @ gap)
+            )
+            if box_dist > radius:
+                continue
+            self.page_accesses += 1
+            gaps = self._gaps(cluster["points"], q_lower, q_upper)
+            if manhattan:
+                dist = np.sum(gaps, axis=1)
+            else:
+                dist = np.sqrt(np.sum(gaps * gaps, axis=1))
+            for pos in np.nonzero(dist <= radius)[0]:
+                results.append(cluster["ids"][pos])
+        return results
+
+    def nearest(self, rect_lower, rect_upper, *,
+                metric: str = "euclidean") -> Iterator[tuple[float, object]]:
+        """Yield ``(distance, id)`` by increasing rectangle distance.
+
+        Clusters are visited in box-distance order; points already
+        scanned are emitted once they are provably closer than every
+        unvisited cluster.
+        """
+        import heapq
+
+        manhattan = _check_metric(metric)
+        q_lower, q_upper = self._check_rect(rect_lower, rect_upper)
+        self.page_accesses += 1
+        ranked = []
+        for cluster in self._clusters:
+            gap = np.maximum(q_lower - cluster["upper"], 0.0) + np.maximum(
+                cluster["lower"] - q_upper, 0.0
+            )
+            box_dist = float(np.sum(gap)) if manhattan else float(
+                np.sqrt(gap @ gap)
+            )
+            ranked.append((box_dist, id(cluster), cluster))
+        ranked.sort(key=lambda t: t[:2])
+
+        pending: list[tuple[float, int, object]] = []
+        counter = 0
+        for box_dist, _, cluster in ranked:
+            while pending and pending[0][0] <= box_dist:
+                dist, _, item_id = heapq.heappop(pending)
+                yield dist, item_id
+            self.page_accesses += 1
+            gaps = self._gaps(cluster["points"], q_lower, q_upper)
+            if manhattan:
+                dists = np.sum(gaps, axis=1)
+            else:
+                dists = np.sqrt(np.sum(gaps * gaps, axis=1))
+            for pos, dist in enumerate(dists):
+                heapq.heappush(pending, (float(dist), counter,
+                                         cluster["ids"][pos]))
+                counter += 1
+        while pending:
+            dist, _, item_id = heapq.heappop(pending)
+            yield dist, item_id

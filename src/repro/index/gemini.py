@@ -1,0 +1,414 @@
+"""The GEMINI warping index (Section 4.3 of the paper).
+
+:class:`WarpingIndex` realises the five-step strategy verbatim:
+
+1. every database series is brought to its normal form and reduced to a
+   feature vector ``X = T(x)``;
+2. the feature vectors are stored in a multidimensional index
+   (R*-tree, grid file, or a linear-scan baseline);
+3. a query is brought to its normal form, its ``k``-envelope is
+   computed, and the envelope is reduced with a **container-invariant**
+   envelope transform to a feature-space rectangle ``[E^L, E^U]``;
+4. an ε-range query around that rectangle returns a candidate set that
+   is guaranteed to contain every true answer (Theorem 1);
+5. candidates are refined with the exact constrained-DTW distance.
+
+Because the envelope lives on the *query* side, an existing Euclidean
+feature index gains DTW support without being rebuilt — one of the
+paper's selling points.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.envelope import Envelope, envelope_distance, k_envelope, warping_width_to_k
+from ..core.envelope_transforms import EnvelopeTransform, NewPAAEnvelopeTransform
+from ..core.normal_form import NormalForm
+from ..dtw.distance import ldtw_distance, ldtw_distance_batch
+from .cluster import ClusterIndex
+from .gridfile import GridFile
+from .linear_scan import LinearScan
+from .rstartree import RStarTree
+from .stats import QueryStats
+
+__all__ = ["WarpingIndex"]
+
+_INDEX_KINDS = ("rstar", "grid", "linear", "cluster")
+
+
+class WarpingIndex:
+    """An index for ε-range and k-NN queries under constrained DTW.
+
+    Parameters
+    ----------
+    database:
+        Sequence of time series (any lengths; each is normalised).
+    delta:
+        Warping width ``(2k+1)/n`` of the supported DTW distance.
+    env_transform:
+        Container-invariant envelope transform; default
+        ``NewPAAEnvelopeTransform`` with *n_features* frames.
+    n_features:
+        Feature dimensionality when *env_transform* is defaulted.
+    normal_form:
+        Normalisation applied to database and query series.  Its
+        ``length`` fixes the UTW normal-form length ``n``.
+    index_kind:
+        ``"rstar"`` (default), ``"grid"``, or ``"linear"``.
+    capacity:
+        Page capacity of the underlying index.
+    ids:
+        Optional identifiers for the database series.
+    metric:
+        Ground metric of the DTW distance: ``"euclidean"`` (the
+        paper's, default) or ``"manhattan"``.  The envelope transform
+        must be sound under the chosen metric (the default New_PAA is
+        built accordingly).
+    """
+
+    def __init__(
+        self,
+        database: Sequence,
+        *,
+        delta: float,
+        env_transform: EnvelopeTransform | None = None,
+        n_features: int = 8,
+        normal_form: NormalForm | None = None,
+        index_kind: str = "rstar",
+        capacity: int = 50,
+        ids: Sequence | None = None,
+        metric: str = "euclidean",
+    ) -> None:
+        if index_kind not in _INDEX_KINDS:
+            raise ValueError(
+                f"index_kind must be one of {_INDEX_KINDS}, got {index_kind!r}"
+            )
+        if metric not in ("euclidean", "manhattan"):
+            raise ValueError(
+                f"metric must be 'euclidean' or 'manhattan', got {metric!r}"
+            )
+        if not len(database):
+            raise ValueError("database must not be empty")
+        self.normal_form = normal_form or NormalForm()
+        if self.normal_form.length is None:
+            raise ValueError("WarpingIndex requires a fixed normal-form length")
+        self.normal_length = self.normal_form.length
+        self.delta = delta
+        self.metric = metric
+        self.band = warping_width_to_k(delta, self.normal_length)
+        self.env_transform = env_transform or NewPAAEnvelopeTransform(
+            self.normal_length, n_features, metric=metric
+        )
+        if self.env_transform.input_length != self.normal_length:
+            raise ValueError(
+                f"envelope transform expects length "
+                f"{self.env_transform.input_length}, but the normal form "
+                f"produces {self.normal_length}"
+            )
+        if metric not in getattr(self.env_transform, "metrics", ("euclidean",)):
+            raise ValueError(
+                f"envelope transform {self.env_transform.name!r} does not "
+                f"lower-bound the {metric!r} metric"
+            )
+
+        if ids is None:
+            ids = list(range(len(database)))
+        else:
+            ids = list(ids)
+            if len(ids) != len(database):
+                raise ValueError(
+                    f"{len(database)} series but {len(ids)} ids"
+                )
+        self.ids = ids
+        self._id_to_row = {item_id: row for row, item_id in enumerate(ids)}
+        if len(self._id_to_row) != len(ids):
+            raise ValueError("ids must be unique")
+
+        self._data = np.vstack(
+            [self.normal_form.apply(series) for series in database]
+        )
+        features = self.env_transform.transform.transform_batch(self._data)
+        self._features = features
+        if index_kind == "rstar":
+            self._index = RStarTree.bulk_load(features, ids, capacity=capacity)
+        elif index_kind == "grid":
+            self._index = GridFile(features, ids)
+        elif index_kind == "cluster":
+            self._index = ClusterIndex(features, ids)
+        else:
+            self._index = LinearScan(features, ids, capacity=capacity)
+        self.index_kind = index_kind
+
+    def __len__(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def feature_dim(self) -> int:
+        return self.env_transform.output_dim
+
+    def normalized(self, item_id) -> np.ndarray:
+        """The stored normal form of a database series."""
+        return self._data[self._id_to_row[item_id]].copy()
+
+    def insert(self, series, item_id) -> None:
+        """Add one series to the index (dynamic maintenance).
+
+        The R*-tree backend uses the R* insertion algorithm (forced
+        reinsertion and all); grid file and linear scan append.
+        """
+        if item_id in self._id_to_row:
+            raise ValueError(f"id {item_id!r} already present")
+        normal = self.normal_form.apply(series)
+        features = self.env_transform.transform.transform(normal)
+        self._index.insert(features, item_id)
+        self._id_to_row[item_id] = self._data.shape[0]
+        self._data = np.vstack([self._data, normal])
+        self._features = np.vstack([self._features, features])
+        self.ids.append(item_id)
+
+    def remove(self, item_id) -> None:
+        """Remove one series from the index.
+
+        Raises ``KeyError`` for unknown ids.
+        """
+        if item_id not in self._id_to_row:
+            raise KeyError(f"id {item_id!r} not in the index")
+        row = self._id_to_row[item_id]
+        removed = self._index.delete(self._features[row], item_id)
+        if not removed:  # pragma: no cover - indexes stay in sync
+            raise RuntimeError(f"index backend lost id {item_id!r}")
+        self._data = np.delete(self._data, row, axis=0)
+        self._features = np.delete(self._features, row, axis=0)
+        self.ids.pop(row)
+        self._id_to_row = {iid: r for r, iid in enumerate(self.ids)}
+
+    def _query_rectangle(
+        self, query
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, Envelope]:
+        q = self.normal_form.apply(query)
+        envelope = k_envelope(q, self.band)
+        feature_env = self.env_transform.reduce(envelope)
+        return q, feature_env.lower, feature_env.upper, envelope
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def filter_query(self, query, epsilon: float) -> tuple[list, QueryStats]:
+        """The filter step alone: candidate ids and their index cost.
+
+        This is what Figures 8-10 of the paper measure — the number of
+        candidates the index retrieves and the pages it touches —
+        without the exact-DTW refinement.  The candidate set is a
+        superset of the true ε-range answer (Theorem 1).
+        """
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        _, rect_lower, rect_upper, _ = self._query_rectangle(query)
+        self._index.reset_stats()
+        candidates = self._index.range_search(
+            rect_lower, rect_upper, epsilon, metric=self.metric
+        )
+        stats = QueryStats(
+            candidates=len(candidates), page_accesses=self._index.page_accesses
+        )
+        return candidates, stats
+
+    def range_query(
+        self, query, epsilon: float, *, second_filter: bool = True
+    ) -> tuple[list[tuple[object, float]], QueryStats]:
+        """All series with DTW distance at most *epsilon* from *query*.
+
+        Returns ``(results, stats)`` where results are ``(id, distance)``
+        pairs sorted by distance.  Theorem 1 guarantees the candidate
+        set contains every true answer, so the result is exact.
+
+        With *second_filter* (default, as in the paper's Section 5.2),
+        candidates are first screened with the full-dimension envelope
+        bound LB_Keogh — an O(n) check that is still sound (Lemma 2) —
+        and only survivors pay the O(kn) exact DTW; the stats record
+        the pruned count under ``extra["second_filter_pruned"]``.
+        """
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        q, rect_lower, rect_upper, q_envelope = self._query_rectangle(query)
+        self._index.reset_stats()
+        candidates = self._index.range_search(
+            rect_lower, rect_upper, epsilon, metric=self.metric
+        )
+        stats = QueryStats(
+            candidates=len(candidates), page_accesses=self._index.page_accesses
+        )
+        results = []
+        if candidates:
+            rows = [self._id_to_row[item_id] for item_id in candidates]
+            survivors = candidates
+            if second_filter:
+                # Second filter (paper §5.2): the unreduced envelope
+                # bound, vectorised over the candidate matrix.
+                data = self._data[rows]
+                above = np.maximum(data - q_envelope.upper, 0.0)
+                below = np.maximum(q_envelope.lower - data, 0.0)
+                if self.metric == "manhattan":
+                    lb = np.sum(above + below, axis=1)
+                else:
+                    lb = np.sqrt(np.sum(above * above + below * below, axis=1))
+                keep = lb <= epsilon
+                stats.extra["second_filter_pruned"] = int(np.sum(~keep))
+                survivors = [c for c, flag in zip(candidates, keep) if flag]
+                rows = [r for r, flag in zip(rows, keep) if flag]
+            if survivors:
+                dists = ldtw_distance_batch(q, self._data[rows], self.band,
+                                            metric=self.metric)
+                stats.dtw_computations = len(survivors)
+                results = [
+                    (item_id, float(dist))
+                    for item_id, dist in zip(survivors, dists)
+                    if dist <= epsilon
+                ]
+        results.sort(key=lambda pair: pair[1])
+        stats.results = len(results)
+        return results, stats
+
+    def knn_query(
+        self, query, k: int
+    ) -> tuple[list[tuple[object, float]], QueryStats]:
+        """The *k* nearest series under the constrained DTW distance.
+
+        Optimal multi-step k-NN (Seidl & Kriegel 1998): candidates are
+        ranked by their feature-space lower bound and refined until the
+        next lower bound exceeds the current k-th exact distance — at
+        which point no unexamined series can enter the answer.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        q, rect_lower, rect_upper, q_envelope = self._query_rectangle(query)
+        self._index.reset_stats()
+        stats = QueryStats()
+        best: list[tuple[float, object]] = []  # max-heap via negated dist
+        import heapq
+
+        for lower_bound, item_id in self._index.nearest(
+            rect_lower, rect_upper, metric=self.metric
+        ):
+            if len(best) == k and lower_bound > -best[0][0]:
+                break
+            stats.candidates += 1
+            row = self._id_to_row[item_id]
+            cutoff = -best[0][0] if len(best) == k else None
+            if cutoff is not None:
+                # Second filter (paper §5.2): O(n) full-dimension
+                # envelope bound before the O(kn) exact DTW.
+                lb_full = envelope_distance(self._data[row], q_envelope,
+                                            metric=self.metric)
+                if lb_full > cutoff:
+                    stats.extra["second_filter_pruned"] = (
+                        stats.extra.get("second_filter_pruned", 0) + 1
+                    )
+                    continue
+            dist = ldtw_distance(q, self._data[row], self.band,
+                                 upper_bound=cutoff, metric=self.metric)
+            stats.dtw_computations += 1
+            if not math.isfinite(dist):
+                continue
+            if len(best) < k:
+                heapq.heappush(best, (-dist, item_id))
+            elif dist < -best[0][0]:
+                heapq.heapreplace(best, (-dist, item_id))
+        stats.page_accesses = self._index.page_accesses
+        results = sorted(((item, -negd) for negd, item in best), key=lambda p: p[1])
+        stats.results = len(results)
+        return [(item, dist) for item, dist in results], stats
+
+    def range_query_many(
+        self, queries, epsilon: float, *, second_filter: bool = True
+    ) -> tuple[list[list[tuple[object, float]]], QueryStats]:
+        """Run a batch of range queries; stats are aggregated.
+
+        Returns ``(per_query_results, total_stats)`` — the workload
+        form every benchmark uses, packaged as API.
+        """
+        all_results = []
+        total = QueryStats()
+        for query in queries:
+            results, stats = self.range_query(
+                query, epsilon, second_filter=second_filter
+            )
+            all_results.append(results)
+            total = total + stats
+        return all_results, total
+
+    def knn_query_many(
+        self, queries, k: int
+    ) -> tuple[list[list[tuple[object, float]]], QueryStats]:
+        """Run a batch of k-NN queries; stats are aggregated."""
+        all_results = []
+        total = QueryStats()
+        for query in queries:
+            results, stats = self.knn_query(query, k)
+            all_results.append(results)
+            total = total + stats
+        return all_results, total
+
+    def explain(self, query, item_id) -> dict:
+        """The full bound cascade for one query/candidate pair.
+
+        Returns a dict with every quantity the filter pipeline would
+        compute — useful to see *why* a candidate was pruned or kept:
+
+        ``feature_lb``   distance in reduced feature space (Theorem 1)
+        ``envelope_lb``  full-dimension envelope bound (Lemma 2)
+        ``exact_dtw``    the true constrained DTW distance
+        ``band`` / ``delta`` / ``metric``  the query configuration
+
+        The cascade property ``feature_lb <= envelope_lb <= exact_dtw``
+        always holds.
+        """
+        if item_id not in self._id_to_row:
+            raise KeyError(f"id {item_id!r} not in the index")
+        q, rect_lower, rect_upper, q_envelope = self._query_rectangle(query)
+        row = self._id_to_row[item_id]
+        feats = self._features[row]
+        gap = np.maximum(rect_lower - feats, 0.0) + np.maximum(
+            feats - rect_upper, 0.0
+        )
+        if self.metric == "manhattan":
+            feature_lb = float(np.sum(gap))
+        else:
+            feature_lb = float(np.sqrt(np.dot(gap, gap)))
+        envelope_lb = envelope_distance(self._data[row], q_envelope,
+                                        metric=self.metric)
+        exact = ldtw_distance(q, self._data[row], self.band,
+                              metric=self.metric)
+        return {
+            "item_id": item_id,
+            "feature_lb": feature_lb,
+            "envelope_lb": envelope_lb,
+            "exact_dtw": exact,
+            "band": self.band,
+            "delta": self.delta,
+            "metric": self.metric,
+        }
+
+    def ground_truth_range(self, query, epsilon: float) -> list[tuple[object, float]]:
+        """Exact answer by scanning every series (test oracle)."""
+        q = self.normal_form.apply(query)
+        dists = ldtw_distance_batch(q, self._data, self.band, metric=self.metric)
+        results = [
+            (item_id, float(dist))
+            for item_id, dist in zip(self.ids, dists)
+            if dist <= epsilon
+        ]
+        results.sort(key=lambda pair: pair[1])
+        return results
+
+    def ground_truth_knn(self, query, k: int) -> list[tuple[object, float]]:
+        """Exact k-NN by scanning every series (test oracle)."""
+        q = self.normal_form.apply(query)
+        dists = ldtw_distance_batch(q, self._data, self.band, metric=self.metric)
+        ranked = sorted(zip(self.ids, map(float, dists)), key=lambda p: p[1])
+        return ranked[:k]

@@ -1,0 +1,112 @@
+"""Linear scan: the no-index baseline and ground-truth oracle.
+
+Implements the same query interface as the real indexes so the GEMINI
+layer and the benchmarks can swap it in.  A full scan reads every
+"page" of ``capacity`` points, which is what its page-access counter
+reports — the cost an index must beat.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["LinearScan"]
+
+
+class LinearScan:
+    """Brute-force index over points.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(m, dim)``.
+    ids:
+        Optional identifiers, default ``range(m)``.
+    capacity:
+        Points per notional page, used only for page-access accounting.
+    """
+
+    def __init__(self, points, ids=None, *, capacity: int = 50) -> None:
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {pts.shape}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        m = pts.shape[0]
+        if ids is None:
+            ids = range(m)
+        ids = list(ids)
+        if len(ids) != m:
+            raise ValueError(f"{m} points but {len(ids)} ids")
+        self.dim = pts.shape[1]
+        self.capacity = capacity
+        self.page_accesses = 0
+        self._points = pts.copy()
+        self._ids = ids
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    def insert(self, point, item_id) -> None:
+        """Append one point to the scan set."""
+        pt = np.asarray(point, dtype=np.float64)
+        if pt.shape != (self.dim,):
+            raise ValueError(f"expected a point of shape ({self.dim},)")
+        self._points = np.vstack([self._points, pt])
+        self._ids.append(item_id)
+
+    def delete(self, point, item_id) -> bool:
+        """Remove one (point, id) entry; returns False if absent."""
+        pt = np.asarray(point, dtype=np.float64)
+        if pt.shape != (self.dim,):
+            raise ValueError(f"expected a point of shape ({self.dim},)")
+        for pos, stored_id in enumerate(self._ids):
+            if stored_id == item_id and np.array_equal(self._points[pos], pt):
+                self._points = np.delete(self._points, pos, axis=0)
+                self._ids.pop(pos)
+                return True
+        return False
+
+    def reset_stats(self) -> None:
+        self.page_accesses = 0
+
+    def _rect_distances(self, rect_lower, rect_upper,
+                        metric: str) -> np.ndarray:
+        """Per-point rectangle distance (true distance, not a cost)."""
+        if metric not in ("euclidean", "manhattan"):
+            raise ValueError(
+                f"metric must be 'euclidean' or 'manhattan', got {metric!r}"
+            )
+        q_lower = np.asarray(rect_lower, dtype=np.float64)
+        q_upper = np.asarray(rect_upper, dtype=np.float64)
+        if q_lower.shape != (self.dim,) or q_upper.shape != (self.dim,):
+            raise ValueError(f"query rectangle must have shape ({self.dim},)")
+        if np.any(q_lower > q_upper):
+            raise ValueError("query rectangle has lower > upper")
+        gap = np.maximum(q_lower - self._points, 0.0) + np.maximum(
+            self._points - q_upper, 0.0
+        )
+        if metric == "manhattan":
+            return np.sum(gap, axis=1)
+        return np.sqrt(np.sum(gap * gap, axis=1))
+
+    def range_search(self, rect_lower, rect_upper, radius: float, *,
+                     metric: str = "euclidean") -> list:
+        """All ids within *radius* of the query rectangle (full scan)."""
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        self.page_accesses += math.ceil(len(self) / self.capacity)
+        dist = self._rect_distances(rect_lower, rect_upper, metric)
+        hits = np.nonzero(dist <= radius)[0]
+        return [self._ids[i] for i in hits]
+
+    def nearest(self, rect_lower, rect_upper, *,
+                metric: str = "euclidean") -> Iterator[tuple[float, object]]:
+        """Yield ``(distance, id)`` in increasing rectangle distance."""
+        self.page_accesses += math.ceil(len(self) / self.capacity)
+        dist = self._rect_distances(rect_lower, rect_upper, metric)
+        for i in np.argsort(dist, kind="stable"):
+            yield float(dist[i]), self._ids[i]

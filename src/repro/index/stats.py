@@ -1,0 +1,66 @@
+"""Query-cost accounting.
+
+The paper reports implementation-bias-free measures: the number of
+candidates the filter step retrieves (CPU cost proxy — each needs an
+exact DTW computation) and the number of page accesses (IO cost proxy).
+:class:`QueryStats` carries both, plus the counts needed to compute
+filter precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QueryStats"]
+
+
+@dataclass
+class QueryStats:
+    """Costs and outcome of one index query.
+
+    Attributes
+    ----------
+    candidates:
+        Series returned by the filter step (superset of the answer).
+    page_accesses:
+        Index pages touched during the filter step.
+    dtw_computations:
+        Exact DTW evaluations performed during refinement.
+    results:
+        Series in the final (exact) answer.
+    """
+
+    candidates: int = 0
+    page_accesses: int = 0
+    dtw_computations: int = 0
+    results: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of retrieved candidates that were true answers.
+
+        1.0 when the filter retrieved nothing (vacuously precise).
+        """
+        if self.candidates == 0:
+            return 1.0
+        return self.results / self.candidates
+
+    def __add__(self, other: "QueryStats") -> "QueryStats":
+        if not isinstance(other, QueryStats):
+            return NotImplemented
+        return QueryStats(
+            candidates=self.candidates + other.candidates,
+            page_accesses=self.page_accesses + other.page_accesses,
+            dtw_computations=self.dtw_computations + other.dtw_computations,
+            results=self.results + other.results,
+        )
+
+    def scaled(self, factor: float) -> "QueryStats":
+        """Average helper: all counters multiplied by *factor*."""
+        return QueryStats(
+            candidates=self.candidates * factor,
+            page_accesses=self.page_accesses * factor,
+            dtw_computations=self.dtw_computations * factor,
+            results=self.results * factor,
+        )

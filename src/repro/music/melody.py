@@ -1,0 +1,188 @@
+"""Melody model: sequences of ``(note, duration)`` tuples (Section 3.2).
+
+A melody is monophonic — one note at a time.  Rests are *not* part of
+the model: the paper drops silence both from the database melodies and
+from the hummed queries because amateur singers time rests badly.
+``Melody.to_time_series`` produces the piecewise-constant pitch series
+
+.. math:: N_1, \\ldots, N_1, N_2, \\ldots, N_2, \\ldots
+
+with each note repeated proportionally to its duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Note", "Melody", "midi_to_hz", "hz_to_midi"]
+
+_NOTE_NAMES = ["C", "C#", "D", "D#", "E", "F", "F#", "G", "G#", "A", "A#", "B"]
+
+
+def midi_to_hz(pitch: float) -> float:
+    """Frequency of a MIDI pitch number (A4 = 69 = 440 Hz)."""
+    return 440.0 * 2.0 ** ((pitch - 69.0) / 12.0)
+
+
+def hz_to_midi(freq: float) -> float:
+    """MIDI pitch number of a frequency in Hz."""
+    if freq <= 0:
+        raise ValueError(f"frequency must be positive, got {freq}")
+    return 69.0 + 12.0 * np.log2(freq / 440.0)
+
+
+@dataclass(frozen=True)
+class Note:
+    """One melody note.
+
+    Attributes
+    ----------
+    pitch:
+        MIDI pitch number (60 = middle C).  Fractional values are
+        allowed — hummed notes rarely land on the grid.
+    duration:
+        Length in beats; must be positive.
+    """
+
+    pitch: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.pitch < 128:
+            raise ValueError(f"pitch must be in (0, 128), got {self.pitch}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+    @property
+    def name(self) -> str:
+        """Scientific pitch name of the nearest tempered note."""
+        rounded = int(round(self.pitch))
+        octave = rounded // 12 - 1
+        return f"{_NOTE_NAMES[rounded % 12]}{octave}"
+
+    @property
+    def frequency(self) -> float:
+        return midi_to_hz(self.pitch)
+
+
+class Melody:
+    """An immutable monophonic melody.
+
+    Parameters
+    ----------
+    notes:
+        Iterable of :class:`Note` or ``(pitch, duration)`` pairs.
+    name:
+        Optional label (song title, phrase id).
+    """
+
+    def __init__(self, notes, *, name: str = "") -> None:
+        parsed = []
+        for item in notes:
+            if isinstance(item, Note):
+                parsed.append(item)
+            else:
+                pitch, duration = item
+                parsed.append(Note(float(pitch), float(duration)))
+        if not parsed:
+            raise ValueError("a melody must contain at least one note")
+        self._notes = tuple(parsed)
+        self.name = name
+
+    @property
+    def notes(self) -> tuple[Note, ...]:
+        return self._notes
+
+    def __len__(self) -> int:
+        return len(self._notes)
+
+    def __iter__(self):
+        return iter(self._notes)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Melody):
+            return NotImplemented
+        return self._notes == other._notes
+
+    def __hash__(self) -> int:
+        return hash(self._notes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"Melody({len(self)} notes{label})"
+
+    @property
+    def total_beats(self) -> float:
+        return sum(note.duration for note in self._notes)
+
+    def pitches(self) -> np.ndarray:
+        return np.array([note.pitch for note in self._notes])
+
+    def durations(self) -> np.ndarray:
+        return np.array([note.duration for note in self._notes])
+
+    def transpose(self, semitones: float) -> "Melody":
+        """A copy shifted by *semitones* (may be fractional)."""
+        return Melody(
+            [(note.pitch + semitones, note.duration) for note in self._notes],
+            name=self.name,
+        )
+
+    def scale_tempo(self, factor: float) -> "Melody":
+        """A copy with every duration multiplied by *factor*."""
+        if factor <= 0:
+            raise ValueError(f"tempo factor must be positive, got {factor}")
+        return Melody(
+            [(note.pitch, note.duration * factor) for note in self._notes],
+            name=self.name,
+        )
+
+    def slice_notes(self, start: int, stop: int) -> "Melody":
+        """Sub-melody of notes ``[start, stop)``."""
+        if not 0 <= start < stop <= len(self):
+            raise ValueError(
+                f"invalid note slice [{start}, {stop}) of {len(self)} notes"
+            )
+        return Melody(self._notes[start:stop], name=self.name)
+
+    def to_time_series(self, samples_per_beat: int = 8) -> np.ndarray:
+        """Piecewise-constant pitch time series (Section 3.2).
+
+        Each note contributes ``round(duration * samples_per_beat)``
+        samples (at least one, so very short notes are not lost).
+        """
+        if samples_per_beat < 1:
+            raise ValueError(
+                f"samples_per_beat must be >= 1, got {samples_per_beat}"
+            )
+        chunks = [
+            np.full(
+                max(1, int(round(note.duration * samples_per_beat))), note.pitch
+            )
+            for note in self._notes
+        ]
+        return np.concatenate(chunks)
+
+    @classmethod
+    def from_time_series(cls, series, *, samples_per_beat: int = 8,
+                         name: str = "") -> "Melody":
+        """Inverse of :meth:`to_time_series` for piecewise-constant input.
+
+        Consecutive equal samples are merged into one note.  This is a
+        modelling helper, not a transcription algorithm — for hummed
+        audio use :mod:`repro.hum.segmentation`.
+        """
+        arr = np.asarray(series, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("series must be a non-empty 1-D array")
+        notes = []
+        run_start = 0
+        for i in range(1, arr.size + 1):
+            if i == arr.size or arr[i] != arr[run_start]:
+                notes.append(
+                    (arr[run_start], (i - run_start) / samples_per_beat)
+                )
+                run_start = i
+        return cls(notes, name=name)

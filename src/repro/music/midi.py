@@ -1,0 +1,286 @@
+"""Minimal Standard MIDI File reader/writer.
+
+The paper builds its large music database by extracting notes from "the
+melody channel of MIDI files collected from the Internet".  This module
+is the substrate for that step: enough of SMF (format 0 and 1) to
+round-trip monophonic melodies — header and track chunks, variable
+length quantities, running status, note on/off, and the set-tempo meta
+event.  Anything else in the file is skipped structurally.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+
+from .melody import Melody
+
+__all__ = ["MidiFile", "MidiNoteEvent", "melody_to_midi_bytes", "melodies_from_midi_bytes"]
+
+_DEFAULT_DIVISION = 480  # ticks per quarter note
+
+
+@dataclass
+class MidiNoteEvent:
+    """One decoded note: channel, pitch, start/end in ticks."""
+
+    channel: int
+    pitch: int
+    velocity: int
+    start_tick: int
+    end_tick: int
+
+    @property
+    def duration_ticks(self) -> int:
+        return self.end_tick - self.start_tick
+
+
+def _write_vlq(value: int) -> bytes:
+    """Encode a MIDI variable-length quantity."""
+    if value < 0:
+        raise ValueError(f"VLQ values must be >= 0, got {value}")
+    chunks = [value & 0x7F]
+    value >>= 7
+    while value:
+        chunks.append(0x80 | (value & 0x7F))
+        value >>= 7
+    return bytes(reversed(chunks))
+
+
+def _read_exact(stream: io.BytesIO, count: int) -> bytes:
+    """Read exactly *count* bytes or raise ``ValueError``."""
+    data = stream.read(count)
+    if len(data) != count:
+        raise ValueError(
+            f"truncated MIDI data: wanted {count} bytes, got {len(data)}"
+        )
+    return data
+
+
+def _read_vlq(stream: io.BytesIO) -> int:
+    """Decode a MIDI variable-length quantity."""
+    value = 0
+    for _ in range(4):
+        byte = stream.read(1)
+        if not byte:
+            raise ValueError("truncated variable-length quantity")
+        b = byte[0]
+        value = (value << 7) | (b & 0x7F)
+        if not b & 0x80:
+            return value
+    raise ValueError("variable-length quantity longer than 4 bytes")
+
+
+@dataclass
+class MidiFile:
+    """A decoded MIDI file reduced to note events.
+
+    Attributes
+    ----------
+    division:
+        Ticks per quarter note.
+    notes:
+        All note events across all tracks, ordered by start tick.
+    tempo_us_per_beat:
+        Microseconds per quarter note (first set-tempo event, default
+        500000 = 120 BPM).
+    """
+
+    division: int = _DEFAULT_DIVISION
+    notes: list[MidiNoteEvent] = field(default_factory=list)
+    tempo_us_per_beat: int = 500000
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_melody(
+        cls,
+        melody: Melody,
+        *,
+        channel: int = 0,
+        division: int = _DEFAULT_DIVISION,
+        velocity: int = 90,
+    ) -> "MidiFile":
+        """Encode a melody as back-to-back notes on one channel."""
+        if not 0 <= channel < 16:
+            raise ValueError(f"channel must be in [0, 16), got {channel}")
+        midi = cls(division=division)
+        tick = 0
+        for note in melody:
+            length = max(1, int(round(note.duration * division)))
+            midi.notes.append(
+                MidiNoteEvent(
+                    channel=channel,
+                    pitch=int(round(note.pitch)),
+                    velocity=velocity,
+                    start_tick=tick,
+                    end_tick=tick + length,
+                )
+            )
+            tick += length
+        return midi
+
+    def to_bytes(self) -> bytes:
+        """Serialise as a format-0 SMF."""
+        events: list[tuple[int, bytes]] = [
+            (0, bytes([0xFF, 0x51, 0x03]) + self.tempo_us_per_beat.to_bytes(3, "big"))
+        ]
+        for note in sorted(self.notes, key=lambda n: (n.start_tick, n.pitch)):
+            on = bytes([0x90 | note.channel, note.pitch, note.velocity])
+            off = bytes([0x80 | note.channel, note.pitch, 0])
+            events.append((note.start_tick, on))
+            events.append((note.end_tick, off))
+        events.sort(key=lambda pair: pair[0])
+        track = bytearray()
+        prev_tick = 0
+        for tick, payload in events:
+            track += _write_vlq(tick - prev_tick)
+            track += payload
+            prev_tick = tick
+        track += _write_vlq(0) + bytes([0xFF, 0x2F, 0x00])  # end of track
+        header = struct.pack(">4sIHHH", b"MThd", 6, 0, 1, self.division)
+        return header + struct.pack(">4sI", b"MTrk", len(track)) + bytes(track)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MidiFile":
+        """Parse an SMF byte string (formats 0 and 1)."""
+        stream = io.BytesIO(data)
+        magic, length = struct.unpack(">4sI", _read_exact(stream, 8))
+        if magic != b"MThd" or length < 6:
+            raise ValueError("not a MIDI file (missing MThd header)")
+        fmt, n_tracks, division = struct.unpack(">HHH", _read_exact(stream, 6))
+        stream.read(length - 6)
+        if fmt not in (0, 1):
+            raise ValueError(f"unsupported MIDI format {fmt}")
+        if division & 0x8000:
+            raise ValueError("SMPTE time division is not supported")
+        midi = cls(division=division)
+        for _ in range(n_tracks):
+            midi._parse_track(stream)
+        midi.notes.sort(key=lambda n: (n.start_tick, n.channel, n.pitch))
+        return midi
+
+    def _parse_track(self, stream: io.BytesIO) -> None:
+        header = stream.read(8)
+        if len(header) < 8:
+            raise ValueError("truncated track header")
+        magic, length = struct.unpack(">4sI", header)
+        if magic != b"MTrk":
+            raise ValueError(f"expected MTrk chunk, got {magic!r}")
+        track = io.BytesIO(stream.read(length))
+        tick = 0
+        running_status = None
+        open_notes: dict[tuple[int, int], tuple[int, int]] = {}
+        while True:
+            head = track.read(1)
+            if not head:
+                break
+            track.seek(-1, io.SEEK_CUR)
+            tick += _read_vlq(track)
+            status_byte = _read_exact(track, 1)[0]
+            if status_byte < 0x80:
+                if running_status is None:
+                    raise ValueError("data byte with no running status")
+                status = running_status
+                track.seek(-1, io.SEEK_CUR)
+            else:
+                status = status_byte
+                if status < 0xF0:
+                    running_status = status
+            if status == 0xFF:  # meta event
+                meta_type = _read_exact(track, 1)[0]
+                meta_len = _read_vlq(track)
+                payload = _read_exact(track, meta_len)
+                if meta_type == 0x51 and meta_len == 3:
+                    self.tempo_us_per_beat = int.from_bytes(payload, "big")
+                if meta_type == 0x2F:
+                    break
+                continue
+            if status in (0xF0, 0xF7):  # sysex
+                _read_exact(track, _read_vlq(track))
+                continue
+            kind = status & 0xF0
+            channel = status & 0x0F
+            if kind in (0x80, 0x90, 0xA0, 0xB0, 0xE0):
+                data1 = _read_exact(track, 1)[0]
+                data2 = _read_exact(track, 1)[0]
+            elif kind in (0xC0, 0xD0):
+                _read_exact(track, 1)
+                continue
+            else:
+                raise ValueError(f"unexpected status byte 0x{status:02x}")
+            if kind == 0x90 and data2 > 0:
+                open_notes[(channel, data1)] = (tick, data2)
+            elif kind == 0x80 or (kind == 0x90 and data2 == 0):
+                started = open_notes.pop((channel, data1), None)
+                if started is not None:
+                    start_tick, velocity = started
+                    self.notes.append(
+                        MidiNoteEvent(
+                            channel=channel,
+                            pitch=data1,
+                            velocity=velocity,
+                            start_tick=start_tick,
+                            end_tick=tick,
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # melody extraction
+    # ------------------------------------------------------------------
+
+    def channels(self) -> list[int]:
+        """Channels carrying notes, ordered by note count (desc)."""
+        counts: dict[int, int] = {}
+        for note in self.notes:
+            counts[note.channel] = counts.get(note.channel, 0) + 1
+        return sorted(counts, key=lambda ch: -counts[ch])
+
+    def melody_channel(self) -> int:
+        """Heuristic melody channel: the one with the most notes."""
+        chans = self.channels()
+        if not chans:
+            raise ValueError("MIDI file contains no notes")
+        return chans[0]
+
+    def to_melody(self, channel: int | None = None, *, name: str = "") -> Melody:
+        """Extract the monophonic melody of *channel*.
+
+        Overlapping notes are flattened by keeping, at any moment, the
+        most recently started note; zero-length remnants are dropped.
+        """
+        if channel is None:
+            channel = self.melody_channel()
+        events = [n for n in self.notes if n.channel == channel]
+        if not events:
+            raise ValueError(f"channel {channel} has no notes")
+        events.sort(key=lambda n: n.start_tick)
+        notes = []
+        for i, event in enumerate(events):
+            end = event.end_tick
+            if i + 1 < len(events):
+                end = min(end, events[i + 1].start_tick)
+            duration = (end - event.start_tick) / self.division
+            if duration > 0:
+                notes.append((float(event.pitch), duration))
+        if not notes:
+            raise ValueError(f"channel {channel} flattens to an empty melody")
+        return Melody(notes, name=name)
+
+
+def melody_to_midi_bytes(melody: Melody, **kwargs) -> bytes:
+    """Convenience: encode a melody straight to SMF bytes."""
+    return MidiFile.from_melody(melody, **kwargs).to_bytes()
+
+
+def melodies_from_midi_bytes(data: bytes) -> list[Melody]:
+    """Convenience: one melody per note-bearing channel of the file."""
+    midi = MidiFile.from_bytes(data)
+    return [midi.to_melody(ch) for ch in midi.channels()]

@@ -1,0 +1,118 @@
+"""ABC-notation export: make melodies human-readable and shareable.
+
+ABC is the plain-text folk-notation standard — any ABC renderer turns
+the output into sheet music, so a query result or a generated corpus
+can be *seen* (and played) outside this library.  Only the subset a
+monophonic melody needs is produced: header fields, note letters with
+octave marks, accidentals as sharps, and duration multipliers relative
+to the unit note length.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .melody import Melody
+
+__all__ = ["melody_to_abc"]
+
+#: Pitch-class spelling with sharps (ABC uses ^ for sharp).
+_ABC_CLASSES = ("C", "^C", "D", "^D", "E", "F", "^F", "G", "^G", "A", "^A", "B")
+
+
+def _abc_pitch(midi_pitch: float) -> str:
+    """ABC spelling of a MIDI pitch (rounded to the tempered grid).
+
+    Octave 5 (MIDI 60-71) is upper-case; octave 6 lower-case; further
+    octaves add ``'`` (up) or ``,`` (down) marks, per the ABC standard.
+    """
+    rounded = int(round(midi_pitch))
+    pitch_class = _ABC_CLASSES[rounded % 12]
+    octave = rounded // 12 - 1  # scientific octave number
+    if octave <= 4:
+        return pitch_class + "," * (4 - octave)
+    if octave == 5:
+        return pitch_class.lower()
+    return pitch_class.lower() + "'" * (octave - 5)
+
+
+def _abc_duration(duration_beats: float, unit_beats: Fraction) -> str:
+    """Duration multiplier string relative to the unit note length."""
+    ratio = Fraction(duration_beats).limit_denominator(16) / unit_beats
+    if ratio == 1:
+        return ""
+    if ratio.denominator == 1:
+        return str(ratio.numerator)
+    if ratio.numerator == 1 and ratio.denominator == 2:
+        return "/"
+    return f"{ratio.numerator}/{ratio.denominator}"
+
+
+def melody_to_abc(
+    melody: Melody,
+    *,
+    title: str | None = None,
+    reference: int = 1,
+    unit_beats: float = 0.5,
+    beats_per_bar: int = 4,
+    tempo_bpm: int = 100,
+) -> str:
+    """Render a melody as an ABC tune.
+
+    Parameters
+    ----------
+    melody:
+        The melody (fractional pitches round to the tempered grid).
+    title:
+        Tune title; defaults to the melody's name.
+    reference:
+        The ABC ``X:`` reference number.
+    unit_beats:
+        Beats represented by the unit note length ``L:`` (0.5 beat =
+        an eighth note under ``M: 4/4``).
+    beats_per_bar:
+        Bar length for the ``M:`` field and bar-line placement.
+    tempo_bpm:
+        Quarter-note tempo for the ``Q:`` field.
+
+    Returns
+    -------
+    str
+        A complete single-voice ABC tune body with headers.
+    """
+    if unit_beats <= 0 or beats_per_bar < 1 or tempo_bpm < 1:
+        raise ValueError("unit_beats, beats_per_bar, tempo_bpm must be positive")
+    unit = Fraction(unit_beats).limit_denominator(16)
+    header = [
+        f"X: {reference}",
+        f"T: {title or melody.name or 'untitled'}",
+        f"M: {beats_per_bar}/4",
+        f"L: {Fraction(unit / 4).limit_denominator(64)}",
+        f"Q: 1/4={tempo_bpm}",
+        "K: C",
+    ]
+    tokens: list[str] = []
+    beats_in_bar = 0.0
+    for note in melody:
+        tokens.append(
+            _abc_pitch(note.pitch) + _abc_duration(note.duration, unit)
+        )
+        beats_in_bar += note.duration
+        if beats_in_bar >= beats_per_bar - 1e-9:
+            tokens.append("|")
+            beats_in_bar = 0.0
+    if tokens and tokens[-1] != "|":
+        tokens.append("|")
+    body_lines = []
+    line: list[str] = []
+    bars = 0
+    for token in tokens:
+        line.append(token)
+        if token == "|":
+            bars += 1
+            if bars % 4 == 0:
+                body_lines.append(" ".join(line))
+                line = []
+    if line:
+        body_lines.append(" ".join(line))
+    return "\n".join(header + body_lines) + "\n"

@@ -1,0 +1,115 @@
+"""Basic music theory utilities: pitch classes, intervals, key finding.
+
+Supports corpus analysis and examples: a pitch-class histogram over a
+melody, Krumhansl–Schmuckler key estimation (correlating the histogram
+with the classic major/minor key profiles), and interval naming.
+Nothing here is required by the index — melodies are matched as raw
+time series, per the paper — but a music database library without a
+key finder would feel half-dressed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .melody import Melody
+
+__all__ = [
+    "PITCH_CLASSES",
+    "interval_name",
+    "pitch_class_histogram",
+    "estimate_key",
+    "key_name",
+]
+
+PITCH_CLASSES = ("C", "C#", "D", "D#", "E", "F", "F#", "G", "G#", "A", "A#", "B")
+
+_INTERVAL_NAMES = (
+    "unison", "minor second", "major second", "minor third", "major third",
+    "perfect fourth", "tritone", "perfect fifth", "minor sixth",
+    "major sixth", "minor seventh", "major seventh",
+)
+
+#: Krumhansl-Kessler key profiles (probe-tone ratings).
+_MAJOR_PROFILE = np.array(
+    [6.35, 2.23, 3.48, 2.33, 4.38, 4.09, 2.52, 5.19, 2.39, 3.66, 2.29, 2.88]
+)
+_MINOR_PROFILE = np.array(
+    [6.33, 2.68, 3.52, 5.38, 2.60, 3.53, 2.54, 4.75, 3.98, 2.69, 3.34, 3.17]
+)
+
+
+def interval_name(semitones: int) -> str:
+    """Name of an interval; octaves are annotated.
+
+    >>> interval_name(7)
+    'perfect fifth'
+    >>> interval_name(-12)
+    'octave'
+    """
+    distance = abs(int(semitones))
+    octaves, remainder = divmod(distance, 12)
+    if remainder == 0 and octaves > 0:
+        return "octave" if octaves == 1 else f"{octaves} octaves"
+    name = _INTERVAL_NAMES[remainder]
+    if octaves:
+        return f"{name} + {octaves} octave{'s' if octaves > 1 else ''}"
+    return name
+
+
+def pitch_class_histogram(melody: Melody, *, weighted: bool = True) -> np.ndarray:
+    """Distribution of the melody's pitch classes (sums to 1).
+
+    Parameters
+    ----------
+    melody:
+        Input melody; fractional pitches are rounded to the nearest
+        tempered pitch.
+    weighted:
+        Weight each note by its duration (default) rather than
+        counting notes equally.
+    """
+    histogram = np.zeros(12)
+    for note in melody:
+        pitch_class = int(round(note.pitch)) % 12
+        histogram[pitch_class] += note.duration if weighted else 1.0
+    total = histogram.sum()
+    if total > 0:
+        histogram /= total
+    return histogram
+
+
+def estimate_key(melody: Melody) -> tuple[int, str, float]:
+    """Krumhansl–Schmuckler key estimation.
+
+    Correlates the melody's duration-weighted pitch-class histogram
+    with the 24 rotated key profiles and returns the winner.
+
+    Returns
+    -------
+    (tonic, mode, confidence)
+        ``tonic`` is a pitch class 0-11 (0 = C), ``mode`` is
+        ``"major"`` or ``"minor"``, and ``confidence`` is the winning
+        Pearson correlation (1.0 = perfect fit).
+    """
+    histogram = pitch_class_histogram(melody)
+    best = (-2.0, 0, "major")
+    for mode, profile in (("major", _MAJOR_PROFILE), ("minor", _MINOR_PROFILE)):
+        for tonic in range(12):
+            rotated = np.roll(profile, tonic)
+            corr = np.corrcoef(histogram, rotated)[0, 1]
+            if np.isnan(corr):
+                continue
+            if corr > best[0]:
+                best = (float(corr), tonic, mode)
+    confidence, tonic, mode = best
+    return tonic, mode, confidence
+
+
+def key_name(tonic: int, mode: str) -> str:
+    """Human-readable key name, e.g. ``key_name(9, "minor") == 'A minor'``."""
+    if not 0 <= tonic < 12:
+        raise ValueError(f"tonic must be a pitch class 0-11, got {tonic}")
+    if mode not in ("major", "minor"):
+        raise ValueError(f"mode must be 'major' or 'minor', got {mode!r}")
+    return f"{PITCH_CLASSES[tonic]} {mode}"

@@ -1,0 +1,149 @@
+"""Hummer calibration — the paper's stated future work.
+
+The conclusion says the authors are "still working on ... adapting the
+system to different hummers".  This module implements that adaptation:
+from a handful of *confirmed* query→melody pairs (the user hummed,
+then clicked the right answer), it estimates the singer's systematic
+biases and corrects future queries before they hit the index.
+
+Estimated biases:
+
+* **interval compression** — timid singers shrink every leap; the
+  compression factor is the least-squares slope between the hum's and
+  the melody's deviations from their means (shift-invariant, so
+  transposition does not pollute the estimate);
+* **tempo ratio** — hum duration per melody beat, whose *variance*
+  across sessions the normal form already absorbs but whose mean
+  reveals a singer who always drags or rushes (useful when querying
+  with duration-sensitive settings);
+* **drift rate** — semitones of cumulative flat/sharp drift per
+  second, removed by counter-rotating the query.
+
+All estimates are robust to a few bad pairs via median aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.series import as_series, uniform_resample
+from ..music.melody import Melody
+
+__all__ = ["HummerProfile", "fit_hummer_profile"]
+
+
+@dataclass(frozen=True)
+class HummerProfile:
+    """A singer's systematic biases, learned from confirmed matches.
+
+    Attributes
+    ----------
+    interval_scale:
+        Multiplier the singer applies to intervals (1.0 = faithful,
+        <1 compressed, >1 exaggerated).
+    tempo_ratio:
+        Seconds the singer spends per melody beat, divided by the
+        nominal seconds-per-beat (1.0 = on tempo).
+    drift_per_frame:
+        Semitones of linear pitch drift per hum frame.
+    n_samples:
+        How many confirmed pairs produced the estimate.
+    """
+
+    interval_scale: float = 1.0
+    tempo_ratio: float = 1.0
+    drift_per_frame: float = 0.0
+    n_samples: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval_scale <= 0:
+            raise ValueError("interval scale must be positive")
+        if self.tempo_ratio <= 0:
+            raise ValueError("tempo ratio must be positive")
+
+    def correct(self, pitch_series) -> np.ndarray:
+        """Undo the singer's biases on a new hum query.
+
+        Removes the linear drift, then rescales deviations from the
+        mean by ``1 / interval_scale``.  (Tempo needs no pointwise
+        correction — the UTW normal form absorbs it — but the ratio is
+        exposed for callers that match on absolute durations.)
+        """
+        arr = as_series(pitch_series)
+        t = np.arange(arr.size, dtype=np.float64)
+        corrected = arr - self.drift_per_frame * t
+        mean = corrected.mean()
+        return mean + (corrected - mean) / self.interval_scale
+
+
+def _pair_statistics(hum, melody: Melody, tempo_bpm: float,
+                     frame_rate: int) -> tuple[float, float, float]:
+    """(interval slope, tempo ratio, drift/frame) for one pair."""
+    arr = as_series(hum, min_length=4)
+    score = melody.to_time_series(8).astype(np.float64)
+    # Compare on a common clock.
+    length = 128
+    hum_norm = uniform_resample(arr, length)
+    score_norm = uniform_resample(score, length)
+    hum_dev = hum_norm - hum_norm.mean()
+    score_dev = score_norm - score_norm.mean()
+    denom = float(np.dot(score_dev, score_dev))
+    slope = float(np.dot(hum_dev, score_dev)) / denom if denom > 0 else 1.0
+
+    nominal_seconds = melody.total_beats * 60.0 / tempo_bpm
+    actual_seconds = arr.size / frame_rate
+    ratio = actual_seconds / nominal_seconds if nominal_seconds > 0 else 1.0
+
+    # Drift: slope of the residual after removing the melody shape.
+    residual = hum_dev - slope * score_dev
+    t = np.arange(length, dtype=np.float64)
+    t_dev = t - t.mean()
+    drift_norm = float(np.dot(residual, t_dev) / np.dot(t_dev, t_dev))
+    # Convert from normal-form samples back to hum frames.
+    drift_per_frame = drift_norm * length / arr.size
+    return slope, ratio, drift_per_frame
+
+
+def fit_hummer_profile(
+    confirmed_pairs,
+    *,
+    tempo_bpm: float = 100.0,
+    frame_rate: int = 100,
+) -> HummerProfile:
+    """Estimate a :class:`HummerProfile` from confirmed matches.
+
+    Parameters
+    ----------
+    confirmed_pairs:
+        Iterable of ``(hum_pitch_series, melody)`` pairs the user has
+        confirmed as correct matches.
+    tempo_bpm:
+        Nominal tempo of the melodies (for the tempo-ratio estimate).
+    frame_rate:
+        Hum frames per second.
+
+    Raises
+    ------
+    ValueError
+        If no pairs are given.
+    """
+    slopes, ratios, drifts = [], [], []
+    for hum, melody in confirmed_pairs:
+        slope, ratio, drift = _pair_statistics(hum, melody, tempo_bpm,
+                                               frame_rate)
+        slopes.append(slope)
+        ratios.append(ratio)
+        drifts.append(drift)
+    if not slopes:
+        raise ValueError("need at least one confirmed pair")
+    interval_scale = float(np.median(slopes))
+    # Guard nonsensical estimates from degenerate pairs.
+    interval_scale = min(max(interval_scale, 0.25), 4.0)
+    return HummerProfile(
+        interval_scale=interval_scale,
+        tempo_ratio=float(np.median(ratios)),
+        drift_per_frame=float(np.median(drifts)),
+        n_samples=len(slopes),
+    )

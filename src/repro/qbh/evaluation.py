@@ -1,0 +1,92 @@
+"""Retrieval-quality evaluation in the paper's table format.
+
+Tables 2 and 3 report, for a battery of hum queries, how many target
+melodies were retrieved at rank 1, ranks 2-3, 4-5, 6-10, and beyond 10.
+:class:`RankTable` accumulates ranks into those buckets and renders the
+rows; :func:`format_rank_tables` lines several configurations up side
+by side, which is exactly what the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["RANK_BUCKETS", "bucket_label", "RankTable", "format_rank_tables"]
+
+#: (low, high, label) — inclusive rank buckets of Tables 2 and 3.
+RANK_BUCKETS: tuple[tuple[int, float, str], ...] = (
+    (1, 1, "1"),
+    (2, 3, "2-3"),
+    (4, 5, "4-5"),
+    (6, 10, "6-10"),
+    (11, math.inf, "10-"),
+)
+
+
+def bucket_label(rank: int) -> str:
+    """The table bucket a 1-based rank falls into."""
+    if rank < 1:
+        raise ValueError(f"ranks are 1-based, got {rank}")
+    for low, high, label in RANK_BUCKETS:
+        if low <= rank <= high:
+            return label
+    raise AssertionError("buckets cover all ranks")  # pragma: no cover
+
+
+@dataclass
+class RankTable:
+    """Counts of query targets per rank bucket."""
+
+    name: str = ""
+    counts: dict[str, int] = field(
+        default_factory=lambda: {label: 0 for *_, label in RANK_BUCKETS}
+    )
+    ranks: list[int] = field(default_factory=list)
+
+    def add(self, rank: int) -> None:
+        """Record the rank of one query's intended target."""
+        self.counts[bucket_label(rank)] += 1
+        self.ranks.append(rank)
+
+    @property
+    def total(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def top1(self) -> int:
+        return self.counts["1"]
+
+    def in_top(self, n: int) -> int:
+        """How many targets ranked at or better than *n*."""
+        return sum(1 for rank in self.ranks if rank <= n)
+
+    def mean_reciprocal_rank(self) -> float:
+        """MRR — a modern summary the paper predates but implies."""
+        if not self.ranks:
+            return 0.0
+        return sum(1.0 / rank for rank in self.ranks) / len(self.ranks)
+
+
+def format_rank_tables(tables: list[RankTable], *, title: str = "") -> str:
+    """Render rank tables side by side, one column per configuration.
+
+    Mirrors the layout of Tables 2 and 3: a "Rank" column followed by
+    the per-configuration counts.
+    """
+    if not tables:
+        raise ValueError("need at least one rank table")
+    headers = ["Rank"] + [table.name or f"cfg{i}" for i, table in enumerate(tables)]
+    rows = [headers]
+    for *_, label in RANK_BUCKETS:
+        rows.append([label] + [str(table.counts[label]) for table in tables])
+    rows.append(["MRR"] + [f"{table.mean_reciprocal_rank():.3f}" for table in tables])
+    widths = [max(len(row[col]) for row in rows) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * widths[c] for c in range(len(headers))))
+    return "\n".join(lines)

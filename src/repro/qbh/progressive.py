@@ -1,0 +1,182 @@
+"""Progressive querying: results that converge while the user hums.
+
+A responsive frontend should not wait for the user to finish: it
+re-queries as pitch frames arrive and shows the ranking firming up.
+
+The subtlety is that a half-finished hum, UTW-normalised, is *not* a
+degraded version of the whole target melody — it is a faithful version
+of the target's first half, and can genuinely resemble some other
+whole melody.  :class:`ProgressiveQuery` therefore matches prefixes to
+prefixes: every database melody is indexed at several prefix fractions
+(25/50/75/100 % by default), and the streamed hum is matched against
+the multi-fraction index, deduplicated per melody.  Convergence — a
+stable top answer over several snapshots — is the stop signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.normal_form import NormalForm
+from ..index.gemini import WarpingIndex
+from .system import QueryByHummingSystem
+
+__all__ = ["ProgressiveSnapshot", "ProgressiveQuery"]
+
+#: Dense enough that any hum prefix is within ~5% of an indexed
+#: fraction — the UTW normal form absorbs the rest.
+DEFAULT_FRACTIONS = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class ProgressiveSnapshot:
+    """One intermediate ranking during a progressive query.
+
+    Attributes
+    ----------
+    frames_heard:
+        Voiced pitch frames consumed so far.
+    results:
+        Current top-k ``(melody_name, distance)``, deduplicated per
+        melody (the distance is to the best-matching prefix).
+    stable_for:
+        Consecutive snapshots (including this one) with the same top-1.
+    converged:
+        Whether the stability criterion has been met.
+    """
+
+    frames_heard: int
+    results: list
+    stable_for: int
+    converged: bool
+
+    @property
+    def top(self) -> str | None:
+        return self.results[0][0] if self.results else None
+
+
+class ProgressiveQuery:
+    """Re-query a humming system as pitch frames stream in.
+
+    Parameters
+    ----------
+    system:
+        The melody database (its melodies are re-indexed at several
+        prefix fractions; the system's own index is untouched).
+    k:
+        Results per snapshot (per distinct melody).
+    min_frames:
+        Do not query before this many voiced frames.
+    every:
+        Re-query after every *every* new voiced frames.
+    stability:
+        Consecutive identical top-1 answers required to declare
+        convergence.
+    fractions:
+        Prefix fractions to index per melody.
+    """
+
+    def __init__(
+        self,
+        system: QueryByHummingSystem,
+        *,
+        k: int = 5,
+        min_frames: int = 100,
+        every: int = 50,
+        stability: int = 3,
+        fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    ) -> None:
+        if min_frames < 2 or every < 1 or stability < 1 or k < 1:
+            raise ValueError("invalid progressive-query configuration")
+        if not fractions or any(not 0 < f <= 1 for f in fractions):
+            raise ValueError("prefix fractions must lie in (0, 1]")
+        self.system = system
+        self.k = k
+        self.min_frames = min_frames
+        self.every = every
+        self.stability = stability
+        self._frames: list[float] = []
+        self._since_last_query = 0
+        self._last_top: str | None = None
+        self._stable_for = 0
+        self.snapshots: list[ProgressiveSnapshot] = []
+
+        prefix_series = []
+        prefix_ids = []
+        for idx, melody in enumerate(system.melodies):
+            series = melody.to_time_series(system.samples_per_beat)
+            for fraction in sorted(set(fractions)):
+                length = max(2, int(round(series.size * fraction)))
+                prefix_series.append(series[:length].astype(np.float64))
+                prefix_ids.append((idx, fraction))
+        self._prefix_index = WarpingIndex(
+            prefix_series,
+            delta=system.delta,
+            normal_form=NormalForm(length=system.index.normal_length),
+            ids=prefix_ids,
+        )
+
+    @property
+    def converged(self) -> bool:
+        return self._stable_for >= self.stability
+
+    def feed(self, pitch_frames) -> ProgressiveSnapshot | None:
+        """Consume voiced pitch frames; maybe produce a new snapshot.
+
+        Returns the new :class:`ProgressiveSnapshot` when a re-query
+        fired, else ``None``.  Frames containing NaN are rejected —
+        feed the *voiced* series (e.g. from
+        :meth:`~repro.hum.online.OnlinePitchTracker.pitch_series`).
+        """
+        arr = np.asarray(pitch_frames, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError("pitch frames must be 1-D")
+        if arr.size and not np.all(np.isfinite(arr)):
+            raise ValueError("feed voiced frames only (no NaN)")
+        self._frames.extend(arr.tolist())
+        self._since_last_query += arr.size
+        if len(self._frames) < self.min_frames:
+            return None
+        if self.snapshots and self._since_last_query < self.every:
+            return None
+        return self._snapshot()
+
+    def _snapshot(self) -> ProgressiveSnapshot:
+        self._since_last_query = 0
+        hum = np.asarray(self._frames)
+        # Over-fetch so per-melody dedup still fills k slots.
+        hits, _ = self._prefix_index.knn_query(
+            hum, min(self.k * len(DEFAULT_FRACTIONS) * 2,
+                     len(self._prefix_index))
+        )
+        best: dict[int, float] = {}
+        for (melody_idx, _fraction), dist in hits:
+            if melody_idx not in best or dist < best[melody_idx]:
+                best[melody_idx] = dist
+        ranked = sorted(best.items(), key=lambda kv: kv[1])[: self.k]
+        results = [
+            (self.system.names[melody_idx], dist)
+            for melody_idx, dist in ranked
+        ]
+        top = results[0][0] if results else None
+        if top is not None and top == self._last_top:
+            self._stable_for += 1
+        else:
+            self._stable_for = 1
+        self._last_top = top
+        snapshot = ProgressiveSnapshot(
+            frames_heard=len(self._frames),
+            results=results,
+            stable_for=self._stable_for,
+            converged=self.converged,
+        )
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    def finish(self) -> ProgressiveSnapshot:
+        """Force a final snapshot on everything heard so far."""
+        if len(self._frames) < 2:
+            raise ValueError("nothing hummed yet")
+        return self._snapshot()

@@ -1,0 +1,113 @@
+"""Interactive query sessions with a feedback loop.
+
+A :class:`QuerySession` wraps a :class:`~repro.qbh.system.QueryByHummingSystem`
+with the per-user state a real deployment keeps: the hums the user
+confirmed, the :class:`~repro.qbh.calibration.HummerProfile` fitted
+from them, and automatic correction of subsequent queries.  The loop:
+
+1. ``session.query(hum)`` → ranked melodies (corrected by the current
+   profile, if any);
+2. the user clicks the right answer → ``session.confirm(name)``;
+3. after ``min_confirmations`` the profile is (re)fitted and every
+   later query benefits.
+
+This operationalises the paper's future-work note on "adapting the
+system to different hummers".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..index.stats import QueryStats
+from .calibration import HummerProfile, fit_hummer_profile
+from .system import QueryByHummingSystem
+
+__all__ = ["QuerySession"]
+
+
+class QuerySession:
+    """Stateful per-user session over a humming system.
+
+    Parameters
+    ----------
+    system:
+        The shared, immutable melody index.
+    min_confirmations:
+        Confirmed matches required before a profile is fitted.
+    max_history:
+        Most recent confirmations kept for fitting (older singing
+        habits fade out).
+    """
+
+    def __init__(
+        self,
+        system: QueryByHummingSystem,
+        *,
+        min_confirmations: int = 3,
+        max_history: int = 20,
+    ) -> None:
+        if min_confirmations < 1:
+            raise ValueError("min_confirmations must be >= 1")
+        if max_history < min_confirmations:
+            raise ValueError("max_history must be >= min_confirmations")
+        self.system = system
+        self.min_confirmations = min_confirmations
+        self.max_history = max_history
+        self.profile: HummerProfile | None = None
+        self._confirmed: list[tuple[np.ndarray, object]] = []
+        self._last_hum: np.ndarray | None = None
+        self._name_to_index = {
+            name: idx for idx, name in enumerate(system.names)
+        }
+
+    @property
+    def confirmations(self) -> int:
+        return len(self._confirmed)
+
+    @property
+    def calibrated(self) -> bool:
+        return self.profile is not None
+
+    def query(self, pitch_series, k: int = 10) -> tuple[list, QueryStats]:
+        """Ranked melodies for a hum, corrected by the fitted profile.
+
+        Remembers the (raw) hum so a subsequent :meth:`confirm` can
+        attribute it.
+        """
+        hum = np.asarray(pitch_series, dtype=np.float64)
+        self._last_hum = hum.copy()
+        corrected = self.profile.correct(hum) if self.profile else hum
+        return self.system.query(corrected, k)
+
+    def confirm(self, melody_name: str) -> bool:
+        """Record that the last query's intended melody was *melody_name*.
+
+        Returns True if the profile was (re)fitted as a result.
+
+        Raises
+        ------
+        RuntimeError
+            If no query preceded the confirmation.
+        KeyError
+            If the name is not in the database.
+        """
+        if self._last_hum is None:
+            raise RuntimeError("confirm() must follow a query()")
+        if melody_name not in self._name_to_index:
+            raise KeyError(f"unknown melody {melody_name!r}")
+        melody = self.system.melodies[self._name_to_index[melody_name]]
+        self._confirmed.append((self._last_hum, melody))
+        self._last_hum = None
+        if len(self._confirmed) > self.max_history:
+            self._confirmed = self._confirmed[-self.max_history :]
+        if len(self._confirmed) >= self.min_confirmations:
+            self.profile = fit_hummer_profile(self._confirmed)
+            return True
+        return False
+
+    def reset_profile(self) -> None:
+        """Drop the fitted profile and confirmation history."""
+        self.profile = None
+        self._confirmed.clear()
+        self._last_hum = None

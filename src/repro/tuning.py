@@ -1,0 +1,133 @@
+"""Index auto-tuning: pick feature dimensionality empirically.
+
+The paper fixes N = 8 features for its large experiments and N = 4 for
+its tightness studies; a deployment should choose N from its own data.
+:func:`tune_feature_count` grid-searches the feature dimensionality on
+a sample of the database, measuring real filter power (candidates per
+query at a target selectivity) against index size, and recommends the
+smallest N within a tolerance of the best filter power — the paper's
+own trade-off (more dimensions filter better but bloat every index
+entry and MBR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .core.envelope_transforms import NewPAAEnvelopeTransform
+from .core.normal_form import NormalForm
+from .index.gemini import WarpingIndex
+
+__all__ = ["TuningPoint", "TuningReport", "tune_feature_count"]
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """Measured filter behaviour at one feature dimensionality."""
+
+    n_features: int
+    mean_candidates: float
+    mean_pages: float
+    index_floats: int  # storage cost: features kept per series
+
+
+@dataclass
+class TuningReport:
+    """Outcome of a feature-count grid search."""
+
+    points: list[TuningPoint]
+    recommended: int
+
+    def summary(self) -> str:
+        lines = [f"{'N':>4} {'candidates':>12} {'pages':>8} {'floats':>8}"]
+        for point in self.points:
+            marker = "  <-- recommended" if point.n_features == self.recommended else ""
+            lines.append(
+                f"{point.n_features:>4} {point.mean_candidates:>12.1f} "
+                f"{point.mean_pages:>8.1f} {point.index_floats:>8}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def tune_feature_count(
+    database,
+    queries,
+    *,
+    delta: float,
+    normal_length: int = 128,
+    candidates_grid: tuple[int, ...] = (4, 8, 16, 32),
+    epsilon: float | None = None,
+    tolerance: float = 1.25,
+    sample_size: int | None = 2000,
+    seed: int = 0,
+) -> TuningReport:
+    """Grid-search the feature dimensionality on real data.
+
+    Parameters
+    ----------
+    database:
+        The series to index (or a superset to sample from).
+    queries:
+        Representative query series.
+    delta:
+        Warping width the deployment will use.
+    candidates_grid:
+        Feature counts to try (each must be <= *normal_length*).
+    epsilon:
+        Range-query radius; default ``0.5 * sqrt(normal_length)``.
+    tolerance:
+        The smallest N whose mean candidate count is within this
+        factor of the best N wins (prefer small indexes).
+    sample_size:
+        Random sample of the database used for measurement (None =
+        all of it).
+
+    Returns
+    -------
+    TuningReport
+        Per-N measurements plus the recommendation.
+    """
+    database = list(database)
+    if not database or not len(queries):
+        raise ValueError("need a non-empty database and queries")
+    if any(n > normal_length for n in candidates_grid):
+        raise ValueError("feature counts cannot exceed the normal length")
+    if tolerance < 1.0:
+        raise ValueError("tolerance must be >= 1.0")
+    rng = np.random.default_rng(seed)
+    if sample_size is not None and len(database) > sample_size:
+        picks = rng.choice(len(database), size=sample_size, replace=False)
+        database = [database[i] for i in picks]
+    radius = epsilon if epsilon is not None else 0.5 * np.sqrt(normal_length)
+
+    points = []
+    for n_features in sorted(set(candidates_grid)):
+        index = WarpingIndex(
+            database,
+            delta=delta,
+            env_transform=NewPAAEnvelopeTransform(normal_length, n_features),
+            normal_form=NormalForm(length=normal_length),
+        )
+        cand = pages = 0
+        for query in queries:
+            _, stats = index.filter_query(query, radius)
+            cand += stats.candidates
+            pages += stats.page_accesses
+        points.append(
+            TuningPoint(
+                n_features=n_features,
+                mean_candidates=cand / len(queries),
+                mean_pages=pages / len(queries),
+                index_floats=n_features,
+            )
+        )
+
+    best = min(point.mean_candidates for point in points)
+    recommended = points[-1].n_features
+    for point in points:  # grid is sorted ascending: first hit is smallest
+        if point.mean_candidates <= best * tolerance + 1e-9:
+            recommended = point.n_features
+            break
+    return TuningReport(points=points, recommended=recommended)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.music import generate_corpus, segment_corpus
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def random_walk_pair(rng):
+    """Two zero-mean random walks of length 64."""
+    x = np.cumsum(rng.normal(size=64))
+    y = np.cumsum(rng.normal(size=64))
+    return x - x.mean(), y - y.mean()
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A deterministic corpus of 10 songs, ~200 melodies."""
+    songs = generate_corpus(10, seed=202)
+    return segment_corpus(songs, per_song=20, seed=202)

@@ -1,0 +1,124 @@
+"""Unit tests for APCA (adaptive piecewise constant approximation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.apca import APCA, apca_approximate, apca_dtw_lb, apca_euclidean_lb
+from repro.core.envelope import k_envelope
+from repro.core.transforms import PAATransform
+from repro.dtw.distance import ldtw_distance
+
+
+class TestApcaDataclass:
+    def test_reconstruct(self):
+        apca = APCA(values=np.array([1.0, 3.0]), ends=np.array([2, 5]))
+        assert apca.reconstruct().tolist() == [1, 1, 3, 3, 3]
+
+    def test_memory(self):
+        apca = APCA(values=np.array([1.0, 3.0]), ends=np.array([2, 5]))
+        assert apca.memory_floats() == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="increasing"):
+            APCA(values=np.array([1.0, 2.0]), ends=np.array([3, 3]))
+        with pytest.raises(ValueError, match="at least one"):
+            APCA(values=np.array([]), ends=np.array([]))
+        with pytest.raises(ValueError, match="equally long"):
+            APCA(values=np.array([1.0]), ends=np.array([1, 2]))
+
+
+class TestApproximate:
+    def test_exact_for_piecewise_constant_input(self):
+        series = np.array([2.0] * 5 + [7.0] * 3 + [4.0] * 4)
+        apca = apca_approximate(series, 3)
+        assert apca.ends.tolist() == [5, 8, 12]
+        assert apca.values.tolist() == [2.0, 7.0, 4.0]
+        assert np.array_equal(apca.reconstruct(), series)
+
+    def test_segment_count(self, rng):
+        apca = apca_approximate(rng.normal(size=100), 7)
+        assert apca.n_segments == 7
+        assert apca.length == 100
+
+    def test_one_segment_is_global_mean(self, rng):
+        x = rng.normal(size=20)
+        apca = apca_approximate(x, 1)
+        assert apca.values[0] == pytest.approx(x.mean())
+
+    def test_n_segments_equals_length(self, rng):
+        x = rng.normal(size=10)
+        apca = apca_approximate(x, 10)
+        assert np.allclose(apca.reconstruct(), x)
+
+    def test_values_are_segment_means(self, rng):
+        x = rng.normal(size=64)
+        apca = apca_approximate(x, 6)
+        start = 0
+        for value, end in zip(apca.values, apca.ends):
+            assert value == pytest.approx(x[start:end].mean())
+            start = end
+
+    def test_adaptive_beats_fixed_frames_on_steppy_data(self, rng):
+        """APCA's raison d'etre: adaptive boundaries fit step data
+        better than equal-width PAA at the same segment budget."""
+        steps = np.repeat(rng.normal(size=5), [3, 17, 2, 29, 13])
+        apca = apca_approximate(steps, 5)
+        apca_err = np.linalg.norm(steps - apca.reconstruct())
+        paa = PAATransform(64, 5)
+        paa_recon = np.repeat(paa.frame_means(steps),
+                              np.diff(paa.frame_bounds))
+        paa_err = np.linalg.norm(steps - paa_recon)
+        assert apca_err < paa_err
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="n_segments"):
+            apca_approximate(rng.normal(size=10), 0)
+        with pytest.raises(ValueError, match="n_segments"):
+            apca_approximate(rng.normal(size=10), 11)
+
+
+class TestEuclideanLb:
+    def test_lower_bounds_true_distance(self, rng):
+        for _ in range(20):
+            x = np.cumsum(rng.normal(size=64))
+            q = np.cumsum(rng.normal(size=64))
+            apca = apca_approximate(x, 8)
+            assert apca_euclidean_lb(q, apca) <= np.linalg.norm(q - x) + 1e-9
+
+    def test_exact_when_segments_cover_constant_series(self):
+        x = np.array([1.0] * 4 + [5.0] * 4)
+        q = np.array([2.0] * 4 + [3.0] * 4)
+        apca = apca_approximate(x, 2)
+        assert apca_euclidean_lb(q, apca) == pytest.approx(
+            np.linalg.norm(q - x)
+        )
+
+    def test_rejects_length_mismatch(self, rng):
+        apca = apca_approximate(rng.normal(size=16), 4)
+        with pytest.raises(ValueError, match="does not match"):
+            apca_euclidean_lb(rng.normal(size=17), apca)
+
+
+class TestDtwLb:
+    def test_lower_bounds_constrained_dtw(self, rng):
+        for _ in range(20):
+            x = np.cumsum(rng.normal(size=64))
+            q = np.cumsum(rng.normal(size=64))
+            x -= x.mean()
+            q -= q.mean()
+            k = 4
+            apca = apca_approximate(x, 8)
+            lb = apca_dtw_lb(k_envelope(q, k), apca)
+            assert lb <= ldtw_distance(x, q, k) + 1e-9
+
+    def test_zero_for_series_inside_envelope(self, rng):
+        q = np.cumsum(rng.normal(size=32))
+        env = k_envelope(q, 3)
+        apca = apca_approximate(q, 6)
+        assert apca_dtw_lb(env, apca) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_length_mismatch(self, rng):
+        apca = apca_approximate(rng.normal(size=16), 4)
+        env = k_envelope(rng.normal(size=20), 2)
+        with pytest.raises(ValueError, match="does not match"):
+            apca_dtw_lb(env, apca)

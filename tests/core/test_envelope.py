@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.envelope."""
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import (
+    Envelope,
+    envelope_distance,
+    k_envelope,
+    k_to_warping_width,
+    sliding_max,
+    sliding_min,
+    warping_width_to_k,
+)
+
+
+def naive_env(x, k):
+    """Reference O(nk) envelope for cross-checking."""
+    n = len(x)
+    lower = [min(x[max(0, i - k) : min(n, i + k + 1)]) for i in range(n)]
+    upper = [max(x[max(0, i - k) : min(n, i + k + 1)]) for i in range(n)]
+    return np.array(lower), np.array(upper)
+
+
+class TestSlidingExtrema:
+    def test_matches_naive_small(self):
+        x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        lo, hi = naive_env(x, 2)
+        assert np.array_equal(sliding_min(x, 2), lo)
+        assert np.array_equal(sliding_max(x, 2), hi)
+
+    def test_matches_naive_random(self, rng):
+        for k in (0, 1, 3, 7, 20):
+            x = rng.normal(size=50)
+            lo, hi = naive_env(x, k)
+            assert np.array_equal(sliding_min(x, k), lo)
+            assert np.array_equal(sliding_max(x, k), hi)
+
+    def test_k_zero_is_copy(self, rng):
+        x = rng.normal(size=10)
+        out = sliding_max(x, 0)
+        assert np.array_equal(out, x)
+        out[0] = 99.0  # must not alias the input
+        assert x[0] != 99.0
+
+    def test_k_larger_than_series(self, rng):
+        x = rng.normal(size=5)
+        assert np.all(sliding_max(x, 100) == x.max())
+        assert np.all(sliding_min(x, 100) == x.min())
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            sliding_min([1.0], -1)
+
+
+class TestEnvelope:
+    def test_contains_the_series(self, rng):
+        x = rng.normal(size=30)
+        env = k_envelope(x, 4)
+        assert env.contains(x)
+
+    def test_contains_rejects_outside(self):
+        env = Envelope(lower=np.zeros(3), upper=np.ones(3))
+        assert not env.contains([0.5, 2.0, 0.5])
+
+    def test_contains_rejects_wrong_length(self):
+        env = Envelope(lower=np.zeros(3), upper=np.ones(3))
+        assert not env.contains([0.5, 0.5])
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ValueError, match="lower envelope exceeds"):
+            Envelope(lower=np.ones(2), upper=np.zeros(2))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            Envelope(lower=np.zeros(2), upper=np.ones(3))
+
+    def test_width(self):
+        env = Envelope(lower=np.array([0.0, 1.0]), upper=np.array([2.0, 1.5]))
+        assert env.width().tolist() == [2.0, 0.5]
+
+    def test_clip_projects_onto_band(self):
+        env = Envelope(lower=np.zeros(3), upper=np.ones(3))
+        out = env.clip([-1.0, 0.5, 2.0])
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_clip_length_mismatch(self):
+        env = Envelope(lower=np.zeros(3), upper=np.ones(3))
+        with pytest.raises(ValueError, match="does not match"):
+            env.clip([0.0, 0.0])
+
+    def test_envelope_widens_with_k(self, rng):
+        x = rng.normal(size=40)
+        e1 = k_envelope(x, 1)
+        e5 = k_envelope(x, 5)
+        assert np.all(e5.lower <= e1.lower)
+        assert np.all(e5.upper >= e1.upper)
+
+
+class TestEnvelopeDistance:
+    def test_zero_inside(self, rng):
+        x = rng.normal(size=20)
+        env = k_envelope(x, 3)
+        assert envelope_distance(x, env) == 0.0
+
+    def test_matches_clip_distance(self, rng):
+        x = rng.normal(size=20)
+        y = rng.normal(size=20)
+        env = k_envelope(y, 2)
+        expected = float(np.linalg.norm(x - env.clip(x)))
+        assert envelope_distance(x, env) == pytest.approx(expected)
+
+    def test_length_mismatch(self):
+        env = Envelope(lower=np.zeros(3), upper=np.ones(3))
+        with pytest.raises(ValueError, match="does not match"):
+            envelope_distance([1.0, 2.0], env)
+
+    def test_point_envelope_is_euclidean(self, rng):
+        y = rng.normal(size=15)
+        env = k_envelope(y, 0)
+        x = rng.normal(size=15)
+        assert envelope_distance(x, env) == pytest.approx(
+            float(np.linalg.norm(x - y))
+        )
+
+
+class TestWarpingWidthConversion:
+    def test_paper_example(self):
+        # delta = (2k+1)/n: k=2, n=12 -> width 5/12
+        assert warping_width_to_k(5 / 12, 12) == 2
+
+    def test_roundtrip(self):
+        for n in (64, 100, 256):
+            for k in (0, 3, 10):
+                delta = k_to_warping_width(k, n)
+                assert warping_width_to_k(delta, n) == k
+
+    def test_zero_width(self):
+        assert warping_width_to_k(0.0, 100) == 0
+
+    def test_full_width_clamped(self):
+        assert warping_width_to_k(1.0, 10) <= 9
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            warping_width_to_k(1.5, 10)
+        with pytest.raises(ValueError):
+            k_to_warping_width(-1, 10)

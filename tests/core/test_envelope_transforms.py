@@ -1,0 +1,137 @@
+"""Unit tests for repro.core.envelope_transforms."""
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import k_envelope
+from repro.core.envelope_transforms import (
+    KeoghPAAEnvelopeTransform,
+    NaiveEnvelopeTransform,
+    NewPAAEnvelopeTransform,
+    SignSplitEnvelopeTransform,
+)
+from repro.core.transforms import (
+    DFTTransform,
+    HaarTransform,
+    IdentityTransform,
+    PAATransform,
+    SVDTransform,
+)
+
+N = 64
+FEATURES = 8
+
+
+def sign_split_transforms(rng):
+    data = np.cumsum(rng.normal(size=(40, N)), axis=1)
+    return [
+        SignSplitEnvelopeTransform(PAATransform(N, FEATURES)),
+        SignSplitEnvelopeTransform(DFTTransform(N, FEATURES)),
+        SignSplitEnvelopeTransform(HaarTransform(N, FEATURES)),
+        SignSplitEnvelopeTransform(SVDTransform.fit(data, FEATURES)),
+        SignSplitEnvelopeTransform(IdentityTransform(N)),
+    ]
+
+
+class TestContainerInvariance:
+    def test_sign_split_is_container_invariant(self, rng):
+        """Definition 8: x in e  =>  T(x) in T(e), for every transform."""
+        for env_t in sign_split_transforms(rng):
+            for _ in range(10):
+                y = np.cumsum(rng.normal(size=N))
+                env = k_envelope(y, 5)
+                z = env.lower + rng.random(N) * env.width()
+                feats = env_t.transform_series(z)
+                assert env_t.reduce(env).contains(feats, atol=1e-7), env_t.name
+
+    def test_keogh_paa_is_container_invariant(self, rng):
+        env_t = KeoghPAAEnvelopeTransform(N, FEATURES)
+        for _ in range(10):
+            y = np.cumsum(rng.normal(size=N))
+            env = k_envelope(y, 5)
+            z = env.lower + rng.random(N) * env.width()
+            assert env_t.reduce(env).contains(env_t.transform_series(z), atol=1e-7)
+
+    def test_naive_dft_violates_container_invariance(self, rng):
+        """The ablation case: without the sign split, DFT envelopes
+        fail Definition 8 for some series."""
+        env_t = NaiveEnvelopeTransform(DFTTransform(N, FEATURES))
+        violations = 0
+        for _ in range(50):
+            y = np.cumsum(rng.normal(size=N))
+            env = k_envelope(y, 5)
+            z = env.lower + rng.random(N) * env.width()
+            if not env_t.reduce(env).contains(env_t.transform_series(z), atol=1e-9):
+                violations += 1
+        assert violations > 0
+
+    def test_naive_equals_signsplit_for_positive_transform(self, rng):
+        """PAA has no negative coefficients, so naive == sign-split."""
+        naive = NaiveEnvelopeTransform(PAATransform(N, FEATURES))
+        split = SignSplitEnvelopeTransform(PAATransform(N, FEATURES))
+        y = np.cumsum(rng.normal(size=N))
+        env = k_envelope(y, 4)
+        a, b = naive.reduce(env), split.reduce(env)
+        assert np.allclose(a.lower, b.lower)
+        assert np.allclose(a.upper, b.upper)
+
+
+class TestNewVsKeogh:
+    def test_new_paa_bounds_inside_keogh(self, rng):
+        """Figure 5's claim: New_PAA's band is always within Keogh's."""
+        new = NewPAAEnvelopeTransform(N, FEATURES)
+        keogh = KeoghPAAEnvelopeTransform(N, FEATURES)
+        for _ in range(20):
+            y = np.cumsum(rng.normal(size=N))
+            env = k_envelope(y, 5)
+            fe_new = new.reduce(env)
+            fe_keogh = keogh.reduce(env)
+            assert np.all(fe_new.lower >= fe_keogh.lower - 1e-9)
+            assert np.all(fe_new.upper <= fe_keogh.upper + 1e-9)
+
+    def test_bands_equal_for_constant_envelope(self):
+        new = NewPAAEnvelopeTransform(N, FEATURES)
+        keogh = KeoghPAAEnvelopeTransform(N, FEATURES)
+        env = k_envelope(np.full(N, 2.0), 3)
+        a, b = new.reduce(env), keogh.reduce(env)
+        assert np.allclose(a.lower, b.lower)
+        assert np.allclose(a.upper, b.upper)
+
+    def test_strictly_tighter_on_varying_data(self, rng):
+        new = NewPAAEnvelopeTransform(N, FEATURES)
+        keogh = KeoghPAAEnvelopeTransform(N, FEATURES)
+        y = np.cumsum(rng.normal(size=N))
+        env = k_envelope(y, 5)
+        total_new = new.reduce(env).width().sum()
+        total_keogh = keogh.reduce(env).width().sum()
+        assert total_new < total_keogh
+
+
+class TestShapesAndErrors:
+    def test_reduce_output_dim(self, rng):
+        env = k_envelope(rng.normal(size=N), 3)
+        for env_t in (
+            NewPAAEnvelopeTransform(N, FEATURES),
+            KeoghPAAEnvelopeTransform(N, FEATURES),
+        ):
+            assert len(env_t.reduce(env)) == FEATURES
+
+    def test_length_mismatch_raises(self, rng):
+        env = k_envelope(rng.normal(size=32), 3)
+        with pytest.raises(ValueError, match="expects envelopes of length"):
+            NewPAAEnvelopeTransform(N, FEATURES).reduce(env)
+
+    def test_degenerate_envelope_is_series_transform(self, rng):
+        """k=0 envelope: transform of the envelope == transform of x."""
+        x = rng.normal(size=N)
+        env = k_envelope(x, 0)
+        for env_t in sign_split_transforms(rng):
+            fe = env_t.reduce(env)
+            feats = env_t.transform_series(x)
+            assert np.allclose(fe.lower, feats, atol=1e-9)
+            assert np.allclose(fe.upper, feats, atol=1e-9)
+
+    def test_names(self):
+        assert NewPAAEnvelopeTransform(N, 4).name == "New_PAA"
+        assert KeoghPAAEnvelopeTransform(N, 4).name == "Keogh_PAA"
+        assert SignSplitEnvelopeTransform(DFTTransform(N, 4)).name == "DFT(4)"

@@ -1,0 +1,142 @@
+"""Unit tests for repro.core.lower_bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import k_envelope
+from repro.core.envelope_transforms import (
+    KeoghPAAEnvelopeTransform,
+    NewPAAEnvelopeTransform,
+    SignSplitEnvelopeTransform,
+)
+from repro.core.lower_bounds import lb_envelope_transform, lb_keogh, lb_yi, tightness
+from repro.core.transforms import DFTTransform, IdentityTransform
+from repro.dtw.distance import ldtw_distance
+
+N = 64
+K = 5
+
+
+def make_pair(rng):
+    x = np.cumsum(rng.normal(size=N))
+    y = np.cumsum(rng.normal(size=N))
+    return x - x.mean(), y - y.mean()
+
+
+class TestLbYi:
+    def test_lower_bounds_dtw(self, rng):
+        for _ in range(20):
+            x, y = make_pair(rng)
+            assert lb_yi(x, y) <= ldtw_distance(x, y, K) + 1e-9
+
+    def test_zero_when_query_inside_range(self, rng):
+        y = np.array([0.0, 5.0, 0.0, -5.0] * 8)
+        x = np.zeros(32)
+        assert lb_yi(x, y) == 0.0
+
+    def test_looser_than_lb_keogh(self, rng):
+        for _ in range(20):
+            x, y = make_pair(rng)
+            assert lb_yi(x, y) <= lb_keogh(x, y, K) + 1e-9
+
+
+class TestLbKeogh:
+    def test_lower_bounds_dtw(self, rng):
+        for k in (0, 2, 8):
+            for _ in range(10):
+                x, y = make_pair(rng)
+                assert lb_keogh(x, y, k) <= ldtw_distance(x, y, k) + 1e-9
+
+    def test_k_zero_is_euclidean(self, rng):
+        x, y = make_pair(rng)
+        assert lb_keogh(x, y, 0) == pytest.approx(float(np.linalg.norm(x - y)))
+
+    def test_symmetric_enough_for_self(self, rng):
+        x, _ = make_pair(rng)
+        assert lb_keogh(x, x, 3) == 0.0
+
+    def test_rejects_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="lengths differ"):
+            lb_keogh(rng.normal(size=10), rng.normal(size=12), 2)
+
+    def test_monotone_decreasing_in_k(self, rng):
+        """Wider bands -> looser bounds."""
+        x, y = make_pair(rng)
+        bounds = [lb_keogh(x, y, k) for k in (0, 1, 2, 4, 8, 16)]
+        assert all(a >= b - 1e-9 for a, b in zip(bounds, bounds[1:]))
+
+
+class TestLbEnvelopeTransform:
+    def test_theorem1_all_transforms(self, rng):
+        transforms = [
+            NewPAAEnvelopeTransform(N, 8),
+            KeoghPAAEnvelopeTransform(N, 8),
+            SignSplitEnvelopeTransform(DFTTransform(N, 8)),
+            SignSplitEnvelopeTransform(IdentityTransform(N)),
+        ]
+        for env_t in transforms:
+            for _ in range(10):
+                x, y = make_pair(rng)
+                lb = lb_envelope_transform(env_t, x, y, k=K)
+                assert lb <= ldtw_distance(x, y, K) + 1e-9, env_t.name
+
+    def test_identity_equals_lb_keogh(self, rng):
+        env_t = SignSplitEnvelopeTransform(IdentityTransform(N))
+        x, y = make_pair(rng)
+        assert lb_envelope_transform(env_t, x, y, k=K) == pytest.approx(
+            lb_keogh(x, y, K)
+        )
+
+    def test_new_paa_at_least_keogh_paa(self, rng):
+        new = NewPAAEnvelopeTransform(N, 8)
+        keogh = KeoghPAAEnvelopeTransform(N, 8)
+        for _ in range(20):
+            x, y = make_pair(rng)
+            env = k_envelope(y, K)
+            assert (
+                lb_envelope_transform(new, x, envelope=env)
+                >= lb_envelope_transform(keogh, x, envelope=env) - 1e-9
+            )
+
+    def test_precomputed_paths_agree(self, rng):
+        env_t = NewPAAEnvelopeTransform(N, 8)
+        x, y = make_pair(rng)
+        env = k_envelope(y, K)
+        fe = env_t.reduce(env)
+        feats = env_t.transform_series(x)
+        base = lb_envelope_transform(env_t, x, y, k=K)
+        assert lb_envelope_transform(env_t, x, envelope=env) == pytest.approx(base)
+        assert lb_envelope_transform(
+            env_t, x, feature_envelope=fe
+        ) == pytest.approx(base)
+        assert lb_envelope_transform(
+            env_t, None, feature_envelope=fe, query_features=feats
+        ) == pytest.approx(base)
+
+    def test_missing_candidate_raises(self, rng):
+        env_t = NewPAAEnvelopeTransform(N, 8)
+        with pytest.raises(ValueError, match="provide"):
+            lb_envelope_transform(env_t, rng.normal(size=N))
+
+
+class TestTightness:
+    def test_range(self):
+        assert tightness(0.5, 1.0) == 0.5
+        assert tightness(0.0, 1.0) == 0.0
+
+    def test_zero_distance_defined_as_one(self):
+        assert tightness(0.0, 0.0) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            tightness(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            tightness(1.0, -1.0)
+
+    def test_correct_bounds_never_exceed_one(self, rng):
+        x = np.cumsum(rng.normal(size=N))
+        y = np.cumsum(rng.normal(size=N))
+        x -= x.mean()
+        y -= y.mean()
+        d = ldtw_distance(x, y, K)
+        assert tightness(lb_keogh(x, y, K), d) <= 1.0 + 1e-9

@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.normal_form."""
+
+import numpy as np
+import pytest
+
+from repro.core.normal_form import NormalForm, normalize, shift_normalize, utw_normal_form
+
+
+class TestShiftNormalize:
+    def test_zero_mean(self, rng):
+        x = rng.normal(5.0, 1.0, size=50)
+        assert shift_normalize(x).mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_transposition_invariance(self, rng):
+        x = rng.normal(size=30)
+        shifted = x + 7.5
+        assert np.allclose(shift_normalize(x), shift_normalize(shifted))
+
+    def test_constant_becomes_zero(self):
+        assert np.allclose(shift_normalize([3.0, 3.0, 3.0]), 0.0)
+
+
+class TestUtwNormalForm:
+    def test_target_length(self, rng):
+        x = rng.normal(size=37)
+        assert utw_normal_form(x, 256).size == 256
+
+    def test_tempo_invariance(self, rng):
+        """A series and its 2x slowed copy share the same normal form."""
+        x = np.repeat(rng.normal(size=16), 4)   # length 64
+        slow = np.repeat(x, 2)                  # length 128, same tune
+        assert np.allclose(utw_normal_form(x, 128), utw_normal_form(slow, 128))
+
+
+class TestNormalize:
+    def test_shift_and_length(self, rng):
+        x = rng.normal(10.0, 2.0, size=100)
+        out = normalize(x, length=64)
+        assert out.size == 64
+        assert out.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_scale_option(self, rng):
+        x = rng.normal(size=100)
+        out = normalize(x, length=64, scale=True)
+        assert out.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_scale_constant_series_no_blowup(self):
+        out = normalize([5.0] * 10, length=8, scale=True)
+        assert np.allclose(out, 0.0)
+
+    def test_length_none_keeps_sampling(self, rng):
+        x = rng.normal(size=33)
+        assert normalize(x, length=None).size == 33
+
+    def test_no_shift(self, rng):
+        x = rng.normal(4.0, 1.0, size=64)
+        out = normalize(x, length=64, shift=False)
+        assert out.mean() != pytest.approx(0.0, abs=1e-3)
+
+
+class TestNormalFormConfig:
+    def test_apply_equals_normalize(self, rng):
+        x = rng.normal(size=80)
+        nf = NormalForm(length=32, shift=True, scale=True)
+        assert np.allclose(nf.apply(x), normalize(x, length=32, scale=True))
+
+    def test_rejects_tiny_length(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            NormalForm(length=1)
+
+    def test_none_length_allowed(self):
+        nf = NormalForm(length=None)
+        assert nf.apply([1.0, 2.0]).size == 2
+
+    def test_default_invariance_end_to_end(self, rng):
+        """Same melody, different key and tempo -> same normal form."""
+        tune = np.repeat(rng.normal(size=20), 3)
+        variant = np.repeat(tune, 2) + 4.0  # slower and higher
+        nf = NormalForm(length=120)
+        assert np.allclose(nf.apply(tune), nf.apply(variant), atol=1e-9)

@@ -1,0 +1,152 @@
+"""Unit and property tests for query-time preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.preprocess import (
+    amplitude_normalize,
+    clip_outliers,
+    detrend,
+    exponential_smoothing,
+    median_smoothing,
+    moving_average,
+)
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestMovingAverage:
+    def test_constant_unchanged(self):
+        assert np.allclose(moving_average([2.0] * 10, 5), 2.0)
+
+    def test_window_one_is_copy(self, rng):
+        x = rng.normal(size=10)
+        out = moving_average(x, 1)
+        assert np.array_equal(out, x)
+        out[0] = 99
+        assert x[0] != 99
+
+    def test_known_interior_value(self):
+        x = np.array([0.0, 3.0, 6.0, 9.0, 12.0])
+        assert moving_average(x, 3)[2] == pytest.approx(6.0)
+
+    def test_length_preserved(self, rng):
+        x = rng.normal(size=37)
+        assert moving_average(x, 7).size == 37
+
+    def test_reduces_noise_variance(self, rng):
+        x = rng.normal(size=500)
+        assert moving_average(x, 9).std() < x.std()
+
+    def test_rejects_even_window(self, rng):
+        with pytest.raises(ValueError, match="odd"):
+            moving_average(rng.normal(size=8), 4)
+
+
+class TestExponentialSmoothing:
+    def test_alpha_one_is_identity(self, rng):
+        x = rng.normal(size=10)
+        assert np.allclose(exponential_smoothing(x, 1.0), x)
+
+    def test_recurrence(self):
+        out = exponential_smoothing([0.0, 10.0], 0.5)
+        assert out.tolist() == [0.0, 5.0]
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            exponential_smoothing([1.0], 0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            exponential_smoothing([1.0], 1.5)
+
+
+class TestMedianSmoothing:
+    def test_removes_single_blip(self):
+        x = np.full(11, 5.0)
+        x[5] = 50.0  # octave blip
+        out = median_smoothing(x, 3)
+        assert np.allclose(out, 5.0)
+
+    def test_preserves_steps(self):
+        x = np.array([0.0] * 6 + [4.0] * 6)
+        out = median_smoothing(x, 3)
+        assert set(np.unique(out)) == {0.0, 4.0}
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ValueError, match="odd"):
+            median_smoothing([1.0, 2.0], 2)
+
+
+class TestAmplitudeNormalize:
+    def test_unit_variance(self, rng):
+        out = amplitude_normalize(rng.normal(3.0, 7.0, size=200))
+        assert out.mean() == pytest.approx(0.0, abs=1e-12)
+        assert out.std() == pytest.approx(1.0)
+
+    def test_constant_maps_to_zeros(self):
+        assert np.allclose(amplitude_normalize([4.0] * 5), 0.0)
+
+    def test_scale_invariance(self, rng):
+        x = rng.normal(size=50)
+        assert np.allclose(
+            amplitude_normalize(x), amplitude_normalize(3.5 * x + 2.0)
+        )
+
+
+class TestDetrend:
+    def test_removes_pure_trend(self):
+        t = np.arange(20, dtype=float)
+        assert np.allclose(detrend(2.0 * t + 5.0), 0.0, atol=1e-9)
+
+    def test_preserves_oscillation(self, rng):
+        t = np.arange(200, dtype=float)
+        wave = np.sin(2 * np.pi * t / 20)
+        drifted = wave + 0.05 * t
+        out = detrend(drifted)
+        assert np.corrcoef(out, wave)[0, 1] > 0.99
+
+    def test_single_sample(self):
+        assert detrend([7.0]).tolist() == [0.0]
+
+
+class TestClipOutliers:
+    def test_clips_extreme_point(self, rng):
+        x = rng.normal(size=100)
+        x[50] = 100.0
+        out = clip_outliers(x, n_sigmas=3.0)
+        assert out[50] < 100.0
+        assert out[50] == out.max()
+
+    def test_no_change_for_tame_data(self):
+        x = np.array([0.0, 1.0, 0.0, -1.0] * 10)
+        assert np.allclose(clip_outliers(x, n_sigmas=3.0), x)
+
+    def test_constant_series(self):
+        assert np.allclose(clip_outliers([2.0] * 5), 2.0)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError, match="n_sigmas"):
+            clip_outliers([1.0], n_sigmas=0.0)
+
+
+@given(arrays(np.float64, 32, elements=finite), st.sampled_from([1, 3, 5, 9]))
+def test_property_moving_average_bounded_by_extremes(x, window):
+    out = moving_average(x, window)
+    assert np.all(out >= x.min() - 1e-9)
+    assert np.all(out <= x.max() + 1e-9)
+
+
+@given(arrays(np.float64, 32, elements=finite), st.sampled_from([3, 5, 9]))
+def test_property_median_smoothing_values_bounded(x, window):
+    out = median_smoothing(x, window)
+    assert np.all(out >= x.min() - 1e-9)
+    assert np.all(out <= x.max() + 1e-9)
+
+
+@given(arrays(np.float64, 16, elements=finite))
+def test_property_detrend_is_idempotent(x):
+    once = detrend(x)
+    twice = detrend(once)
+    assert np.allclose(once, twice, atol=1e-6)

@@ -1,0 +1,136 @@
+"""Tests for SAX (symbolic aggregate approximation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.sax import SAXWord, sax_breakpoints, sax_mindist, sax_transform
+
+
+def znorm(x):
+    return (x - x.mean()) / x.std()
+
+
+class TestBreakpoints:
+    def test_binary_alphabet_splits_at_zero(self):
+        assert sax_breakpoints(2).tolist() == [0.0]
+
+    def test_ascending(self):
+        cuts = sax_breakpoints(8)
+        assert np.all(np.diff(cuts) > 0)
+        assert cuts.size == 7
+
+    def test_symmetric(self):
+        cuts = sax_breakpoints(6)
+        assert np.allclose(cuts, -cuts[::-1])
+
+    def test_equiprobable(self, rng):
+        cuts = sax_breakpoints(4)
+        samples = rng.normal(size=200_000)
+        counts = np.histogram(samples, bins=[-np.inf, *cuts, np.inf])[0]
+        assert np.allclose(counts / samples.size, 0.25, atol=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sax_breakpoints(1)
+        with pytest.raises(ValueError):
+            sax_breakpoints(27)
+
+
+class TestSaxTransform:
+    def test_word_shape(self, rng):
+        word = sax_transform(rng.normal(size=128), 8, 4)
+        assert word.word_length == 8
+        assert word.alphabet_size == 4
+        assert word.original_length == 128
+
+    def test_string_rendering(self, rng):
+        word = sax_transform(rng.normal(size=64), 8, 4)
+        text = str(word)
+        assert len(text) == 8
+        assert set(text) <= set("abcd")
+
+    def test_monotone_ramp_gives_sorted_word(self):
+        word = sax_transform(np.linspace(-3, 3, 64), 8, 6)
+        assert list(word.symbols) == sorted(word.symbols)
+        assert word.symbols[0] == 0
+        assert word.symbols[-1] == 5
+
+    def test_scale_invariance_via_znorm(self, rng):
+        x = np.cumsum(rng.normal(size=100))
+        a = sax_transform(x, 10, 8)
+        b = sax_transform(5.0 * x + 30.0, 10, 8)
+        assert np.array_equal(a.symbols, b.symbols)
+
+    def test_constant_series(self):
+        word = sax_transform(np.full(32, 7.0), 4, 4)
+        # Zero-variance input maps to the middle of the alphabet.
+        assert word.word_length == 4
+
+    def test_word_validation(self):
+        with pytest.raises(ValueError, match="alphabet range"):
+            SAXWord(symbols=np.array([5]), original_length=8, alphabet_size=4)
+        with pytest.raises(ValueError, match="shorter"):
+            SAXWord(symbols=np.array([0, 1, 1]), original_length=2,
+                    alphabet_size=4)
+
+
+class TestMindist:
+    def test_lower_bounds_euclidean(self, rng):
+        for _ in range(30):
+            x = znorm(np.cumsum(rng.normal(size=96)))
+            y = znorm(np.cumsum(rng.normal(size=96)))
+            a = sax_transform(x, 12, 8, znormalize=False)
+            b = sax_transform(y, 12, 8, znormalize=False)
+            assert sax_mindist(a, b) <= np.linalg.norm(x - y) + 1e-9
+
+    def test_identical_words_zero(self, rng):
+        x = rng.normal(size=64)
+        a = sax_transform(x, 8, 6)
+        assert sax_mindist(a, a) == 0.0
+
+    def test_adjacent_symbols_free(self):
+        a = SAXWord(symbols=np.array([0, 1]), original_length=16,
+                    alphabet_size=4)
+        b = SAXWord(symbols=np.array([1, 2]), original_length=16,
+                    alphabet_size=4)
+        assert sax_mindist(a, b) == 0.0
+
+    def test_distant_symbols_cost(self):
+        a = SAXWord(symbols=np.array([0]), original_length=8, alphabet_size=4)
+        b = SAXWord(symbols=np.array([3]), original_length=8, alphabet_size=4)
+        assert sax_mindist(a, b) > 0.0
+
+    def test_symmetry(self, rng):
+        a = sax_transform(rng.normal(size=64), 8, 8)
+        b = sax_transform(rng.normal(size=64), 8, 8)
+        assert sax_mindist(a, b) == sax_mindist(b, a)
+
+    def test_mismatch_validation(self, rng):
+        a = sax_transform(rng.normal(size=64), 8, 8)
+        b = sax_transform(rng.normal(size=64), 8, 4)
+        with pytest.raises(ValueError, match="alphabets"):
+            sax_mindist(a, b)
+        c = sax_transform(rng.normal(size=64), 4, 8)
+        with pytest.raises(ValueError, match="different lengths"):
+            sax_mindist(a, c)
+
+
+@settings(max_examples=60)
+@given(
+    arrays(np.float64, 48,
+           elements=st.floats(-50, 50, allow_nan=False)),
+    arrays(np.float64, 48,
+           elements=st.floats(-50, 50, allow_nan=False)),
+    st.sampled_from([4, 6, 8, 12]),
+    st.sampled_from([3, 4, 8, 16]),
+)
+def test_property_mindist_lower_bounds(x, y, word_len, alphabet):
+    if x.std() <= 1e-9 or y.std() <= 1e-9:
+        return
+    xz, yz = znorm(x), znorm(y)
+    a = sax_transform(xz, word_len, alphabet, znormalize=False)
+    b = sax_transform(yz, word_len, alphabet, znormalize=False)
+    assert sax_mindist(a, b) <= np.linalg.norm(xz - yz) + 1e-6

@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.series."""
+
+import numpy as np
+import pytest
+
+from repro.core.series import (
+    as_series,
+    common_length,
+    first,
+    rest,
+    uniform_resample,
+    upsample,
+)
+
+
+class TestAsSeries:
+    def test_accepts_list(self):
+        arr = as_series([1, 2, 3])
+        assert arr.dtype == np.float64
+        assert arr.tolist() == [1.0, 2.0, 3.0]
+
+    def test_accepts_ndarray(self):
+        arr = as_series(np.array([1.5, 2.5]))
+        assert arr.tolist() == [1.5, 2.5]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_series(np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            as_series([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_series([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_series([np.inf, 1.0])
+
+    def test_min_length_enforced(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            as_series([1.0, 2.0], min_length=3)
+
+
+class TestUpsample:
+    def test_repeats_each_value(self):
+        assert upsample([1.0, 2.0], 3).tolist() == [1, 1, 1, 2, 2, 2]
+
+    def test_factor_one_is_identity(self):
+        assert upsample([4.0, 5.0], 1).tolist() == [4.0, 5.0]
+
+    def test_rejects_zero_factor(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            upsample([1.0], 0)
+
+    def test_length_multiplies(self, rng):
+        x = rng.normal(size=17)
+        assert upsample(x, 5).size == 85
+
+
+class TestUniformResample:
+    def test_integer_upsample_matches_upsample(self, rng):
+        x = rng.normal(size=8)
+        assert np.array_equal(uniform_resample(x, 24), upsample(x, 3))
+
+    def test_identity_when_same_length(self, rng):
+        x = rng.normal(size=10)
+        assert np.array_equal(uniform_resample(x, 10), x)
+
+    def test_downsample_takes_subset_values(self, rng):
+        x = rng.normal(size=100)
+        out = uniform_resample(x, 10)
+        assert all(value in x for value in out)
+
+    def test_preserves_endpoints_of_constant_runs(self):
+        x = np.array([1.0, 1.0, 2.0, 2.0])
+        out = uniform_resample(x, 2)
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            uniform_resample([1.0], 0)
+
+
+class TestCommonLength:
+    def test_lcm(self):
+        assert common_length(4, 6) == 12
+
+    def test_coprime(self):
+        assert common_length(3, 7) == 21
+
+    def test_cap_applies(self):
+        assert common_length(97, 101, cap=500) == 500
+
+    def test_cap_not_reached(self):
+        assert common_length(2, 4, cap=500) == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            common_length(0, 5)
+
+
+class TestFirstRest:
+    def test_first(self):
+        assert first([7.0, 8.0]) == 7.0
+
+    def test_rest(self):
+        assert rest([7.0, 8.0, 9.0]).tolist() == [8.0, 9.0]
+
+    def test_rest_requires_two(self):
+        with pytest.raises(ValueError):
+            rest([7.0])

@@ -1,0 +1,120 @@
+"""Family-wide sweep: every linear transform obeys the framework.
+
+One parametrised suite over the whole transform family — including the
+extension members (Chebyshev, random projection) — checking the two
+properties the GEMINI pipeline needs (lower-bounding; container
+invariance of the sign-split envelope transform) plus end-to-end index
+exactness.  Adding a transform to ``FAMILY`` is all it takes to get it
+verified.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import k_envelope
+from repro.core.envelope_transforms import SignSplitEnvelopeTransform
+from repro.core.lower_bounds import lb_envelope_transform
+from repro.core.normal_form import NormalForm
+from repro.core.transforms import (
+    ChebyshevTransform,
+    DFTTransform,
+    HaarTransform,
+    PAATransform,
+    RandomProjectionTransform,
+    SVDTransform,
+)
+from repro.datasets.generators import random_walks
+from repro.dtw.distance import ldtw_distance
+from repro.index.gemini import WarpingIndex
+
+N = 64
+DIMS = 8
+
+
+def _svd():
+    train = random_walks(60, N, seed=77)
+    train = train - train.mean(axis=1, keepdims=True)
+    return SVDTransform.fit(train, DIMS)
+
+
+FAMILY = {
+    "paa": lambda: PAATransform(N, DIMS),
+    "dft": lambda: DFTTransform(N, DIMS),
+    "haar": lambda: HaarTransform(N, DIMS),
+    "svd": _svd,
+    "chebyshev": lambda: ChebyshevTransform(N, DIMS),
+    "randproj": lambda: RandomProjectionTransform(N, DIMS, seed=3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FAMILY))
+class TestFamilyProperties:
+    def test_lower_bounding(self, name, rng):
+        t = FAMILY[name]()
+        assert t.is_lower_bounding()
+        for _ in range(15):
+            x = rng.normal(size=N)
+            y = rng.normal(size=N)
+            assert (
+                np.linalg.norm(t(x) - t(y))
+                <= np.linalg.norm(x - y) + 1e-9
+            )
+
+    def test_sign_split_container_invariance(self, name, rng):
+        env_t = SignSplitEnvelopeTransform(FAMILY[name]())
+        for _ in range(10):
+            y = np.cumsum(rng.normal(size=N))
+            env = k_envelope(y, 4)
+            z = env.lower + rng.random(N) * env.width()
+            assert env_t.reduce(env).contains(
+                env_t.transform_series(z), atol=1e-7
+            )
+
+    def test_theorem1_bound(self, name, rng):
+        env_t = SignSplitEnvelopeTransform(FAMILY[name]())
+        for _ in range(10):
+            x = np.cumsum(rng.normal(size=N))
+            y = np.cumsum(rng.normal(size=N))
+            x -= x.mean()
+            y -= y.mean()
+            lb = lb_envelope_transform(env_t, x, y, k=4)
+            assert lb <= ldtw_distance(x, y, 4) + 1e-9
+
+    def test_end_to_end_index_exactness(self, name):
+        env_t = SignSplitEnvelopeTransform(FAMILY[name]())
+        walks = list(random_walks(120, 96, seed=88))
+        index = WarpingIndex(
+            walks, delta=0.1, env_transform=env_t,
+            normal_form=NormalForm(length=N),
+        )
+        query = random_walks(1, 96, seed=89)[0]
+        results, _ = index.range_query(query, 6.0)
+        truth = index.ground_truth_range(query, 6.0)
+        assert [i for i, _ in results] == [i for i, _ in truth]
+
+
+class TestChebyshevSpecifics:
+    def test_concentrates_smooth_energy(self, rng):
+        """A smooth cubic trend is captured almost exactly by 8
+        Chebyshev coefficients (unlike, say, 8-frame PAA)."""
+        t = np.linspace(-1, 1, N)
+        smooth = 3 * t**3 - 2 * t + 0.5
+        cheb = ChebyshevTransform(N, DIMS)
+        energy = np.linalg.norm(cheb(smooth)) / np.linalg.norm(smooth)
+        assert energy > 0.999
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            ChebyshevTransform(8, 9)
+
+
+class TestRandomProjectionSpecifics:
+    def test_deterministic_per_seed(self, rng):
+        a = RandomProjectionTransform(32, 4, seed=5)
+        b = RandomProjectionTransform(32, 4, seed=5)
+        x = rng.normal(size=32)
+        assert np.allclose(a(x), b(x))
+
+    def test_spectral_norm_is_one(self):
+        t = RandomProjectionTransform(32, 4, seed=1)
+        assert np.linalg.norm(t.matrix, ord=2) == pytest.approx(1.0)

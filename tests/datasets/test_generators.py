@@ -1,0 +1,77 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    GENERATORS,
+    dataset_names,
+    make_dataset,
+    random_walks,
+)
+
+
+class TestRegistry:
+    def test_twenty_four_families(self):
+        assert len(dataset_names()) == 24
+
+    def test_random_walk_is_last(self):
+        """Matches the paper's Figure 6 ordering (24 = random walk)."""
+        assert dataset_names()[-1] == "Random_Walk"
+
+    def test_all_generators_produce_finite_series(self, rng):
+        for name, gen in GENERATORS.items():
+            series = gen(128, rng)
+            assert series.shape == (128,), name
+            assert np.all(np.isfinite(series)), name
+
+    def test_families_are_distinguishable(self, rng):
+        """Different families have visibly different roughness."""
+        def roughness(series):
+            return float(np.mean(np.abs(np.diff(series)))) / (series.std() + 1e-9)
+
+        values = {name: roughness(gen(512, rng)) for name, gen in GENERATORS.items()}
+        assert max(values.values()) / (min(values.values()) + 1e-12) > 3
+
+
+class TestMakeDataset:
+    def test_shape(self):
+        data = make_dataset("EEG", 10, 64)
+        assert data.shape == (10, 64)
+
+    def test_deterministic(self):
+        a = make_dataset("Burst", 5, 32, seed=3)
+        b = make_dataset("Burst", 5, 32, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_data(self):
+        a = make_dataset("Burst", 5, 32, seed=1)
+        b = make_dataset("Burst", 5, 32, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_different_data(self):
+        a = make_dataset("EEG", 3, 64)
+        b = make_dataset("Tide", 3, 64)
+        assert not np.allclose(a, b)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("NotADataset", 1, 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_dataset("EEG", 0, 16)
+
+
+class TestRandomWalks:
+    def test_shape_and_determinism(self):
+        a = random_walks(4, 100, seed=9)
+        b = random_walks(4, 100, seed=9)
+        assert a.shape == (4, 100)
+        assert np.array_equal(a, b)
+
+    def test_increments_are_standard_normal(self):
+        walks = random_walks(50, 500, seed=0)
+        increments = np.diff(walks, axis=1).ravel()
+        assert abs(increments.mean()) < 0.02
+        assert abs(increments.std() - 1.0) < 0.02

@@ -1,0 +1,98 @@
+"""Tests for UCR-format file IO."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ucr_io import load_ucr_directory, read_ucr_file, write_ucr_file
+
+
+class TestRoundtrip:
+    def test_with_labels(self, tmp_path, rng):
+        data = rng.normal(size=(5, 16))
+        labels = np.array([1, 2, 1, 3, 2], dtype=float)
+        path = tmp_path / "set.csv"
+        write_ucr_file(path, data, labels)
+        back, back_labels = read_ucr_file(path)
+        assert np.allclose(back, data)
+        assert np.allclose(back_labels, labels)
+
+    def test_without_labels(self, tmp_path, rng):
+        data = rng.normal(size=(3, 8))
+        path = tmp_path / "plain.txt"
+        write_ucr_file(path, data)
+        back, labels = read_ucr_file(path, has_labels=False)
+        assert np.allclose(back, data)
+        assert labels is None
+
+    def test_whitespace_separated(self, tmp_path):
+        path = tmp_path / "ws.tsv"
+        path.write_text("1 0.5 0.25\n2 1.5 1.25\n")
+        data, labels = read_ucr_file(path)
+        assert data.shape == (2, 2)
+        assert labels.tolist() == [1.0, 2.0]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("1,0.5,0.25\n\n2,1.5,1.25\n\n")
+        data, _ = read_ucr_file(path)
+        assert data.shape == (2, 2)
+
+
+class TestErrors:
+    def test_ragged_rows(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("1,2,3\n1,2\n")
+        with pytest.raises(ValueError, match="ragged"):
+            read_ucr_file(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,x,3\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_ucr_file(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no series"):
+            read_ucr_file(path)
+
+    def test_label_only_line(self, tmp_path):
+        path = tmp_path / "lab.csv"
+        path.write_text("1\n")
+        with pytest.raises(ValueError, match="no samples"):
+            read_ucr_file(path)
+
+    def test_write_validation(self, tmp_path, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            write_ucr_file(tmp_path / "x", rng.normal(size=4))
+        with pytest.raises(ValueError, match="one label"):
+            write_ucr_file(tmp_path / "x", rng.normal(size=(2, 3)), [1.0])
+
+
+class TestDirectory:
+    def test_loads_all_files(self, tmp_path, rng):
+        for name in ("alpha.csv", "beta.csv"):
+            write_ucr_file(tmp_path / name, rng.normal(size=(2, 4)),
+                           [1.0, 2.0])
+        datasets = load_ucr_directory(tmp_path)
+        assert set(datasets) == {"alpha", "beta"}
+        assert datasets["alpha"].shape == (2, 4)
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="no dataset files"):
+            load_ucr_directory(tmp_path)
+
+    def test_usable_with_fig6_pipeline(self, tmp_path, rng):
+        """A user's local archive slots into the tightness experiment."""
+        from repro.core.envelope import k_envelope
+        from repro.core.envelope_transforms import NewPAAEnvelopeTransform
+        from repro.core.lower_bounds import lb_envelope_transform
+
+        write_ucr_file(tmp_path / "mine.csv",
+                       np.cumsum(rng.normal(size=(4, 64)), axis=1),
+                       [1.0, 1.0, 2.0, 2.0])
+        data = load_ucr_directory(tmp_path)["mine"]
+        env_t = NewPAAEnvelopeTransform(64, 8)
+        lb = lb_envelope_transform(env_t, data[0], envelope=k_envelope(data[1], 3))
+        assert lb >= 0.0

@@ -1,0 +1,86 @@
+"""Tests for the vectorised batch DTW against the scalar reference."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dtw.distance import ldtw_distance, ldtw_distance_batch
+
+finite = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+class TestBatchMatchesScalar:
+    @pytest.mark.parametrize("k", [0, 1, 4, 12, 63])
+    def test_random_walks(self, rng, k):
+        q = np.cumsum(rng.normal(size=64))
+        cand = np.cumsum(rng.normal(size=(25, 64)), axis=1)
+        batch = ldtw_distance_batch(q, cand, k)
+        scalar = np.array([ldtw_distance(q, cand[i], k) for i in range(25)])
+        assert np.allclose(batch, scalar)
+
+    def test_manhattan(self, rng):
+        q = rng.normal(size=32)
+        cand = rng.normal(size=(10, 32))
+        batch = ldtw_distance_batch(q, cand, 3, metric="manhattan")
+        scalar = np.array(
+            [ldtw_distance(q, cand[i], 3, metric="manhattan") for i in range(10)]
+        )
+        assert np.allclose(batch, scalar)
+
+    def test_single_candidate(self, rng):
+        q = rng.normal(size=16)
+        c = rng.normal(size=(1, 16))
+        assert ldtw_distance_batch(q, c, 2)[0] == pytest.approx(
+            ldtw_distance(q, c[0], 2)
+        )
+
+    def test_self_in_batch_is_zero(self, rng):
+        q = rng.normal(size=20)
+        cand = np.vstack([rng.normal(size=20), q, rng.normal(size=20)])
+        batch = ldtw_distance_batch(q, cand, 2)
+        assert batch[1] == pytest.approx(0.0)
+
+    def test_empty_batch(self, rng):
+        out = ldtw_distance_batch(rng.normal(size=8), np.zeros((0, 8)), 2)
+        assert out.shape == (0,)
+
+    def test_validation(self, rng):
+        q = rng.normal(size=8)
+        with pytest.raises(ValueError, match="shape"):
+            ldtw_distance_batch(q, np.zeros((3, 9)), 2)
+        with pytest.raises(ValueError, match=">= 0"):
+            ldtw_distance_batch(q, np.zeros((3, 8)), -1)
+        with pytest.raises(ValueError, match="metric"):
+            ldtw_distance_batch(q, np.zeros((3, 8)), 1, metric="lp")
+
+    def test_no_finite_leakage_from_buffer_reuse(self, rng):
+        """Alternating near/far candidates exercise the buffer borders."""
+        q = np.zeros(30)
+        near = np.zeros((5, 30))
+        far = np.full((5, 30), 100.0)
+        cand = np.empty((10, 30))
+        cand[0::2] = near
+        cand[1::2] = far
+        batch = ldtw_distance_batch(q, cand, 3)
+        scalar = np.array([ldtw_distance(q, cand[i], 3) for i in range(10)])
+        assert np.allclose(batch, scalar)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.float64, 20, elements=finite),
+    arrays(np.float64, (7, 20), elements=finite),
+    st.integers(0, 20),
+)
+def test_property_batch_equals_scalar(q, cand, k):
+    batch = ldtw_distance_batch(q, cand, k)
+    for i in range(cand.shape[0]):
+        expected = ldtw_distance(q, cand[i], k)
+        if math.isinf(expected):
+            assert math.isinf(batch[i])
+        else:
+            assert batch[i] == pytest.approx(expected, abs=1e-6)

@@ -1,0 +1,157 @@
+"""Unit tests for repro.dtw.distance."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dtw.distance import dtw_distance, ldtw_distance, utw_distance, warping_distance
+
+
+class TestDtwDistance:
+    def test_identical_series_zero(self, rng):
+        x = rng.normal(size=20)
+        assert dtw_distance(x, x) == 0.0
+
+    def test_known_small_example(self):
+        # x=[0,0,1], y=[0,1]: optimal path aligns 0-0, 0-0, 1-1 -> 0
+        assert dtw_distance([0.0, 0.0, 1.0], [0.0, 1.0]) == 0.0
+
+    def test_known_nonzero_example(self):
+        # No warping can fix a level difference.
+        assert dtw_distance([0.0, 0.0], [1.0, 1.0]) == pytest.approx(math.sqrt(2))
+
+    def test_symmetry(self, rng):
+        x = rng.normal(size=15)
+        y = rng.normal(size=23)
+        assert dtw_distance(x, y) == pytest.approx(dtw_distance(y, x))
+
+    def test_at_most_euclidean_for_equal_lengths(self, rng):
+        x = rng.normal(size=30)
+        y = rng.normal(size=30)
+        assert dtw_distance(x, y) <= float(np.linalg.norm(x - y)) + 1e-9
+
+    def test_warping_absorbs_time_shift(self, rng):
+        base = np.repeat(rng.normal(size=8), 4)
+        shifted = np.roll(base, 2)
+        shifted[:2] = base[0]
+        assert dtw_distance(base, shifted) < np.linalg.norm(base - shifted)
+
+    def test_upper_bound_prunes(self, rng):
+        x = rng.normal(size=20)
+        y = x + 10.0
+        assert dtw_distance(x, y, upper_bound=1.0) == math.inf
+
+    def test_upper_bound_no_effect_when_below(self, rng):
+        x = rng.normal(size=20)
+        y = rng.normal(size=20)
+        d = dtw_distance(x, y)
+        assert dtw_distance(x, y, upper_bound=d + 1.0) == pytest.approx(d)
+
+    def test_different_lengths_supported(self):
+        # The middle 2 must align with 1 or 3, costing exactly 1.
+        assert dtw_distance([1.0, 2.0, 3.0], [1.0, 3.0]) == pytest.approx(1.0)
+
+
+class TestLdtwDistance:
+    def test_k_zero_equal_lengths_is_euclidean(self, rng):
+        x = rng.normal(size=25)
+        y = rng.normal(size=25)
+        assert ldtw_distance(x, y, 0) == pytest.approx(float(np.linalg.norm(x - y)))
+
+    def test_k_zero_unequal_lengths_infinite(self):
+        assert ldtw_distance([1.0, 2.0], [1.0, 2.0, 3.0], 0) == math.inf
+
+    def test_band_too_narrow_for_length_gap(self):
+        assert ldtw_distance([1.0] * 10, [1.0] * 20, 5) == math.inf
+
+    def test_monotone_decreasing_in_k(self, rng):
+        x = rng.normal(size=30)
+        y = rng.normal(size=30)
+        dists = [ldtw_distance(x, y, k) for k in (0, 1, 2, 5, 10, 29)]
+        assert all(a >= b - 1e-9 for a, b in zip(dists, dists[1:]))
+
+    def test_wide_band_equals_unconstrained(self, rng):
+        x = rng.normal(size=20)
+        y = rng.normal(size=20)
+        assert ldtw_distance(x, y, 20) == pytest.approx(dtw_distance(x, y))
+
+    def test_matches_full_matrix_dp(self, rng):
+        """Cross-check the rolling-array DP against the matrix DP."""
+        from repro.dtw.path import cost_matrix
+
+        for _ in range(5):
+            x = rng.normal(size=12)
+            y = rng.normal(size=14)
+            k = 4
+            acc = cost_matrix(x, y, k)
+            expected = math.sqrt(acc[-1, -1])
+            assert ldtw_distance(x, y, k) == pytest.approx(expected)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            ldtw_distance([1.0], [1.0], -1)
+
+    def test_upper_bound_early_abandon(self, rng):
+        x = rng.normal(size=30)
+        y = x + 100.0
+        assert ldtw_distance(x, y, 3, upper_bound=1.0) == math.inf
+
+    def test_triangle_like_sanity(self, rng):
+        """DTW is not a metric, but distance to self via warp is 0."""
+        x = rng.normal(size=10)
+        assert ldtw_distance(x, x, 2) == 0.0
+
+
+class TestUtwDistance:
+    def test_upsampled_copy_is_zero(self, rng):
+        x = rng.normal(size=10)
+        slow = np.repeat(x, 3)
+        assert utw_distance(x, slow) == pytest.approx(0.0)
+
+    def test_equal_lengths_is_scaled_euclidean(self, rng):
+        x = rng.normal(size=12)
+        y = rng.normal(size=12)
+        expected = float(np.linalg.norm(x - y)) / math.sqrt(12)
+        assert utw_distance(x, y) == pytest.approx(expected)
+
+    def test_symmetry(self, rng):
+        x = rng.normal(size=6)
+        y = rng.normal(size=9)
+        assert utw_distance(x, y) == pytest.approx(utw_distance(y, x))
+
+    def test_normalisation_independent_of_stretch(self, rng):
+        """Lemma 1: stretching both series equally leaves UTW unchanged."""
+        x = rng.normal(size=5)
+        y = rng.normal(size=5)
+        assert utw_distance(np.repeat(x, 2), np.repeat(y, 2)) == pytest.approx(
+            utw_distance(x, y)
+        )
+
+
+class TestWarpingDistance:
+    def test_tempo_and_shift_invariant_pipeline(self, rng):
+        """Definition 5 applied after normalisation: a slowed copy of a
+        tune is near-zero distance from the original."""
+        tune = np.repeat(rng.normal(size=16), 4)
+        slow = np.repeat(tune, 2)
+        d = warping_distance(tune, slow, delta=0.05, normal_length=128)
+        assert d == pytest.approx(0.0, abs=1e-9)
+
+    def test_larger_delta_never_increases(self, rng):
+        x = np.cumsum(rng.normal(size=100))
+        y = np.cumsum(rng.normal(size=80))
+        d1 = warping_distance(x, y, delta=0.02, normal_length=128)
+        d2 = warping_distance(x, y, delta=0.2, normal_length=128)
+        assert d2 <= d1 + 1e-9
+
+    def test_zero_delta_is_utw_euclidean(self, rng):
+        x = rng.normal(size=64)
+        y = rng.normal(size=64)
+        d = warping_distance(x, y, delta=0.0, normal_length=64)
+        assert d == pytest.approx(float(np.linalg.norm(x - y)))
+
+    def test_upper_bound_passthrough(self, rng):
+        x = rng.normal(size=64)
+        y = x + 50.0
+        assert warping_distance(x, y, delta=0.1, upper_bound=1.0) == math.inf

@@ -1,0 +1,91 @@
+"""Property-based tests for the DTW engine."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dtw.distance import dtw_distance, ldtw_distance, utw_distance
+from repro.dtw.path import is_valid_path, path_cost, warping_path
+
+finite = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+def series(min_len=1, max_len=16):
+    return st.integers(min_len, max_len).flatmap(
+        lambda n: arrays(np.float64, n, elements=finite)
+    )
+
+
+@given(series())
+def test_self_distance_zero(x):
+    assert dtw_distance(x, x) == 0.0
+
+
+@given(series(), series())
+def test_symmetry(x, y):
+    assert dtw_distance(x, y) == dtw_distance(y, x)
+
+
+@given(series(2, 12), series(2, 12))
+def test_dtw_at_most_ldtw(x, y):
+    for k in (1, 3, 6):
+        d_local = ldtw_distance(x, y, k)
+        if math.isfinite(d_local):
+            assert dtw_distance(x, y) <= d_local + 1e-6
+
+
+@given(series(2, 12), series(2, 12), st.integers(0, 12))
+def test_nonnegative(x, y, k):
+    d = ldtw_distance(x, y, k)
+    assert d >= 0.0 or math.isinf(d)
+
+
+@settings(max_examples=40)
+@given(series(2, 10), series(2, 10))
+def test_optimal_path_cost_is_the_distance(x, y):
+    path = warping_path(x, y)
+    assert is_valid_path(path, len(x), len(y))
+    assert abs(path_cost(x, y, path) - dtw_distance(x, y)) < 1e-6
+
+
+@settings(max_examples=40)
+@given(series(2, 10), series(2, 10), st.data())
+def test_no_alignment_beats_the_optimum(x, y, data):
+    """Any random admissible path costs at least the DTW distance."""
+    # Build a random monotone path from (0,0) to (n-1, m-1).
+    i, j = 0, 0
+    path = [(0, 0)]
+    while (i, j) != (len(x) - 1, len(y) - 1):
+        moves = []
+        if i < len(x) - 1:
+            moves.append((i + 1, j))
+        if j < len(y) - 1:
+            moves.append((i, j + 1))
+        if i < len(x) - 1 and j < len(y) - 1:
+            moves.append((i + 1, j + 1))
+        i, j = data.draw(st.sampled_from(moves))
+        path.append((i, j))
+    assert path_cost(x, y, path) >= dtw_distance(x, y) - 1e-6
+
+
+@given(series(1, 8), st.integers(1, 4))
+def test_utw_zero_for_upsampled(x, w):
+    assert utw_distance(x, np.repeat(x, w)) < 1e-9
+
+
+@given(series(1, 8), series(1, 8))
+def test_utw_symmetric(x, y):
+    assert abs(utw_distance(x, y) - utw_distance(y, x)) < 1e-9
+
+
+@given(series(2, 16), series(2, 16))
+def test_ldtw_band_monotonicity(x, y):
+    prev = math.inf
+    for k in range(0, 16, 3):
+        d = ldtw_distance(x, y, k)
+        assert d <= prev + 1e-9
+        if math.isfinite(d):
+            prev = d

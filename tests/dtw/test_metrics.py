@@ -1,0 +1,116 @@
+"""Tests for Manhattan-metric DTW and its lower bounds.
+
+The paper notes its framework admits "other distance metrics ... with
+some modifications"; these tests pin down the L1 variant: the DTW
+recurrence with absolute-difference costs, and the envelope bounds
+that remain valid under it.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.envelope import envelope_distance, k_envelope
+from repro.core.lower_bounds import lb_keogh, lb_yi
+from repro.dtw.distance import dtw_distance, ldtw_distance, warping_distance
+
+finite = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+class TestManhattanDtw:
+    def test_known_value(self):
+        # x=[0,0], y=[3,3]: best path pairs each with cost 3 -> 6.
+        assert dtw_distance([0.0, 0.0], [3.0, 3.0],
+                            metric="manhattan") == pytest.approx(6.0)
+
+    def test_self_distance_zero(self, rng):
+        x = rng.normal(size=20)
+        assert dtw_distance(x, x, metric="manhattan") == 0.0
+
+    def test_symmetry(self, rng):
+        x = rng.normal(size=13)
+        y = rng.normal(size=17)
+        assert dtw_distance(x, y, metric="manhattan") == pytest.approx(
+            dtw_distance(y, x, metric="manhattan")
+        )
+
+    def test_k_zero_is_l1_distance(self, rng):
+        x = rng.normal(size=16)
+        y = rng.normal(size=16)
+        assert ldtw_distance(x, y, 0, metric="manhattan") == pytest.approx(
+            float(np.abs(x - y).sum())
+        )
+
+    def test_band_monotonicity(self, rng):
+        x = rng.normal(size=24)
+        y = rng.normal(size=24)
+        dists = [ldtw_distance(x, y, k, metric="manhattan")
+                 for k in (0, 2, 6, 23)]
+        assert all(a >= b - 1e-9 for a, b in zip(dists, dists[1:]))
+
+    def test_upper_bound_early_abandon(self, rng):
+        x = rng.normal(size=20)
+        assert ldtw_distance(x, x + 10, 2, upper_bound=1.0,
+                             metric="manhattan") == math.inf
+
+    def test_warping_distance_metric_passthrough(self, rng):
+        x = rng.normal(size=64)
+        y = rng.normal(size=64)
+        d = warping_distance(x, y, delta=0.0, normal_length=64,
+                             metric="manhattan")
+        assert d == pytest.approx(float(np.abs(x - y).sum()))
+
+    def test_rejects_unknown_metric(self, rng):
+        with pytest.raises(ValueError, match="metric"):
+            dtw_distance([1.0], [1.0], metric="chebyshev")
+        with pytest.raises(ValueError, match="metric"):
+            ldtw_distance([1.0], [1.0], 1, metric="cosine")
+
+
+class TestManhattanLowerBounds:
+    def test_lb_keogh_lower_bounds_l1_dtw(self, rng):
+        for _ in range(20):
+            x = np.cumsum(rng.normal(size=48))
+            y = np.cumsum(rng.normal(size=48))
+            k = 4
+            lb = lb_keogh(x, y, k, metric="manhattan")
+            assert lb <= ldtw_distance(x, y, k, metric="manhattan") + 1e-9
+
+    def test_lb_yi_below_lb_keogh_l1(self, rng):
+        x = np.cumsum(rng.normal(size=32))
+        y = np.cumsum(rng.normal(size=32))
+        assert lb_yi(x, y, metric="manhattan") <= lb_keogh(
+            x, y, 3, metric="manhattan"
+        ) + 1e-9
+
+    def test_envelope_distance_l1(self, rng):
+        y = rng.normal(size=16)
+        env = k_envelope(y, 2)
+        x = rng.normal(size=16)
+        clipped = env.clip(x)
+        assert envelope_distance(x, env, metric="manhattan") == pytest.approx(
+            float(np.abs(x - clipped).sum())
+        )
+
+    def test_envelope_distance_rejects_bad_metric(self, rng):
+        env = k_envelope(rng.normal(size=8), 1)
+        with pytest.raises(ValueError, match="metric"):
+            envelope_distance(rng.normal(size=8), env, metric="lp")
+
+
+@given(arrays(np.float64, 20, elements=finite),
+       arrays(np.float64, 20, elements=finite), st.integers(0, 6))
+def test_property_l1_lb_keogh_sound(x, y, k):
+    lb = lb_keogh(x, y, k, metric="manhattan")
+    assert lb <= ldtw_distance(x, y, k, metric="manhattan") + 1e-6
+
+
+@given(arrays(np.float64, 16, elements=finite),
+       arrays(np.float64, 16, elements=finite))
+def test_property_l1_at_most_pointwise(x, y):
+    d = dtw_distance(x, y, metric="manhattan")
+    assert d <= float(np.abs(x - y).sum()) + 1e-6

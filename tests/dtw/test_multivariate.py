@@ -1,0 +1,140 @@
+"""Tests for multivariate DTW (the paper's video-processing hint)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dtw.distance import ldtw_distance
+from repro.dtw.multivariate import (
+    lb_keogh_multivariate,
+    lb_paa_multivariate,
+    mdtw_distance,
+    multivariate_envelope,
+)
+
+finite = st.floats(min_value=-20, max_value=20, allow_nan=False)
+
+
+def trajectory(rng, length=40, dims=3):
+    return np.cumsum(rng.normal(size=(length, dims)), axis=0)
+
+
+class TestMdtwDistance:
+    def test_self_distance_zero(self, rng):
+        x = trajectory(rng)
+        assert mdtw_distance(x, x) == 0.0
+
+    def test_symmetry(self, rng):
+        x = trajectory(rng, 20)
+        y = trajectory(rng, 25)
+        assert mdtw_distance(x, y) == pytest.approx(mdtw_distance(y, x))
+
+    def test_one_dimension_matches_scalar_engine(self, rng):
+        x = rng.normal(size=30)
+        y = rng.normal(size=30)
+        multi = mdtw_distance(x[:, None], y[:, None], k=4)
+        scalar = ldtw_distance(x, y, 4)
+        assert multi == pytest.approx(scalar)
+
+    def test_band_too_narrow(self, rng):
+        assert mdtw_distance(trajectory(rng, 10), trajectory(rng, 30),
+                             k=5) == math.inf
+
+    def test_at_most_pointwise_for_equal_lengths(self, rng):
+        x = trajectory(rng, 25)
+        y = trajectory(rng, 25)
+        pointwise = float(np.sqrt(np.sum((x - y) ** 2)))
+        assert mdtw_distance(x, y) <= pointwise + 1e-9
+
+    def test_warping_absorbs_time_shift(self, rng):
+        base = np.repeat(trajectory(rng, 10), 3, axis=0)
+        shifted = np.roll(base, 3, axis=0)
+        shifted[:3] = base[0]
+        pointwise = float(np.sqrt(np.sum((base - shifted) ** 2)))
+        assert mdtw_distance(base, shifted) < pointwise
+
+    def test_upper_bound_abandons(self, rng):
+        x = trajectory(rng, 20)
+        assert mdtw_distance(x, x + 100.0, upper_bound=1.0) == math.inf
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="shape"):
+            mdtw_distance(np.zeros(5), np.zeros((5, 2)))
+        with pytest.raises(ValueError, match="dimensionality"):
+            mdtw_distance(np.zeros((5, 2)), np.zeros((5, 3)))
+        with pytest.raises(ValueError, match="finite"):
+            mdtw_distance(np.full((3, 2), np.nan), np.zeros((3, 2)))
+
+
+class TestMultivariateEnvelope:
+    def test_one_envelope_per_dimension(self, rng):
+        seq = trajectory(rng, 30, dims=4)
+        envs = multivariate_envelope(seq, 3)
+        assert len(envs) == 4
+        for d, env in enumerate(envs):
+            assert env.contains(seq[:, d])
+
+    def test_contains_banded_warps(self, rng):
+        """Any admissible alignment partner stays inside the bands."""
+        seq = trajectory(rng, 30, dims=2)
+        k = 4
+        envs = multivariate_envelope(seq, k)
+        for shift in (-k, -1, 2, k):
+            rolled = np.roll(seq, shift, axis=0)
+            # Interior samples (away from the roll wrap) must fit.
+            inner = slice(abs(shift), 30 - abs(shift))
+            for d, env in enumerate(envs):
+                track = rolled[inner, d]
+                assert np.all(track >= env.lower[inner] - 1e-9)
+                assert np.all(track <= env.upper[inner] + 1e-9)
+
+
+class TestLowerBounds:
+    def test_lb_keogh_sound(self, rng):
+        for _ in range(15):
+            x = trajectory(rng, 32, dims=3)
+            y = trajectory(rng, 32, dims=3)
+            k = 4
+            envs = multivariate_envelope(y, k)
+            lb = lb_keogh_multivariate(x, envs)
+            assert lb <= mdtw_distance(x, y, k) + 1e-9
+
+    def test_lb_paa_sound_and_below_keogh(self, rng):
+        for _ in range(15):
+            x = trajectory(rng, 32, dims=2)
+            y = trajectory(rng, 32, dims=2)
+            k = 4
+            envs = multivariate_envelope(y, k)
+            lb_full = lb_keogh_multivariate(x, envs)
+            lb_paa = lb_paa_multivariate(x, envs, 8)
+            assert lb_paa <= lb_full + 1e-9
+            assert lb_paa <= mdtw_distance(x, y, k) + 1e-9
+
+    def test_zero_for_contained(self, rng):
+        x = trajectory(rng, 24, dims=2)
+        envs = multivariate_envelope(x, 3)
+        assert lb_keogh_multivariate(x, envs) == 0.0
+        assert lb_paa_multivariate(x, envs, 6) == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self, rng):
+        x = trajectory(rng, 20, dims=2)
+        envs = multivariate_envelope(trajectory(rng, 20, dims=3), 2)
+        with pytest.raises(ValueError, match="dims"):
+            lb_keogh_multivariate(x, envs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.float64, (12, 2), elements=finite),
+    arrays(np.float64, (12, 2), elements=finite),
+    st.integers(0, 6),
+)
+def test_property_multivariate_bounds_sound(x, y, k):
+    envs = multivariate_envelope(y, k)
+    d = mdtw_distance(x, y, k)
+    assert lb_keogh_multivariate(x, envs) <= d + 1e-6
+    assert lb_paa_multivariate(x, envs, 4) <= d + 1e-6

@@ -1,0 +1,94 @@
+"""Unit tests for repro.dtw.path."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dtw.distance import dtw_distance, ldtw_distance
+from repro.dtw.path import cost_matrix, is_valid_path, path_cost, warping_path
+
+
+class TestCostMatrix:
+    def test_corner_is_squared_distance(self, rng):
+        x = rng.normal(size=8)
+        y = rng.normal(size=10)
+        acc = cost_matrix(x, y)
+        assert math.sqrt(acc[-1, -1]) == pytest.approx(dtw_distance(x, y))
+
+    def test_band_blocks_cells(self):
+        acc = cost_matrix([1.0] * 6, [1.0] * 6, k=1)
+        assert math.isinf(acc[0, 3])
+        assert math.isfinite(acc[0, 1])
+
+    def test_first_cell(self):
+        acc = cost_matrix([2.0], [5.0])
+        assert acc[0, 0] == pytest.approx(9.0)
+
+    def test_rejects_negative_band(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            cost_matrix([1.0], [1.0], k=-2)
+
+
+class TestWarpingPath:
+    def test_path_is_valid(self, rng):
+        x = rng.normal(size=9)
+        y = rng.normal(size=12)
+        path = warping_path(x, y)
+        assert is_valid_path(path, 9, 12)
+
+    def test_path_respects_band(self, rng):
+        x = rng.normal(size=10)
+        y = rng.normal(size=10)
+        path = warping_path(x, y, k=2)
+        assert is_valid_path(path, 10, 10, k=2)
+
+    def test_path_cost_equals_distance(self, rng):
+        x = rng.normal(size=8)
+        y = rng.normal(size=8)
+        path = warping_path(x, y, k=3)
+        assert path_cost(x, y, path) == pytest.approx(ldtw_distance(x, y, 3))
+
+    def test_identical_series_diagonal_path(self, rng):
+        x = rng.normal(size=7)
+        path = warping_path(x, x)
+        assert path == [(i, i) for i in range(7)]
+
+    def test_no_path_raises(self):
+        with pytest.raises(ValueError, match="no admissible"):
+            warping_path([1.0] * 3, [1.0] * 10, k=1)
+
+    def test_path_length_bounds(self, rng):
+        """max(n, m) <= L <= n + m - 1 (from the paper)."""
+        x = rng.normal(size=11)
+        y = rng.normal(size=7)
+        path = warping_path(x, y)
+        assert max(11, 7) <= len(path) <= 11 + 7 - 1
+
+
+class TestIsValidPath:
+    def test_accepts_simple_diagonal(self):
+        assert is_valid_path([(0, 0), (1, 1)], 2, 2)
+
+    def test_rejects_empty(self):
+        assert not is_valid_path([], 2, 2)
+
+    def test_rejects_wrong_start(self):
+        assert not is_valid_path([(0, 1), (1, 1)], 2, 2)
+
+    def test_rejects_wrong_end(self):
+        assert not is_valid_path([(0, 0), (1, 0)], 2, 2)
+
+    def test_rejects_non_monotonic(self):
+        assert not is_valid_path([(0, 0), (1, 1), (0, 1), (1, 1)], 2, 2)
+
+    def test_rejects_jump(self):
+        assert not is_valid_path([(0, 0), (2, 2)], 3, 3)
+
+    def test_rejects_stall(self):
+        assert not is_valid_path([(0, 0), (0, 0), (1, 1)], 2, 2)
+
+    def test_rejects_band_violation(self):
+        path = [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]
+        assert is_valid_path(path, 3, 3)
+        assert not is_valid_path(path, 3, 3, k=1)

@@ -1,0 +1,110 @@
+"""Tests for the streaming pitch tracker."""
+
+import numpy as np
+import pytest
+
+from repro.hum.online import OnlinePitchTracker
+from repro.hum.pitch_tracking import track_pitch
+from repro.hum.synthesis import synthesize_pitch_series
+from repro.music.melody import midi_to_hz
+
+
+def tone(pitch, seconds=0.5, sample_rate=8000):
+    t = np.arange(int(seconds * sample_rate)) / sample_rate
+    return 0.5 * np.sin(2 * np.pi * midi_to_hz(pitch) * t)
+
+
+class TestFeeding:
+    def test_pure_tone_tracked(self):
+        tracker = OnlinePitchTracker()
+        frames = tracker.feed(tone(60))
+        voiced = [f for f in frames if np.isfinite(f)]
+        assert voiced
+        assert np.median(voiced) == pytest.approx(60.0, abs=0.1)
+
+    def test_chunk_size_does_not_matter(self, rng):
+        wave = tone(64, 0.4)
+        whole = OnlinePitchTracker()
+        whole.feed(wave)
+        chunked = OnlinePitchTracker()
+        start = 0
+        while start < wave.size:
+            step = int(rng.integers(1, 700))
+            chunked.feed(wave[start : start + step])
+            start += step
+        assert whole.frames_emitted == chunked.frames_emitted
+        assert np.allclose(whole.pitches(), chunked.pitches(),
+                           equal_nan=True)
+
+    def test_empty_chunks_ok(self):
+        tracker = OnlinePitchTracker()
+        assert tracker.feed([]) == []
+        tracker.feed(tone(60, 0.1))
+        assert tracker.feed([]) == []
+
+    def test_silence_is_unvoiced(self):
+        tracker = OnlinePitchTracker()
+        frames = tracker.feed(np.zeros(8000))
+        assert frames
+        assert all(np.isnan(f) for f in frames)
+
+    def test_matches_offline_tracker_frame_count(self):
+        wave = tone(62, 0.5)
+        online = OnlinePitchTracker(median_width=1)
+        online.feed(wave)
+        offline = track_pitch(wave, median_width=1)
+        assert online.frames_emitted == len(offline)
+
+    def test_matches_offline_tracker_values(self):
+        wave = tone(58, 0.5)
+        online = OnlinePitchTracker(median_width=1)
+        online.feed(wave)
+        offline = track_pitch(wave, median_width=1)
+        assert np.allclose(online.pitches(), offline.pitches,
+                           equal_nan=True, atol=1e-9)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            OnlinePitchTracker().feed(np.zeros((2, 2)))
+
+
+class TestLifecycle:
+    def test_reset(self):
+        tracker = OnlinePitchTracker()
+        tracker.feed(tone(60, 0.2))
+        assert tracker.frames_emitted > 0
+        tracker.reset()
+        assert tracker.frames_emitted == 0
+        assert tracker.pitch_series().size == 0
+
+    def test_pitch_series_drops_unvoiced(self):
+        tracker = OnlinePitchTracker()
+        tracker.feed(np.concatenate([tone(60, 0.2), np.zeros(1600)]))
+        assert tracker.pitch_series().size < tracker.frames_emitted
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fmin"):
+            OnlinePitchTracker(fmin=500, fmax=100)
+        with pytest.raises(ValueError, match="median"):
+            OnlinePitchTracker(median_width=0)
+
+
+class TestEndToEndQuery:
+    def test_streamed_hum_queries_database(self):
+        """Feed synthesized hum audio chunk by chunk, then query."""
+        from repro.hum.singer import SingerProfile, hum_melody
+        from repro.music.corpus import generate_corpus, segment_corpus
+        from repro.qbh.system import QueryByHummingSystem
+
+        melodies = segment_corpus(generate_corpus(8, seed=44), per_song=10)
+        system = QueryByHummingSystem(melodies, delta=0.1)
+        rng = np.random.default_rng(4)
+        target = 31
+        sung = hum_melody(melodies[target], SingerProfile.better(), rng)
+        wave = synthesize_pitch_series(sung, rng=rng)
+
+        tracker = OnlinePitchTracker()
+        for start in range(0, wave.size, 1024):  # simulated audio callbacks
+            tracker.feed(wave[start : start + 1024])
+        rank = system.rank_of(tracker.pitch_series(), target)
+        assert rank <= 3

@@ -1,0 +1,96 @@
+"""Unit tests for the autocorrelation pitch tracker."""
+
+import numpy as np
+import pytest
+
+from repro.hum.pitch_tracking import PitchTrack, track_pitch
+from repro.hum.synthesis import synthesize_pitch_series
+from repro.music.melody import midi_to_hz
+
+
+def tone(pitch, seconds=0.5, sample_rate=8000):
+    t = np.arange(int(seconds * sample_rate)) / sample_rate
+    return 0.5 * np.sin(2 * np.pi * midi_to_hz(pitch) * t)
+
+
+class TestTrackPitch:
+    @pytest.mark.parametrize("pitch", [50.0, 60.0, 69.0, 70.0])
+    def test_pure_tone_recovered(self, pitch):
+        """Tones inside the humming band (80-500 Hz) track accurately."""
+        track = track_pitch(tone(pitch))
+        voiced = track.pitch_series()
+        assert voiced.size > 10
+        assert np.median(voiced) == pytest.approx(pitch, abs=0.1)
+
+    def test_silence_unvoiced(self):
+        track = track_pitch(np.zeros(8000))
+        assert track.voiced_fraction == 0.0
+        assert track.pitch_series().size == 0
+
+    def test_noise_mostly_unvoiced(self, rng):
+        track = track_pitch(0.2 * rng.normal(size=8000))
+        assert track.voiced_fraction < 0.3
+
+    def test_tone_with_silence_gap(self):
+        wave = np.concatenate([tone(60, 0.3), np.zeros(2400), tone(64, 0.3)])
+        track = track_pitch(wave)
+        voiced = track.pitch_series()
+        assert (np.abs(voiced - 60) < 0.3).any()
+        assert (np.abs(voiced - 64) < 0.3).any()
+        assert track.voiced_fraction < 1.0
+
+    def test_synthesized_hum_roundtrip(self):
+        contour = np.concatenate([np.full(40, 62.0), np.full(40, 65.0)])
+        wave = synthesize_pitch_series(contour, noise_level=0.005)
+        voiced = track_pitch(wave).pitch_series()
+        half = voiced.size // 2
+        assert np.median(voiced[: half - 3]) == pytest.approx(62.0, abs=0.5)
+        assert np.median(voiced[half + 3 :]) == pytest.approx(65.0, abs=0.5)
+
+    def test_reported_pitches_stay_in_band(self):
+        """Whatever the input, voiced output lies within the configured
+        pitch band (out-of-band tones may alias to subharmonics — a
+        documented autocorrelation limitation — but never escape it)."""
+        from repro.music.melody import hz_to_midi
+
+        for midi in (45.0, 60.0, 85.0, 100.0):
+            track = track_pitch(tone(midi), fmin=80.0, fmax=500.0)
+            voiced = track.pitch_series()
+            if voiced.size:
+                assert voiced.min() >= hz_to_midi(80.0 * 0.9) - 0.1
+                assert voiced.max() <= hz_to_midi(500.0 * 1.1) + 0.1
+
+    def test_frame_rate_derived(self):
+        track = track_pitch(tone(60), frame_ms=10)
+        assert track.frame_rate == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            track_pitch([])
+        with pytest.raises(ValueError, match="fmin"):
+            track_pitch(tone(60), fmin=500, fmax=100)
+
+    def test_median_filter_removes_blips(self):
+        """A single octave blip in an otherwise stable tone is smoothed."""
+        wave = tone(60, 0.5)
+        track_filtered = track_pitch(wave, median_width=5)
+        track_raw = track_pitch(wave, median_width=1)
+        assert track_filtered.pitch_series().std() <= track_raw.pitch_series().std() + 1e-9
+
+
+class TestPitchTrack:
+    def test_len(self):
+        track = PitchTrack(
+            pitches=np.array([60.0, np.nan]), voiced=np.array([True, False]),
+            frame_rate=100,
+        )
+        assert len(track) == 2
+        assert track.voiced_fraction == 0.5
+
+    def test_pitch_series_copies(self):
+        track = PitchTrack(
+            pitches=np.array([60.0]), voiced=np.array([True]), frame_rate=100
+        )
+        out = track.pitch_series()
+        out[0] = 0.0
+        assert track.pitches[0] == 60.0

@@ -1,0 +1,72 @@
+"""Unit tests for note segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.hum.segmentation import segment_notes
+
+
+def contour(*blocks):
+    """Build a pitch contour from (pitch, n_frames) blocks; None = gap."""
+    parts = []
+    for pitch, frames in blocks:
+        value = np.nan if pitch is None else float(pitch)
+        parts.append(np.full(frames, value))
+    return np.concatenate(parts)
+
+
+class TestSegmentNotes:
+    def test_gap_separated_notes(self):
+        pitches = contour((60, 30), (None, 10), (64, 30))
+        melody = segment_notes(pitches)
+        assert melody.pitches().tolist() == [60, 64]
+
+    def test_pitch_jump_splits(self):
+        pitches = contour((60, 30), (65, 30))
+        melody = segment_notes(pitches)
+        assert len(melody) == 2
+        assert melody.pitches().tolist() == [60, 65]
+
+    def test_small_wobble_does_not_split(self, rng):
+        base = np.full(60, 62.0) + 0.15 * rng.normal(size=60)
+        melody = segment_notes(base)
+        assert len(melody) == 1
+
+    def test_durations_proportional(self):
+        pitches = contour((60, 50), (67, 100))
+        melody = segment_notes(pitches, frame_rate=100, beat_seconds=0.5)
+        assert melody.durations()[1] == pytest.approx(
+            2 * melody.durations()[0]
+        )
+
+    def test_short_fragments_dropped(self):
+        pitches = contour((60, 30), (None, 5), (72, 2), (None, 5), (64, 30))
+        melody = segment_notes(pitches, min_note_frames=4)
+        assert 72 not in melody.pitches()
+
+    def test_median_pitch_used(self, rng):
+        noisy = np.full(40, 60.0)
+        noisy[3] = 60.4  # outlier inside a note
+        melody = segment_notes(noisy)
+        assert melody.pitches()[0] == pytest.approx(60.0, abs=0.05)
+
+    def test_all_unvoiced_raises(self):
+        with pytest.raises(ValueError, match="no notes"):
+            segment_notes(np.full(50, np.nan))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            segment_notes([])
+        with pytest.raises(ValueError, match=">= 1"):
+            segment_notes([60.0] * 10, min_note_frames=0)
+
+    def test_three_note_scale(self):
+        pitches = contour((60, 40), (62, 40), (64, 40))
+        melody = segment_notes(pitches)
+        assert melody.pitches().tolist() == [60, 62, 64]
+
+    def test_vibrato_tolerated(self):
+        t = np.arange(80)
+        wobble = 62.0 + 0.3 * np.sin(2 * np.pi * t / 18.0)
+        melody = segment_notes(wobble)
+        assert len(melody) == 1

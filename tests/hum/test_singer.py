@@ -1,0 +1,87 @@
+"""Unit tests for the singer degradation models."""
+
+import numpy as np
+import pytest
+
+from repro.hum.singer import SingerProfile, hum_melody
+from repro.music.corpus import EXAMPLE_PHRASE
+from repro.music.melody import Melody
+
+
+class TestSingerProfile:
+    def test_profiles_ordered_by_error(self):
+        better = SingerProfile.better()
+        poor = SingerProfile.poor()
+        assert better.note_pitch_std < poor.note_pitch_std
+        assert better.duration_jitter_std < poor.duration_jitter_std
+        assert better.tempo_range[1] - better.tempo_range[0] < (
+            poor.tempo_range[1] - poor.tempo_range[0]
+        )
+
+    def test_perfect_profile_has_no_error(self):
+        perfect = SingerProfile.perfect()
+        assert perfect.note_pitch_std == 0.0
+        assert perfect.transpose_range == (0.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            SingerProfile(tempo_range=(0.0, 1.0))
+        with pytest.raises(ValueError, match=">= 0"):
+            SingerProfile(note_pitch_std=-1.0)
+        with pytest.raises(ValueError, match="frame rate"):
+            SingerProfile(frame_rate=0)
+
+
+class TestHumMelody:
+    def test_perfect_singer_reproduces_pitches(self, rng):
+        hum = hum_melody(EXAMPLE_PHRASE, SingerProfile.perfect(), rng)
+        assert set(np.unique(hum)) == {n.pitch for n in EXAMPLE_PHRASE}
+
+    def test_perfect_singer_durations_proportional(self, rng):
+        melody = Melody([(60, 1.0), (62, 2.0)])
+        hum = hum_melody(melody, SingerProfile.perfect(), rng, tempo_bpm=60)
+        # 1 beat at 60 BPM = 1 s = 100 frames; 2 beats = 200 frames.
+        assert np.sum(hum == 60) == 100
+        assert np.sum(hum == 62) == 200
+
+    def test_deterministic_given_rng_state(self):
+        a = hum_melody(EXAMPLE_PHRASE, SingerProfile.poor(), np.random.default_rng(5))
+        b = hum_melody(EXAMPLE_PHRASE, SingerProfile.poor(), np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_transposition_within_profile_range(self, rng):
+        profile = SingerProfile(
+            transpose_range=(3.0, 3.0), tempo_range=(1.0, 1.0),
+            note_pitch_std=0.0, drift_std=0.0, duration_jitter_std=0.0,
+            frame_noise_std=0.0, vibrato_depth=0.0,
+        )
+        hum = hum_melody(Melody([(60, 1)]), profile, rng)
+        assert np.allclose(hum, 63.0)
+
+    def test_poor_singer_noisier_than_better(self):
+        """Average deviation from the score is larger for poor singers."""
+        def mean_abs_dev(profile, seed):
+            rng = np.random.default_rng(seed)
+            hums = []
+            for _ in range(10):
+                hum = hum_melody(EXAMPLE_PHRASE, profile, rng)
+                hum = hum - hum.mean()
+                score = EXAMPLE_PHRASE.to_time_series(4)
+                score = score - score.mean()
+                m = min(hum.size, score.size)
+                hums.append(np.abs(hum[:m:max(1, m // 40)]).std())
+            return np.mean(hums)
+
+        # Compare variability statistics rather than exact alignment.
+        assert mean_abs_dev(SingerProfile.poor(), 3) != mean_abs_dev(
+            SingerProfile.better(), 3
+        )
+
+    def test_rejects_bad_tempo(self, rng):
+        with pytest.raises(ValueError, match="tempo"):
+            hum_melody(EXAMPLE_PHRASE, SingerProfile.perfect(), rng, tempo_bpm=0)
+
+    def test_every_note_contributes_frames(self, rng):
+        melody = Melody([(60, 0.05), (72, 1.0)])
+        hum = hum_melody(melody, SingerProfile.perfect(), rng)
+        assert np.sum(hum == 60) >= 2  # minimum two frames per note

@@ -1,0 +1,72 @@
+"""Unit tests for hum audio synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.hum.synthesis import synthesize_melody, synthesize_pitch_series
+from repro.music.melody import Melody, midi_to_hz
+
+
+class TestSynthesizePitchSeries:
+    def test_output_length(self):
+        wave = synthesize_pitch_series(np.full(50, 60.0), frame_rate=100,
+                                       sample_rate=8000)
+        assert wave.size == 50 * 80
+
+    def test_amplitude_bounded(self):
+        wave = synthesize_pitch_series(np.full(20, 72.0), amplitude=1.0)
+        assert np.all(np.abs(wave) <= 1.0)
+
+    def test_dominant_frequency_matches_pitch(self):
+        pitch = 69.0  # A4 = 440 Hz
+        wave = synthesize_pitch_series(np.full(100, pitch), noise_level=0.0)
+        spectrum = np.abs(np.fft.rfft(wave))
+        freqs = np.fft.rfftfreq(wave.size, d=1 / 8000)
+        peak = freqs[np.argmax(spectrum)]
+        assert peak == pytest.approx(midi_to_hz(pitch), rel=0.02)
+
+    def test_nan_frames_are_silent(self):
+        contour = np.concatenate([np.full(20, 60.0), np.full(20, np.nan)])
+        wave = synthesize_pitch_series(contour, noise_level=0.0)
+        silent_part = wave[wave.size // 2 + 400 :]
+        assert np.max(np.abs(silent_part)) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            synthesize_pitch_series([])
+        with pytest.raises(ValueError, match="amplitude"):
+            synthesize_pitch_series([60.0], amplitude=0.0)
+        with pytest.raises(ValueError, match="8x"):
+            synthesize_pitch_series([60.0], sample_rate=400)
+
+    def test_deterministic_with_rng(self):
+        a = synthesize_pitch_series(np.full(10, 60.0),
+                                    rng=np.random.default_rng(1))
+        b = synthesize_pitch_series(np.full(10, 60.0),
+                                    rng=np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+
+class TestSynthesizeMelody:
+    def test_length_scales_with_tempo(self):
+        melody = Melody([(60, 2.0)])
+        fast = synthesize_melody(melody, tempo_bpm=120)
+        slow = synthesize_melody(melody, tempo_bpm=60)
+        assert slow.size == pytest.approx(2 * fast.size, rel=0.05)
+
+    def test_gaps_inserted(self):
+        melody = Melody([(60, 1.0), (62, 1.0)])
+        wave = synthesize_melody(melody, tempo_bpm=60, gap_fraction=0.3,
+                                 noise_level=0.0)
+        # RMS over 10ms windows: some windows must be near-silent.
+        frames = wave[: wave.size // 80 * 80].reshape(-1, 80)
+        rms = np.sqrt((frames**2).mean(axis=1))
+        assert (rms < 0.01).any()
+        assert (rms > 0.1).any()
+
+    def test_validation(self):
+        melody = Melody([(60, 1.0)])
+        with pytest.raises(ValueError, match="tempo"):
+            synthesize_melody(melody, tempo_bpm=0)
+        with pytest.raises(ValueError, match="gap"):
+            synthesize_melody(melody, gap_fraction=1.0)

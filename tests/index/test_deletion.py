@@ -1,0 +1,132 @@
+"""Tests for index deletion across all backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.normal_form import NormalForm
+from repro.datasets.generators import random_walks
+from repro.index.gemini import WarpingIndex
+from repro.index.gridfile import GridFile
+from repro.index.linear_scan import LinearScan
+from repro.index.rstartree import RStarTree
+
+
+class TestRStarDelete:
+    def test_delete_then_absent(self, rng):
+        pts = rng.normal(size=(100, 3))
+        tree = RStarTree.bulk_load(pts, capacity=8)
+        assert tree.delete(pts[42], 42)
+        assert len(tree) == 99
+        assert 42 not in tree.range_search(pts[42], pts[42], 1e-9)
+        tree.check_invariants()
+
+    def test_delete_missing_returns_false(self, rng):
+        pts = rng.normal(size=(20, 2))
+        tree = RStarTree.bulk_load(pts)
+        assert not tree.delete(np.array([99.0, 99.0]), "ghost")
+        assert len(tree) == 20
+
+    def test_delete_wrong_id_same_point(self, rng):
+        pts = rng.normal(size=(10, 2))
+        tree = RStarTree.bulk_load(pts)
+        assert not tree.delete(pts[3], 999)
+        assert 3 in tree.range_search(pts[3], pts[3], 1e-9)
+
+    def test_delete_everything(self, rng):
+        pts = rng.normal(size=(60, 3))
+        tree = RStarTree.bulk_load(pts, capacity=6)
+        order = rng.permutation(60)
+        for i in order:
+            assert tree.delete(pts[i], int(i))
+        assert len(tree) == 0
+        assert tree.range_search(np.zeros(3), np.zeros(3), 100.0) == []
+
+    def test_interleaved_insert_delete_queries_stay_exact(self, rng):
+        tree = RStarTree(3, capacity=6)
+        alive = {}
+        counter = 0
+        for _ in range(400):
+            if alive and rng.random() < 0.4:
+                victim = rng.choice(list(alive))
+                assert tree.delete(alive[victim], victim)
+                del alive[victim]
+            else:
+                p = rng.normal(size=3)
+                tree.insert(p, counter)
+                alive[counter] = p
+                counter += 1
+        tree.check_invariants()
+        q = rng.normal(size=3)
+        expected = {
+            key for key, p in alive.items()
+            if float(np.linalg.norm(p - q)) <= 1.5
+        }
+        assert set(tree.range_search(q, q, 1.5)) == expected
+
+    def test_condense_reinserts_survivors(self, rng):
+        """Deleting most of one cluster must not lose the remainder."""
+        cluster_a = rng.normal(0.0, 0.1, size=(30, 2))
+        cluster_b = rng.normal(10.0, 0.1, size=(30, 2))
+        pts = np.vstack([cluster_a, cluster_b])
+        tree = RStarTree.bulk_load(pts, capacity=6)
+        for i in range(25):
+            assert tree.delete(pts[i], i)
+        survivors = set(tree.range_search(np.zeros(2), np.zeros(2), 50.0))
+        assert survivors == set(range(25, 60))
+        tree.check_invariants()
+
+
+class TestOtherBackendsDelete:
+    @pytest.mark.parametrize("factory", [
+        lambda pts: GridFile(pts, resolution=4),
+        lambda pts: LinearScan(pts),
+    ])
+    def test_delete_roundtrip(self, rng, factory):
+        pts = rng.normal(size=(50, 3))
+        index = factory(pts)
+        assert index.delete(pts[7], 7)
+        assert len(index) == 49
+        assert 7 not in index.range_search(pts[7], pts[7], 1e-9)
+        assert not index.delete(pts[7], 7)  # already gone
+
+    def test_gridfile_drops_empty_buckets(self, rng):
+        pts = rng.normal(size=(5, 2))
+        grid = GridFile(pts, resolution=2)
+        before = grid.bucket_count
+        for i in range(5):
+            grid.delete(pts[i], i)
+        assert grid.bucket_count == 0 < before
+
+
+class TestWarpingIndexRemove:
+    def test_remove_then_absent(self):
+        walks = list(random_walks(50, 96, seed=70))
+        index = WarpingIndex(walks, delta=0.1, normal_form=NormalForm(length=64))
+        index.remove(13)
+        assert len(index) == 49
+        results, _ = index.range_query(walks[13], 1e-9)
+        assert all(item != 13 for item, _ in results)
+
+    def test_remove_unknown_raises(self):
+        walks = list(random_walks(10, 96, seed=71))
+        index = WarpingIndex(walks, delta=0.1, normal_form=NormalForm(length=64))
+        with pytest.raises(KeyError, match="not in the index"):
+            index.remove("nope")
+
+    def test_queries_exact_after_removals(self):
+        walks = list(random_walks(120, 96, seed=72))
+        index = WarpingIndex(walks, delta=0.1, normal_form=NormalForm(length=64))
+        for victim in (3, 77, 119, 0):
+            index.remove(victim)
+        query = random_walks(1, 96, seed=73)[0]
+        results, _ = index.range_query(query, 8.0)
+        truth = index.ground_truth_range(query, 8.0)
+        assert [i for i, _ in results] == [i for i, _ in truth]
+
+    def test_remove_then_reinsert(self):
+        walks = list(random_walks(30, 96, seed=74))
+        index = WarpingIndex(walks, delta=0.1, normal_form=NormalForm(length=64))
+        index.remove(5)
+        index.insert(walks[5], 5)
+        results, _ = index.range_query(walks[5], 1e-9)
+        assert results and results[0][0] == 5

@@ -1,0 +1,53 @@
+"""Tests for the bound-cascade explanation API."""
+
+import numpy as np
+import pytest
+
+from repro.core.normal_form import NormalForm
+from repro.datasets.generators import random_walks
+from repro.index.gemini import WarpingIndex
+
+
+@pytest.fixture(scope="module")
+def index():
+    walks = list(random_walks(60, 96, seed=90))
+    return WarpingIndex(walks, delta=0.1, normal_form=NormalForm(length=64))
+
+
+class TestExplain:
+    def test_cascade_ordering(self, index):
+        """feature_lb <= envelope_lb <= exact_dtw, for every pair."""
+        queries = random_walks(3, 96, seed=91)
+        for q in queries:
+            for item_id in (0, 17, 42):
+                info = index.explain(q, item_id)
+                assert info["feature_lb"] <= info["envelope_lb"] + 1e-9
+                assert info["envelope_lb"] <= info["exact_dtw"] + 1e-9
+
+    def test_self_explain_all_zero(self, index):
+        walks = random_walks(60, 96, seed=90)
+        info = index.explain(walks[5], 5)
+        assert info["feature_lb"] == pytest.approx(0.0, abs=1e-9)
+        assert info["envelope_lb"] == pytest.approx(0.0, abs=1e-9)
+        assert info["exact_dtw"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_config_echoed(self, index):
+        info = index.explain(random_walks(1, 96, seed=92)[0], 0)
+        assert info["delta"] == 0.1
+        assert info["metric"] == "euclidean"
+        assert info["band"] >= 1
+        assert info["item_id"] == 0
+
+    def test_unknown_id(self, index):
+        with pytest.raises(KeyError, match="not in the index"):
+            index.explain(np.zeros(96), "missing")
+
+    def test_manhattan_cascade(self):
+        walks = list(random_walks(40, 96, seed=93))
+        index = WarpingIndex(walks, delta=0.1, metric="manhattan",
+                             normal_form=NormalForm(length=64))
+        q = random_walks(1, 96, seed=94)[0]
+        info = index.explain(q, 3)
+        assert info["metric"] == "manhattan"
+        assert info["feature_lb"] <= info["envelope_lb"] + 1e-9
+        assert info["envelope_lb"] <= info["exact_dtw"] + 1e-9

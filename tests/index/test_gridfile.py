@@ -1,0 +1,98 @@
+"""Unit tests for the grid file."""
+
+import numpy as np
+import pytest
+
+from repro.index.gridfile import GridFile
+
+
+def brute_rect(points, lo, hi, radius):
+    gap = np.maximum(lo - points, 0.0) + np.maximum(points - hi, 0.0)
+    return set(np.nonzero(np.sqrt(np.sum(gap * gap, axis=1)) <= radius)[0].tolist())
+
+
+class TestConstruction:
+    def test_basic(self, rng):
+        pts = rng.normal(size=(100, 3))
+        grid = GridFile(pts, resolution=4)
+        assert len(grid) == 100
+        assert 1 <= grid.bucket_count <= 100
+
+    def test_empty(self):
+        grid = GridFile(np.zeros((0, 2)))
+        assert len(grid) == 0
+        assert grid.range_search(np.zeros(2), np.zeros(2), 1.0) == []
+
+    def test_constant_axis_no_crash(self, rng):
+        pts = np.column_stack([rng.normal(size=50), np.full(50, 3.0)])
+        grid = GridFile(pts, resolution=4)
+        q = np.array([0.0, 3.0])
+        assert set(grid.range_search(q, q, 0.5)) == brute_rect(pts, q, q, 0.5)
+
+    def test_custom_ids(self, rng):
+        pts = rng.normal(size=(10, 2))
+        grid = GridFile(pts, ids=list("abcdefghij"))
+        assert "d" in grid.range_search(pts[3], pts[3], 1e-9)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            GridFile(np.zeros(5))
+        with pytest.raises(ValueError, match="resolution"):
+            GridFile(np.zeros((2, 2)), resolution=0)
+        with pytest.raises(ValueError, match="ids"):
+            GridFile(np.zeros((2, 2)), ids=[1])
+
+
+class TestRangeSearch:
+    def test_matches_brute_force(self, rng):
+        pts = rng.normal(size=(500, 4))
+        grid = GridFile(pts, resolution=5)
+        for _ in range(5):
+            q = rng.normal(size=4)
+            for radius in (0.3, 1.0, 3.0):
+                assert set(grid.range_search(q, q, radius)) == brute_rect(
+                    pts, q, q, radius
+                )
+
+    def test_rectangle_query(self, rng):
+        pts = rng.normal(size=(200, 2))
+        grid = GridFile(pts, resolution=6)
+        lo, hi = np.array([-1.0, -0.5]), np.array([0.5, 1.0])
+        assert set(grid.range_search(lo, hi, 0.5)) == brute_rect(pts, lo, hi, 0.5)
+
+    def test_page_accesses_grow_with_radius(self, rng):
+        pts = rng.normal(size=(1000, 3))
+        grid = GridFile(pts, resolution=5)
+        grid.reset_stats()
+        grid.range_search(np.zeros(3), np.zeros(3), 0.2)
+        narrow = grid.page_accesses
+        grid.reset_stats()
+        grid.range_search(np.zeros(3), np.zeros(3), 5.0)
+        assert grid.page_accesses > narrow
+
+    def test_rejects_bad_input(self, rng):
+        grid = GridFile(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError, match="lower > upper"):
+            grid.range_search(np.ones(2), np.zeros(2), 1.0)
+        with pytest.raises(ValueError, match="radius"):
+            grid.range_search(np.zeros(2), np.zeros(2), -0.1)
+        with pytest.raises(ValueError, match="shape"):
+            grid.range_search(np.zeros(3), np.zeros(3), 1.0)
+
+
+class TestNearest:
+    def test_sorted_by_distance(self, rng):
+        pts = rng.normal(size=(300, 3))
+        grid = GridFile(pts, resolution=4)
+        q = rng.normal(size=3)
+        dists = [d for d, _ in grid.nearest(q, q)]
+        assert dists == sorted(dists)
+
+    def test_complete_and_correct(self, rng):
+        pts = rng.normal(size=(100, 2))
+        grid = GridFile(pts, resolution=4)
+        q = np.zeros(2)
+        got = list(grid.nearest(q, q))
+        assert len(got) == 100
+        expected = np.sort(np.linalg.norm(pts - q, axis=1))
+        assert np.allclose([d for d, _ in got], expected)

@@ -1,0 +1,65 @@
+"""Unit tests for the linear-scan baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.index.linear_scan import LinearScan
+
+
+class TestLinearScan:
+    def test_range_matches_definition(self, rng):
+        pts = rng.normal(size=(200, 3))
+        scan = LinearScan(pts)
+        q = rng.normal(size=3)
+        got = set(scan.range_search(q, q, 1.0))
+        expected = set(
+            np.nonzero(np.linalg.norm(pts - q, axis=1) <= 1.0)[0].tolist()
+        )
+        assert got == expected
+
+    def test_page_accesses_full_scan(self, rng):
+        pts = rng.normal(size=(230, 2))
+        scan = LinearScan(pts, capacity=50)
+        scan.range_search(np.zeros(2), np.zeros(2), 1.0)
+        assert scan.page_accesses == math.ceil(230 / 50)
+
+    def test_nearest_sorted_and_complete(self, rng):
+        pts = rng.normal(size=(50, 2))
+        scan = LinearScan(pts)
+        got = list(scan.nearest(np.zeros(2), np.zeros(2)))
+        assert len(got) == 50
+        dists = [d for d, _ in got]
+        assert dists == sorted(dists)
+
+    def test_rectangle_distance(self, rng):
+        pts = rng.normal(size=(100, 2))
+        scan = LinearScan(pts)
+        lo, hi = np.array([-0.3, -0.3]), np.array([0.3, 0.3])
+        got = set(scan.range_search(lo, hi, 0.2))
+        gap = np.maximum(lo - pts, 0.0) + np.maximum(pts - hi, 0.0)
+        expected = set(
+            np.nonzero(np.sqrt(np.sum(gap * gap, axis=1)) <= 0.2)[0].tolist()
+        )
+        assert got == expected
+
+    def test_custom_ids(self, rng):
+        pts = rng.normal(size=(5, 2))
+        scan = LinearScan(pts, ids=["v", "w", "x", "y", "z"])
+        assert scan.range_search(pts[2], pts[2], 1e-12) == ["x"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            LinearScan(np.zeros(3))
+        with pytest.raises(ValueError, match="capacity"):
+            LinearScan(np.zeros((2, 2)), capacity=0)
+        with pytest.raises(ValueError, match="ids"):
+            LinearScan(np.zeros((3, 2)), ids=[1, 2])
+
+    def test_reset_stats(self, rng):
+        scan = LinearScan(rng.normal(size=(10, 2)))
+        scan.range_search(np.zeros(2), np.zeros(2), 1.0)
+        assert scan.page_accesses > 0
+        scan.reset_stats()
+        assert scan.page_accesses == 0

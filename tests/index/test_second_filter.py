@@ -1,0 +1,65 @@
+"""Tests for the two-stage filter cascade (paper Section 5.2).
+
+The paper runs the full-dimension envelope bound LB as "a second
+filter after the indexing scheme ... returns a superset of answer".
+These tests verify the cascade is sound (no answers lost), actually
+prunes, and saves exact-DTW computations in k-NN too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.normal_form import NormalForm
+from repro.datasets.generators import random_walks
+from repro.index.gemini import WarpingIndex
+
+
+@pytest.fixture(scope="module")
+def index():
+    walks = list(random_walks(300, 96, seed=50))
+    return WarpingIndex(walks, delta=0.1, normal_form=NormalForm(length=64))
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return random_walks(5, 96, seed=51)
+
+
+class TestRangeSecondFilter:
+    def test_same_answers_with_and_without(self, index, queries):
+        for q in queries:
+            with_filter, _ = index.range_query(q, 6.0, second_filter=True)
+            without, _ = index.range_query(q, 6.0, second_filter=False)
+            assert with_filter == without
+
+    def test_prunes_and_saves_dtw(self, index, queries):
+        total_pruned = 0
+        for q in queries:
+            _, s_on = index.range_query(q, 6.0, second_filter=True)
+            _, s_off = index.range_query(q, 6.0, second_filter=False)
+            pruned = s_on.extra.get("second_filter_pruned", 0)
+            total_pruned += pruned
+            assert s_on.dtw_computations == s_off.dtw_computations - pruned
+            assert s_on.candidates == s_off.candidates
+        assert total_pruned > 0
+
+    def test_matches_ground_truth(self, index, queries):
+        for q in queries:
+            results, _ = index.range_query(q, 8.0)
+            truth = index.ground_truth_range(q, 8.0)
+            assert [i for i, _ in results] == [i for i, _ in truth]
+
+
+class TestKnnSecondFilter:
+    def test_knn_still_exact(self, index, queries):
+        for q in queries:
+            got, stats = index.knn_query(q, 10)
+            truth = index.ground_truth_knn(q, 10)
+            assert np.allclose([d for _, d in got], [d for _, d in truth])
+
+    def test_knn_prunes_dtw_computations(self, index, queries):
+        """With the cascade, refined count + pruned count = candidates."""
+        for q in queries:
+            _, stats = index.knn_query(q, 5)
+            pruned = stats.extra.get("second_filter_pruned", 0)
+            assert stats.dtw_computations + pruned == stats.candidates

@@ -1,0 +1,38 @@
+"""Unit tests for QueryStats."""
+
+import pytest
+
+from repro.index.stats import QueryStats
+
+
+class TestQueryStats:
+    def test_defaults(self):
+        stats = QueryStats()
+        assert stats.candidates == 0
+        assert stats.precision == 1.0
+
+    def test_precision(self):
+        stats = QueryStats(candidates=10, results=4)
+        assert stats.precision == pytest.approx(0.4)
+
+    def test_add(self):
+        total = QueryStats(candidates=3, page_accesses=2, results=1) + QueryStats(
+            candidates=7, page_accesses=5, results=2, dtw_computations=7
+        )
+        assert total.candidates == 10
+        assert total.page_accesses == 7
+        assert total.results == 3
+        assert total.dtw_computations == 7
+
+    def test_add_wrong_type(self):
+        with pytest.raises(TypeError):
+            QueryStats() + 3
+
+    def test_scaled(self):
+        stats = QueryStats(candidates=10, page_accesses=4).scaled(0.5)
+        assert stats.candidates == 5.0
+        assert stats.page_accesses == 2.0
+
+    def test_extra_dict(self):
+        stats = QueryStats(extra={"note": "x"})
+        assert stats.extra["note"] == "x"

@@ -1,0 +1,77 @@
+"""Tests for corpus analysis."""
+
+import pytest
+
+from repro.music.analysis import CorpusStats, analyze_corpus, find_duplicates
+from repro.music.corpus import generate_corpus, segment_corpus
+from repro.music.melody import Melody
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return segment_corpus(generate_corpus(8, seed=88), per_song=10)
+
+
+class TestAnalyzeCorpus:
+    def test_counts(self, corpus):
+        stats = analyze_corpus(corpus, estimate_keys=False)
+        assert stats.n_melodies == len(corpus)
+        assert stats.total_notes == sum(len(m) for m in corpus)
+        assert stats.mean_notes == pytest.approx(
+            stats.total_notes / stats.n_melodies
+        )
+
+    def test_pitch_range(self, corpus):
+        stats = analyze_corpus(corpus, estimate_keys=False)
+        all_pitches = [n.pitch for m in corpus for n in m]
+        assert stats.pitch_min == min(all_pitches)
+        assert stats.pitch_max == max(all_pitches)
+
+    def test_interval_histogram_total(self):
+        melody = Melody([(60, 1), (62, 1), (64, 1)])
+        stats = analyze_corpus([melody], estimate_keys=False)
+        assert sum(stats.interval_histogram.values()) == 2
+        assert stats.interval_histogram[2] == 2
+
+    def test_stepwise_fraction_of_tonal_corpus(self, corpus):
+        """Step-biased generation must show in the statistic."""
+        stats = analyze_corpus(corpus, estimate_keys=False)
+        assert stats.stepwise_fraction() > 0.4
+
+    def test_key_distribution(self, corpus):
+        stats = analyze_corpus(corpus[:20], estimate_keys=True)
+        assert sum(stats.key_distribution.values()) == 20
+
+    def test_summary_text(self, corpus):
+        stats = analyze_corpus(corpus[:10])
+        text = stats.summary()
+        assert "melodies: 10" in text
+        assert "stepwise motion" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            analyze_corpus([])
+
+    def test_empty_stats_defaults(self):
+        stats = CorpusStats()
+        assert stats.mean_notes == 0.0
+        assert stats.stepwise_fraction() == 0.0
+
+
+class TestFindDuplicates:
+    def test_exact_duplicates_grouped(self):
+        a = Melody([(60, 1), (62, 1)])
+        b = Melody([(60, 1), (62, 1)], name="other")
+        c = Melody([(60, 1), (64, 1)])
+        groups = find_duplicates([a, b, c])
+        assert groups == [[0, 1]]
+
+    def test_no_duplicates(self):
+        melodies = [Melody([(60 + i, 1)]) for i in range(5)]
+        assert find_duplicates(melodies) == []
+
+    def test_corpus_has_motif_duplicates(self, corpus):
+        """Segmenting repetitive songs produces duplicate melodies —
+        the tied distances visible in query results."""
+        groups = find_duplicates(corpus)
+        assert groups  # motif reuse guarantees at least one group

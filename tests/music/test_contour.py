@@ -1,0 +1,138 @@
+"""Unit tests for the contour baseline."""
+
+import pytest
+
+from repro.music.contour import (
+    ContourIndex,
+    contour_string,
+    edit_distance,
+    qgram_count_filter,
+    qgram_profile,
+)
+from repro.music.melody import Melody
+
+
+class TestContourString:
+    def test_three_letter_alphabet(self):
+        assert contour_string([60, 62, 62, 58]) == "USD"
+
+    def test_five_letter_alphabet(self):
+        # +1 (u), +5 (U), -2 (d), -7 (D), 0 (S)
+        s = contour_string([60, 61, 66, 64, 57, 57], levels=5)
+        assert s == "uUdDS"
+
+    def test_same_threshold(self):
+        assert contour_string([60, 60.3], same_threshold=0.5) == "S"
+        assert contour_string([60, 60.7], same_threshold=0.5) == "U"
+
+    def test_melody_input(self):
+        m = Melody([(60, 1), (64, 1), (62, 1)])
+        assert contour_string(m) == "UD"
+
+    def test_transposition_invariant(self):
+        a = contour_string([60, 64, 62, 65])
+        b = contour_string([67, 71, 69, 72])
+        assert a == b
+
+    def test_needs_two_notes(self):
+        with pytest.raises(ValueError, match="two notes"):
+            contour_string([60])
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ValueError, match="3 or 5"):
+            contour_string([60, 62], levels=4)
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "", 3),
+            ("abc", "abc", 0),
+            ("kitten", "sitting", 3),
+            ("UDS", "UDS", 0),
+            ("UDS", "UDD", 1),
+            ("UD", "DU", 2),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    def test_symmetry(self):
+        assert edit_distance("UUDS", "DS") == edit_distance("DS", "UUDS")
+
+    def test_triangle_inequality(self):
+        a, b, c = "UUDSD", "UDSD", "DDSU"
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestQgrams:
+    def test_profile_counts(self):
+        profile = qgram_profile("UUDU", 2)
+        assert profile["UU"] == 1
+        assert profile["UD"] == 1
+        assert profile["DU"] == 1
+
+    def test_short_string_empty_profile(self):
+        assert not qgram_profile("U", 2)
+
+    def test_filter_never_false_dismisses(self):
+        """Every string within max_edits must pass the filter."""
+        query = "UUDSDUDSUU"
+        profile = qgram_profile(query, 3)
+        for candidate in ("UUDSDUDSUU", "UUDSDUDSU", "UUDSDUDSUD", "UDSDUDSUU"):
+            true_dist = edit_distance(query, candidate)
+            if true_dist <= 2:
+                assert qgram_count_filter(profile, candidate, 3, 2, len(query))
+
+    def test_filter_dismisses_far_strings(self):
+        query = "UUUUUUUUUU"
+        profile = qgram_profile(query, 3)
+        assert not qgram_count_filter(profile, "DDDDDDDDDD", 3, 1, len(query))
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            qgram_profile("UD", 0)
+
+
+class TestContourIndex:
+    @pytest.fixture
+    def melodies(self):
+        return [
+            Melody([(60, 1), (62, 1), (64, 1), (62, 1), (60, 1)], name="a"),
+            Melody([(60, 1), (58, 1), (56, 1), (58, 1), (60, 1)], name="b"),
+            Melody([(60, 1), (62, 1), (64, 1), (66, 1), (68, 1)], name="c"),
+        ]
+
+    def test_rank_self_first(self, melodies):
+        index = ContourIndex(melodies)
+        ranked = index.rank(contour_string(melodies[1]))
+        assert ranked[0][0] == 1
+        assert ranked[0][1] == 0
+
+    def test_search_with_filter_matches_rank(self, melodies):
+        index = ContourIndex(melodies, q=2)
+        query = contour_string(melodies[0])
+        matches, verified = index.search(query, max_edits=2)
+        full = [(i, d) for i, d in index.rank(query) if d <= 2]
+        assert matches == full
+        assert verified <= len(melodies)
+
+    def test_rank_of_target(self, melodies):
+        index = ContourIndex(melodies)
+        assert index.rank_of(contour_string(melodies[2]), 2) == 1
+
+    def test_rank_of_ties_do_not_penalise(self):
+        same = Melody([(60, 1), (62, 1)])
+        index = ContourIndex([same, same, same])
+        assert index.rank_of(contour_string(same), 2) == 1
+
+    def test_rank_of_validates_index(self, melodies):
+        index = ContourIndex(melodies)
+        with pytest.raises(ValueError, match="out of range"):
+            index.rank_of("UD", 99)
+
+    def test_rejects_empty_db(self):
+        with pytest.raises(ValueError, match="empty"):
+            ContourIndex([])

@@ -1,0 +1,124 @@
+"""Unit tests for repro.music.melody."""
+
+import numpy as np
+import pytest
+
+from repro.music.melody import Melody, Note, hz_to_midi, midi_to_hz
+
+
+class TestPitchConversion:
+    def test_a440(self):
+        assert midi_to_hz(69) == pytest.approx(440.0)
+        assert hz_to_midi(440.0) == pytest.approx(69.0)
+
+    def test_octave_doubles(self):
+        assert midi_to_hz(81) == pytest.approx(880.0)
+
+    def test_roundtrip(self):
+        for pitch in (40.0, 60.5, 72.25):
+            assert hz_to_midi(midi_to_hz(pitch)) == pytest.approx(pitch)
+
+    def test_rejects_nonpositive_freq(self):
+        with pytest.raises(ValueError):
+            hz_to_midi(0.0)
+
+
+class TestNote:
+    def test_fields(self):
+        note = Note(60, 1.5)
+        assert note.pitch == 60
+        assert note.duration == 1.5
+
+    def test_name(self):
+        assert Note(60, 1).name == "C4"
+        assert Note(69, 1).name == "A4"
+        assert Note(61, 1).name == "C#4"
+
+    def test_frequency(self):
+        assert Note(69, 1).frequency == pytest.approx(440.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="pitch"):
+            Note(0, 1)
+        with pytest.raises(ValueError, match="duration"):
+            Note(60, 0)
+
+    def test_fractional_pitch_allowed(self):
+        assert Note(60.4, 1).name == "C4"
+
+
+class TestMelody:
+    def test_from_tuples(self):
+        m = Melody([(60, 1), (62, 0.5)])
+        assert len(m) == 2
+        assert m.notes[1].pitch == 62
+
+    def test_from_notes(self):
+        m = Melody([Note(60, 1), Note(64, 2)])
+        assert m.total_beats == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Melody([])
+
+    def test_equality_and_hash(self):
+        a = Melody([(60, 1), (62, 1)])
+        b = Melody([(60, 1), (62, 1)], name="other")
+        assert a == b  # names do not affect equality
+        assert hash(a) == hash(b)
+
+    def test_transpose(self):
+        m = Melody([(60, 1)]).transpose(5)
+        assert m.notes[0].pitch == 65
+
+    def test_scale_tempo(self):
+        m = Melody([(60, 1), (62, 2)]).scale_tempo(0.5)
+        assert m.durations().tolist() == [0.5, 1.0]
+
+    def test_scale_tempo_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Melody([(60, 1)]).scale_tempo(0)
+
+    def test_slice_notes(self):
+        m = Melody([(60, 1), (62, 1), (64, 1)])
+        assert m.slice_notes(1, 3).pitches().tolist() == [62, 64]
+
+    def test_slice_validation(self):
+        m = Melody([(60, 1)])
+        with pytest.raises(ValueError):
+            m.slice_notes(0, 2)
+
+
+class TestTimeSeries:
+    def test_durations_map_to_samples(self):
+        m = Melody([(60, 1), (62, 2)])
+        ts = m.to_time_series(samples_per_beat=4)
+        assert ts.tolist() == [60] * 4 + [62] * 8
+
+    def test_short_note_kept(self):
+        m = Melody([(60, 0.01), (62, 1)])
+        ts = m.to_time_series(samples_per_beat=4)
+        assert 60 in ts  # at least one sample survives
+
+    def test_roundtrip_from_time_series(self):
+        m = Melody([(60, 1), (62, 0.5), (60, 1.5)])
+        ts = m.to_time_series(samples_per_beat=8)
+        back = Melody.from_time_series(ts, samples_per_beat=8)
+        assert back.pitches().tolist() == m.pitches().tolist()
+        assert np.allclose(back.durations(), m.durations())
+
+    def test_from_time_series_merges_runs(self):
+        back = Melody.from_time_series([1.0, 1.0, 2.0], samples_per_beat=1)
+        assert len(back) == 2
+
+    def test_from_time_series_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Melody.from_time_series([])
+
+    def test_repeated_pitch_distinct_notes_merge(self):
+        """Adjacent equal-pitch notes merge in the series representation
+        (a known limitation the paper shares: no rest information)."""
+        m = Melody([(60, 1), (60, 1)])
+        back = Melody.from_time_series(m.to_time_series(4), samples_per_beat=4)
+        assert len(back) == 1
+        assert back.total_beats == pytest.approx(2.0)

@@ -1,0 +1,154 @@
+"""Unit tests for the MIDI substrate."""
+
+import numpy as np
+import pytest
+
+from repro.music.melody import Melody
+from repro.music.midi import (
+    MidiFile,
+    MidiNoteEvent,
+    _read_vlq,
+    _write_vlq,
+    melodies_from_midi_bytes,
+    melody_to_midi_bytes,
+)
+
+import io
+
+
+class TestVlq:
+    @pytest.mark.parametrize(
+        "value,encoded",
+        [
+            (0, b"\x00"),
+            (0x40, b"\x40"),
+            (0x7F, b"\x7f"),
+            (0x80, b"\x81\x00"),
+            (0x2000, b"\xc0\x00"),
+            (0x0FFFFFFF, b"\xff\xff\xff\x7f"),
+        ],
+    )
+    def test_known_vectors(self, value, encoded):
+        """Test vectors straight from the SMF specification."""
+        assert _write_vlq(value) == encoded
+        assert _read_vlq(io.BytesIO(encoded)) == value
+
+    def test_roundtrip_range(self):
+        for value in (0, 1, 127, 128, 300, 50000, 2**21):
+            data = _write_vlq(value)
+            assert _read_vlq(io.BytesIO(data)) == value
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _write_vlq(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError, match="truncated"):
+            _read_vlq(io.BytesIO(b"\x81"))
+
+
+class TestRoundtrip:
+    def test_simple_melody(self):
+        m = Melody([(60, 1.0), (62, 0.5), (64, 2.0)])
+        data = melody_to_midi_bytes(m)
+        back = MidiFile.from_bytes(data).to_melody()
+        assert back.pitches().tolist() == [60, 62, 64]
+        assert np.allclose(back.durations(), [1.0, 0.5, 2.0], atol=1e-2)
+
+    def test_fractional_pitch_rounded(self):
+        m = Melody([(60.4, 1.0)])
+        back = MidiFile.from_bytes(melody_to_midi_bytes(m)).to_melody()
+        assert back.pitches().tolist() == [60]
+
+    def test_header_fields(self):
+        data = melody_to_midi_bytes(Melody([(60, 1)]))
+        assert data[:4] == b"MThd"
+        midi = MidiFile.from_bytes(data)
+        assert midi.division == 480
+        assert midi.tempo_us_per_beat == 500000
+
+    def test_channel_preserved(self):
+        m = Melody([(60, 1.0)])
+        data = melody_to_midi_bytes(m, channel=3)
+        midi = MidiFile.from_bytes(data)
+        assert midi.notes[0].channel == 3
+
+    def test_convenience_multichannel(self):
+        melody = Melody([(60, 1.0), (62, 1.0)])
+        out = melodies_from_midi_bytes(melody_to_midi_bytes(melody))
+        assert len(out) == 1
+        assert out[0].pitches().tolist() == [60, 62]
+
+
+class TestParsing:
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="MThd"):
+            MidiFile.from_bytes(b"RIFFxxxx")
+
+    def test_rejects_format2(self):
+        import struct
+        header = struct.pack(">4sIHHH", b"MThd", 6, 2, 1, 480)
+        with pytest.raises(ValueError, match="format 2"):
+            MidiFile.from_bytes(header)
+
+    def test_rejects_smpte_division(self):
+        import struct
+        header = struct.pack(">4sIHHH", b"MThd", 6, 0, 1, 0x8000 | 25)
+        with pytest.raises(ValueError, match="SMPTE"):
+            MidiFile.from_bytes(header)
+
+    def test_running_status_parsed(self):
+        """A track using running status (status byte omitted)."""
+        import struct
+        track = bytes(
+            [
+                0x00, 0x90, 60, 90,   # note on C4
+                0x60, 62, 90,         # running status: note on D4
+                0x60, 60, 0,          # running status: note off C4 (vel 0)
+                0x60, 62, 0,          # running status: note off D4
+                0x00, 0xFF, 0x2F, 0x00,
+            ]
+        )
+        data = (
+            struct.pack(">4sIHHH", b"MThd", 6, 0, 1, 96)
+            + struct.pack(">4sI", b"MTrk", len(track))
+            + track
+        )
+        midi = MidiFile.from_bytes(data)
+        assert len(midi.notes) == 2
+        assert {n.pitch for n in midi.notes} == {60, 62}
+
+    def test_tempo_meta_read(self):
+        midi = MidiFile.from_melody(Melody([(60, 1)]))
+        midi.tempo_us_per_beat = 400000
+        back = MidiFile.from_bytes(midi.to_bytes())
+        assert back.tempo_us_per_beat == 400000
+
+
+class TestMelodyExtraction:
+    def test_melody_channel_picks_busiest(self):
+        midi = MidiFile()
+        for i in range(5):
+            midi.notes.append(MidiNoteEvent(0, 60, 90, i * 100, i * 100 + 90))
+        midi.notes.append(MidiNoteEvent(1, 40, 90, 0, 480))
+        assert midi.melody_channel() == 0
+
+    def test_overlapping_notes_flattened(self):
+        midi = MidiFile(division=480)
+        midi.notes = [
+            MidiNoteEvent(0, 60, 90, 0, 960),
+            MidiNoteEvent(0, 64, 90, 480, 960),
+        ]
+        melody = midi.to_melody(0)
+        assert melody.pitches().tolist() == [60, 64]
+        assert np.allclose(melody.durations(), [1.0, 1.0])
+
+    def test_empty_channel_raises(self):
+        midi = MidiFile()
+        midi.notes = [MidiNoteEvent(0, 60, 90, 0, 480)]
+        with pytest.raises(ValueError, match="no notes"):
+            midi.to_melody(5)
+
+    def test_no_notes_at_all(self):
+        with pytest.raises(ValueError, match="no notes"):
+            MidiFile().melody_channel()

@@ -1,0 +1,79 @@
+"""Property-based tests for the music substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.music.contour import contour_string, edit_distance
+from repro.music.melody import Melody
+from repro.music.theory import estimate_key, pitch_class_histogram
+
+pitches = st.floats(min_value=36, max_value=96, allow_nan=False)
+durations = st.floats(min_value=0.1, max_value=4.0, allow_nan=False)
+note_lists = st.lists(st.tuples(pitches, durations), min_size=2, max_size=30)
+
+
+@given(note_lists)
+def test_time_series_length_tracks_beats(notes):
+    melody = Melody(notes)
+    series = melody.to_time_series(8)
+    # Every note contributes at least one sample and about 8/beat.
+    assert series.size >= len(melody)
+    assert abs(series.size - melody.total_beats * 8) <= len(melody)
+
+
+@given(note_lists, st.floats(-12, 12, allow_nan=False))
+def test_transposition_preserves_contour(notes, shift):
+    melody = Melody(notes)
+    assert contour_string(melody) == contour_string(melody.transpose(shift))
+
+
+@given(note_lists, st.floats(0.25, 4.0, allow_nan=False))
+def test_tempo_scaling_preserves_pitches_and_ratios(notes, factor):
+    melody = Melody(notes)
+    scaled = melody.scale_tempo(factor)
+    assert np.allclose(scaled.pitches(), melody.pitches())
+    assert np.allclose(scaled.durations(), melody.durations() * factor)
+
+
+@given(note_lists)
+def test_roundtrip_through_series_preserves_run_structure(notes):
+    melody = Melody(notes)
+    series = melody.to_time_series(16)
+    back = Melody.from_time_series(series, samples_per_beat=16)
+    # Runs of equal pitch merge, so the round trip can only shrink.
+    assert len(back) <= len(melody)
+    assert back.total_beats == series.size / 16
+
+
+@given(note_lists)
+def test_pitch_class_histogram_is_distribution(notes):
+    hist = pitch_class_histogram(Melody(notes))
+    assert hist.shape == (12,)
+    assert np.all(hist >= 0)
+    assert hist.sum() == 1.0 or abs(hist.sum() - 1.0) < 1e-9
+
+
+@settings(max_examples=30)
+@given(note_lists, st.integers(-11, 11))
+def test_key_estimate_transposes_with_the_melody(notes, shift):
+    melody = Melody(notes)
+    tonic_a, mode_a, conf_a = estimate_key(melody)
+    tonic_b, mode_b, conf_b = estimate_key(melody.transpose(shift))
+    if conf_a > 0.6 and conf_b > 0.6 and mode_a == mode_b:
+        assert (tonic_b - tonic_a) % 12 == shift % 12
+
+
+@given(st.text(alphabet="UDS", max_size=15),
+       st.text(alphabet="UDS", max_size=15),
+       st.text(alphabet="UDS", max_size=15))
+def test_edit_distance_triangle_inequality(a, b, c):
+    assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+@given(st.text(alphabet="UDS", max_size=20),
+       st.text(alphabet="UDS", max_size=20))
+def test_edit_distance_metric_axioms(a, b):
+    assert edit_distance(a, b) == edit_distance(b, a)
+    assert edit_distance(a, a) == 0
+    assert edit_distance(a, b) >= abs(len(a) - len(b))

@@ -1,0 +1,76 @@
+"""Tests for ABC-notation export."""
+
+import pytest
+
+from repro.music.corpus import EXAMPLE_PHRASE
+from repro.music.melody import Melody
+from repro.music.notation import _abc_duration, _abc_pitch, melody_to_abc
+
+from fractions import Fraction
+
+
+class TestAbcPitch:
+    @pytest.mark.parametrize(
+        "midi,abc",
+        [
+            (60, "C"),     # middle C, scientific octave 4
+            (61, "^C"),
+            (69, "A"),
+            (72, "c"),     # octave 5
+            (84, "c'"),    # octave 6
+            (48, "C,"),
+            (36, "C,,"),
+        ],
+    )
+    def test_spelling(self, midi, abc):
+        assert _abc_pitch(midi) == abc
+
+    def test_fractional_rounds(self):
+        assert _abc_pitch(60.4) == "C"
+        assert _abc_pitch(60.6) == "^C"
+
+
+class TestAbcDuration:
+    def test_unit_is_empty(self):
+        assert _abc_duration(0.5, Fraction(1, 2)) == ""
+
+    def test_double_unit(self):
+        assert _abc_duration(1.0, Fraction(1, 2)) == "2"
+
+    def test_half_unit(self):
+        assert _abc_duration(0.25, Fraction(1, 2)) == "/"
+
+    def test_dotted(self):
+        assert _abc_duration(0.75, Fraction(1, 2)) == "3/2"
+
+
+class TestMelodyToAbc:
+    def test_headers_present(self):
+        abc = melody_to_abc(Melody([(60, 1)], name="tune"))
+        for field in ("X: 1", "T: tune", "M: 4/4", "K: C", "Q: 1/4=100"):
+            assert field in abc
+
+    def test_body_notes(self):
+        abc = melody_to_abc(Melody([(60, 0.5), (62, 0.5), (64, 1.0)]))
+        body = abc.splitlines()[-1]
+        assert body.startswith("C D E2")
+
+    def test_barlines_every_four_beats(self):
+        abc = melody_to_abc(Melody([(60, 1)] * 8))
+        assert abc.count("|") == 2
+
+    def test_example_phrase_renders(self):
+        abc = melody_to_abc(EXAMPLE_PHRASE, title="Example")
+        assert "T: Example" in abc
+        assert "|" in abc
+        # every note letter appears
+        assert "c" in abc.lower()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            melody_to_abc(Melody([(60, 1)]), unit_beats=0)
+
+    def test_ends_with_barline_and_newline(self):
+        abc = melody_to_abc(Melody([(60, 1.0), (62, 1.0)]))
+        assert abc.rstrip().endswith("|")
+        assert abc.endswith("\n")

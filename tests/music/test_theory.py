@@ -1,0 +1,114 @@
+"""Tests for the music theory utilities."""
+
+import numpy as np
+import pytest
+
+from repro.music.corpus import generate_corpus
+from repro.music.melody import Melody
+from repro.music.theory import (
+    estimate_key,
+    interval_name,
+    key_name,
+    pitch_class_histogram,
+)
+
+
+class TestIntervalName:
+    @pytest.mark.parametrize(
+        "semitones,name",
+        [
+            (0, "unison"),
+            (1, "minor second"),
+            (4, "major third"),
+            (7, "perfect fifth"),
+            (6, "tritone"),
+            (12, "octave"),
+            (-12, "octave"),
+            (24, "2 octaves"),
+            (19, "perfect fifth + 1 octave"),
+        ],
+    )
+    def test_names(self, semitones, name):
+        assert interval_name(semitones) == name
+
+    def test_symmetric_in_sign(self):
+        assert interval_name(-7) == interval_name(7)
+
+
+class TestPitchClassHistogram:
+    def test_sums_to_one(self):
+        m = Melody([(60, 1), (64, 2), (67, 1)])
+        assert pitch_class_histogram(m).sum() == pytest.approx(1.0)
+
+    def test_duration_weighting(self):
+        m = Melody([(60, 3), (62, 1)])
+        hist = pitch_class_histogram(m)
+        assert hist[0] == pytest.approx(0.75)
+        assert hist[2] == pytest.approx(0.25)
+
+    def test_unweighted(self):
+        m = Melody([(60, 3), (62, 1)])
+        hist = pitch_class_histogram(m, weighted=False)
+        assert hist[0] == pytest.approx(0.5)
+
+    def test_octave_equivalence(self):
+        m = Melody([(48, 1), (60, 1), (72, 1)])
+        hist = pitch_class_histogram(m)
+        assert hist[0] == pytest.approx(1.0)
+
+    def test_fractional_pitch_rounded(self):
+        m = Melody([(60.4, 1)])
+        assert pitch_class_histogram(m)[0] == pytest.approx(1.0)
+
+
+class TestEstimateKey:
+    def test_c_major_scale(self):
+        scale = Melody([(60 + s, 1) for s in (0, 2, 4, 5, 7, 9, 11, 12)]
+                       + [(60, 2)])
+        tonic, mode, confidence = estimate_key(scale)
+        assert tonic == 0
+        assert mode == "major"
+        assert confidence > 0.7
+
+    def test_a_minor_scale(self):
+        scale = Melody([(57 + s, 1) for s in (0, 2, 3, 5, 7, 8, 10, 12)]
+                       + [(57, 2)])
+        tonic, mode, _ = estimate_key(scale)
+        assert tonic == 9
+        assert mode == "minor"
+
+    def test_transposition_moves_the_tonic(self):
+        base = Melody([(60 + s, 1) for s in (0, 4, 7, 12, 7, 4, 0)])
+        tonic_c, _, _ = estimate_key(base)
+        tonic_d, _, _ = estimate_key(base.transpose(2))
+        assert (tonic_d - tonic_c) % 12 == 2
+
+    def test_generated_corpus_keys_recovered(self):
+        """Songs generated in major keys should mostly be detected in
+        their own key (pentatonic/minor modes are allowed to disagree
+        about the mode but not wildly about the tonic)."""
+        songs = [s for s in generate_corpus(30, seed=77) if s.mode == "major"]
+        assert songs, "corpus should contain major-mode songs"
+        hits = 0
+        for song in songs:
+            tonic, _, _ = estimate_key(song.melody)
+            if tonic == song.key % 12:
+                hits += 1
+        assert hits / len(songs) >= 0.6
+
+    def test_confidence_bounded(self):
+        m = Melody([(60, 1), (61, 1), (62, 1)])
+        _, _, confidence = estimate_key(m)
+        assert -1.0 <= confidence <= 1.0
+
+
+class TestKeyName:
+    def test_names(self):
+        assert key_name(0, "major") == "C major"
+        assert key_name(9, "minor") == "A minor"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="tonic"):
+            key_name(12, "major")
+        with pytest.raises(ValueError, match="mode"):
+            key_name(0, "dorian")

@@ -1,0 +1,118 @@
+"""Tests for hummer calibration (the paper's future-work feature)."""
+
+import numpy as np
+import pytest
+
+from repro.hum.singer import SingerProfile, hum_melody
+from repro.music.corpus import generate_corpus, segment_corpus
+from repro.qbh.calibration import HummerProfile, fit_hummer_profile
+from repro.qbh.system import QueryByHummingSystem
+
+
+def compressing_singer(scale=0.5):
+    """A singer who compresses every interval by *scale*."""
+    return SingerProfile(
+        transpose_range=(0.0, 0.0), tempo_range=(1.0, 1.0),
+        note_pitch_std=0.0, drift_std=0.0, duration_jitter_std=0.0,
+        frame_noise_std=0.0, vibrato_depth=0.0,
+    ), scale
+
+
+def hum_compressed(melody, scale, rng):
+    """Render a melody with intervals shrunk by *scale*."""
+    profile, _ = compressing_singer(scale)
+    faithful = hum_melody(melody, profile, rng)
+    return faithful.mean() + (faithful - faithful.mean()) * scale
+
+
+class TestHummerProfile:
+    def test_defaults_are_identity(self, rng):
+        x = rng.normal(60, 3, size=100)
+        assert np.allclose(HummerProfile().correct(x), x)
+
+    def test_correct_undoes_compression(self, rng):
+        x = rng.normal(60, 3, size=100)
+        squeezed = x.mean() + (x - x.mean()) * 0.5
+        profile = HummerProfile(interval_scale=0.5)
+        assert np.allclose(profile.correct(squeezed), x, atol=1e-9)
+
+    def test_correct_undoes_drift(self):
+        base = np.full(100, 60.0)
+        drifted = base + 0.02 * np.arange(100)
+        profile = HummerProfile(drift_per_frame=0.02)
+        out = profile.correct(drifted)
+        assert np.allclose(out, out[0], atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="interval scale"):
+            HummerProfile(interval_scale=0.0)
+        with pytest.raises(ValueError, match="tempo ratio"):
+            HummerProfile(tempo_ratio=-1.0)
+
+
+class TestFitHummerProfile:
+    @pytest.fixture(scope="class")
+    def melodies(self):
+        return segment_corpus(generate_corpus(5, seed=33), per_song=10)
+
+    def test_recovers_interval_compression(self, melodies, rng):
+        pairs = [
+            (hum_compressed(melodies[i], 0.6, rng), melodies[i])
+            for i in (1, 5, 9, 13)
+        ]
+        profile = fit_hummer_profile(pairs)
+        assert profile.interval_scale == pytest.approx(0.6, abs=0.1)
+        assert profile.n_samples == 4
+
+    def test_faithful_singer_scores_near_one(self, melodies, rng):
+        singer, _ = compressing_singer(1.0)
+        pairs = [(hum_melody(melodies[i], singer, rng), melodies[i])
+                 for i in (0, 4, 8)]
+        profile = fit_hummer_profile(pairs)
+        assert profile.interval_scale == pytest.approx(1.0, abs=0.05)
+        assert profile.tempo_ratio == pytest.approx(1.0, abs=0.1)
+
+    def test_recovers_tempo_ratio(self, melodies, rng):
+        slow = SingerProfile(
+            transpose_range=(0.0, 0.0), tempo_range=(0.5, 0.5),
+            note_pitch_std=0.0, drift_std=0.0, duration_jitter_std=0.0,
+            frame_noise_std=0.0, vibrato_depth=0.0,
+        )
+        pairs = [(hum_melody(melodies[i], slow, rng, tempo_bpm=60), melodies[i])
+                 for i in (2, 6)]
+        profile = fit_hummer_profile(pairs, tempo_bpm=60)
+        assert profile.tempo_ratio == pytest.approx(2.0, abs=0.2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            fit_hummer_profile([])
+
+    def test_estimates_clamped(self, melodies, rng):
+        """Degenerate pairs cannot produce a zero/negative scale."""
+        flat = np.full(80, 60.0)
+        profile = fit_hummer_profile([(flat, melodies[0])])
+        assert 0.25 <= profile.interval_scale <= 4.0
+
+
+class TestCalibrationImprovesRetrieval:
+    def test_compressed_singer_ranks_better_after_calibration(self, rng):
+        melodies = segment_corpus(generate_corpus(20, seed=34), per_song=20)
+        system = QueryByHummingSystem(melodies, delta=0.1)
+
+        # Confirmed pairs from a few earlier sessions.
+        train_targets = [3, 47, 101, 199]
+        pairs = [
+            (hum_compressed(melodies[t], 0.45, rng), melodies[t])
+            for t in train_targets
+        ]
+        profile = fit_hummer_profile(pairs)
+
+        raw_ranks, corrected_ranks = [], []
+        for target in (11, 88, 222, 305):
+            hum = hum_compressed(melodies[target], 0.45, rng)
+            raw_ranks.append(system.rank_of(hum, target))
+            corrected_ranks.append(
+                system.rank_of(profile.correct(hum), target)
+            )
+        assert np.mean(corrected_ranks) <= np.mean(raw_ranks)
+        assert max(corrected_ranks) <= 3

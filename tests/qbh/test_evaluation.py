@@ -1,0 +1,70 @@
+"""Unit tests for rank-table evaluation."""
+
+import pytest
+
+from repro.qbh.evaluation import RankTable, bucket_label, format_rank_tables
+
+
+class TestBucketLabel:
+    @pytest.mark.parametrize(
+        "rank,label",
+        [(1, "1"), (2, "2-3"), (3, "2-3"), (4, "4-5"), (5, "4-5"),
+         (6, "6-10"), (10, "6-10"), (11, "10-"), (500, "10-")],
+    )
+    def test_mapping(self, rank, label):
+        assert bucket_label(rank) == label
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="1-based"):
+            bucket_label(0)
+
+
+class TestRankTable:
+    def test_accumulates(self):
+        table = RankTable(name="ts")
+        for rank in (1, 1, 2, 7, 50):
+            table.add(rank)
+        assert table.total == 5
+        assert table.top1 == 2
+        assert table.counts["2-3"] == 1
+        assert table.counts["6-10"] == 1
+        assert table.counts["10-"] == 1
+
+    def test_in_top(self):
+        table = RankTable()
+        for rank in (1, 3, 8, 12):
+            table.add(rank)
+        assert table.in_top(10) == 3
+        assert table.in_top(1) == 1
+
+    def test_mrr(self):
+        table = RankTable()
+        table.add(1)
+        table.add(2)
+        assert table.mean_reciprocal_rank() == pytest.approx(0.75)
+
+    def test_mrr_empty(self):
+        assert RankTable().mean_reciprocal_rank() == 0.0
+
+
+class TestFormatRankTables:
+    def test_layout(self):
+        a = RankTable(name="Time series")
+        b = RankTable(name="Contour")
+        for rank in (1, 1, 2):
+            a.add(rank)
+        for rank in (1, 15, 20):
+            b.add(rank)
+        text = format_rank_tables([a, b], title="Table 2")
+        lines = text.splitlines()
+        assert lines[0] == "Table 2"
+        assert "Time series" in lines[1]
+        assert "Contour" in lines[1]
+        # bucket rows present
+        assert any(line.startswith("1 ") for line in lines)
+        assert any(line.startswith("10-") for line in lines)
+        assert any(line.startswith("MRR") for line in lines)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            format_rank_tables([])

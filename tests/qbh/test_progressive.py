@@ -1,0 +1,120 @@
+"""Tests for progressive (query-while-humming) search."""
+
+import numpy as np
+import pytest
+
+from repro.hum.singer import SingerProfile, hum_melody
+from repro.music.corpus import generate_corpus, segment_corpus
+from repro.qbh.progressive import ProgressiveQuery
+from repro.qbh.system import QueryByHummingSystem
+
+
+@pytest.fixture(scope="module")
+def system():
+    melodies = segment_corpus(generate_corpus(10, seed=67), per_song=15)
+    return QueryByHummingSystem(melodies, delta=0.1)
+
+
+@pytest.fixture
+def full_hum(system, rng):
+    target = 52
+    return target, hum_melody(system.melodies[target],
+                              SingerProfile.better(), rng)
+
+
+class TestFeeding:
+    def test_no_snapshot_before_min_frames(self, system, full_hum):
+        _, hum = full_hum
+        pq = ProgressiveQuery(system, min_frames=200)
+        assert pq.feed(hum[:100]) is None
+        assert pq.snapshots == []
+
+    def test_snapshot_cadence(self, system, full_hum):
+        _, hum = full_hum
+        pq = ProgressiveQuery(system, min_frames=100, every=50)
+        for start in range(0, 400, 25):
+            pq.feed(hum[start : start + 25])
+        # First snapshot at >=100 frames, then every >=50 frames.
+        assert 4 <= len(pq.snapshots) <= 8
+        heard = [s.frames_heard for s in pq.snapshots]
+        assert heard == sorted(heard)
+
+    def test_converges_to_target_song(self, system, full_hum):
+        """A partial hum is genuinely ambiguous between overlapping
+        windows of the same song, so convergence is judged at song
+        granularity (names are 'songNNN#mMM')."""
+        target, hum = full_hum
+        pq = ProgressiveQuery(system, min_frames=100, every=50, stability=3)
+        final = None
+        for start in range(0, hum.size, 50):
+            snap = pq.feed(hum[start : start + 50])
+            if snap is not None:
+                final = snap
+            if pq.converged:
+                break
+        assert final is not None
+        target_song = system.melodies[target].name.split("#")[0]
+        assert final.top.split("#")[0] == target_song
+
+    def test_full_hum_resolves_exact_melody(self, system, full_hum):
+        """Once the whole hum is heard, the exact melody wins."""
+        target, hum = full_hum
+        pq = ProgressiveQuery(system, min_frames=100, every=50)
+        pq.feed(hum)
+        final = pq.finish()
+        assert final.top == system.melodies[target].name
+
+    def test_stability_counter(self, system, full_hum):
+        _, hum = full_hum
+        pq = ProgressiveQuery(system, min_frames=100, every=50, stability=2)
+        for start in range(0, hum.size, 50):
+            pq.feed(hum[start : start + 50])
+        last = pq.snapshots[-1]
+        assert last.stable_for >= 1
+        if last.converged:
+            assert last.stable_for >= 2
+
+    def test_finish_forces_snapshot(self, system, full_hum):
+        _, hum = full_hum
+        pq = ProgressiveQuery(system, min_frames=10**6)  # never auto-fires
+        pq.feed(hum)
+        assert pq.snapshots == []
+        final = pq.finish()
+        assert final.frames_heard == hum.size
+
+    def test_rejects_nan_frames(self, system):
+        pq = ProgressiveQuery(system)
+        with pytest.raises(ValueError, match="voiced"):
+            pq.feed([60.0, np.nan])
+
+    def test_finish_requires_audio(self, system):
+        pq = ProgressiveQuery(system)
+        with pytest.raises(ValueError, match="nothing hummed"):
+            pq.finish()
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError, match="configuration"):
+            ProgressiveQuery(system, k=0)
+        with pytest.raises(ValueError, match="configuration"):
+            ProgressiveQuery(system, stability=0)
+
+
+class TestEndToEndWithOnlineTracker:
+    def test_stream_audio_to_converged_answer(self, system, rng):
+        """Audio chunks -> online tracker -> progressive query."""
+        from repro.hum.online import OnlinePitchTracker
+        from repro.hum.synthesis import synthesize_pitch_series
+
+        target = 31
+        sung = hum_melody(system.melodies[target], SingerProfile.better(), rng)
+        wave = synthesize_pitch_series(sung, rng=rng)
+
+        tracker = OnlinePitchTracker()
+        pq = ProgressiveQuery(system, min_frames=150, every=75, stability=3)
+        for start in range(0, wave.size, 2048):  # simulated audio callbacks
+            frames = tracker.feed(wave[start : start + 2048])
+            pq.feed([f for f in frames if np.isfinite(f)])
+        final = pq.finish()
+        target_song = system.melodies[target].name.split("#")[0]
+        assert final.top.split("#")[0] == target_song
+        assert len(pq.snapshots) >= 3  # the ranking was live throughout

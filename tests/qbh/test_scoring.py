@@ -1,0 +1,101 @@
+"""Tests for humming assessment (the singing tutor)."""
+
+import numpy as np
+import pytest
+
+from repro.hum.singer import SingerProfile, hum_melody
+from repro.music.corpus import EXAMPLE_PHRASE
+from repro.music.melody import Melody
+from repro.qbh.scoring import HummingReport, NoteAssessment, assess_humming
+
+
+@pytest.fixture
+def perfect_hum(rng):
+    return hum_melody(EXAMPLE_PHRASE, SingerProfile.perfect(), rng)
+
+
+class TestAssessHumming:
+    def test_perfect_hum_grades_a(self, perfect_hum):
+        report = assess_humming(perfect_hum, EXAMPLE_PHRASE)
+        assert report.grade() == "A"
+        assert report.mean_abs_pitch_error < 0.2
+        assert report.dtw_distance < 2.0
+
+    def test_perfect_hum_intervals_match(self, perfect_hum):
+        report = assess_humming(perfect_hum, EXAMPLE_PHRASE)
+        for note in report.notes:
+            assert note.pitch_error == pytest.approx(0.0, abs=0.3)
+
+    def test_transposed_hum_still_grades_a(self, rng):
+        """Absolute pitch must not matter (shift invariance)."""
+        hum = hum_melody(EXAMPLE_PHRASE.transpose(-7),
+                         SingerProfile.perfect(), rng)
+        report = assess_humming(hum, EXAMPLE_PHRASE)
+        assert report.grade() == "A"
+
+    def test_slowed_hum_still_grades_well(self, rng):
+        """Global tempo must not matter (UTW invariance)."""
+        hum = hum_melody(EXAMPLE_PHRASE, SingerProfile.perfect(), rng,
+                         tempo_bpm=55)
+        report = assess_humming(hum, EXAMPLE_PHRASE)
+        assert report.grade() in ("A", "B")
+
+    def test_flat_singer_caught(self, rng):
+        """A singer who squeezes intervals gets pitch errors flagged."""
+        faithful = hum_melody(EXAMPLE_PHRASE, SingerProfile.perfect(), rng)
+        squeezed = faithful.mean() + (faithful - faithful.mean()) * 0.4
+        report = assess_humming(squeezed, EXAMPLE_PHRASE)
+        assert report.mean_abs_pitch_error > 0.8
+        assert report.grade() in ("C", "D", "F")
+
+    def test_worst_note_identified(self, rng):
+        """A single badly sung note is pinpointed by index."""
+        hum = hum_melody(EXAMPLE_PHRASE, SingerProfile.perfect(), rng)
+        # Note 9 is the highest (pitch 64, 2 beats): flatten it badly.
+        target_pitch = EXAMPLE_PHRASE.notes[9].pitch
+        hum = hum.copy()
+        hum[np.abs(hum - target_pitch) < 0.01] = target_pitch - 3.0
+        report = assess_humming(hum, EXAMPLE_PHRASE)
+        worst = report.worst_note
+        assert worst is not None
+        assert worst.index in (9, 10)  # notes 9 and 10 share the pitch
+        assert worst.pitch_error < -1.5
+
+    def test_poor_singer_grades_below_perfect(self, rng):
+        perfect = assess_humming(
+            hum_melody(EXAMPLE_PHRASE, SingerProfile.perfect(), rng),
+            EXAMPLE_PHRASE,
+        )
+        poor = assess_humming(
+            hum_melody(EXAMPLE_PHRASE, SingerProfile.poor(), rng),
+            EXAMPLE_PHRASE,
+        )
+        order = "ABCDF"
+        assert order.index(poor.grade()) >= order.index(perfect.grade())
+
+
+class TestReportMechanics:
+    def test_empty_report_defaults(self):
+        report = HummingReport()
+        assert report.grade() == "A"
+        assert report.worst_note is None
+        assert report.timing_consistency == 1.0
+
+    def test_timing_consistency_range(self, rng):
+        hum = hum_melody(EXAMPLE_PHRASE, SingerProfile.poor(), rng)
+        report = assess_humming(hum, EXAMPLE_PHRASE)
+        assert 0.0 < report.timing_consistency <= 1.0
+
+    def test_note_assessment_fields(self):
+        note = NoteAssessment(index=2, expected_interval=1.0,
+                              sung_interval=0.5, pitch_error=-0.5,
+                              timing_ratio=1.2)
+        assert note.index == 2
+        assert note.pitch_error == -0.5
+
+    def test_two_note_melody(self, rng):
+        melody = Melody([(60, 2.0), (67, 2.0)])
+        hum = hum_melody(melody, SingerProfile.perfect(), rng)
+        report = assess_humming(hum, melody)
+        assert len(report.notes) == 2
+        assert report.grade() == "A"

@@ -1,0 +1,100 @@
+"""Tests for the interactive feedback-loop session."""
+
+import numpy as np
+import pytest
+
+from repro.hum.singer import SingerProfile, hum_melody
+from repro.music.corpus import generate_corpus, segment_corpus
+from repro.qbh.session import QuerySession
+from repro.qbh.system import QueryByHummingSystem
+
+
+@pytest.fixture(scope="module")
+def system():
+    melodies = segment_corpus(generate_corpus(15, seed=66), per_song=20)
+    return QueryByHummingSystem(melodies, delta=0.1)
+
+
+def squeezed_hum(system, target, rng, factor=0.45):
+    hum = hum_melody(system.melodies[target], SingerProfile.perfect(), rng)
+    return hum.mean() + (hum - hum.mean()) * factor
+
+
+class TestSessionMechanics:
+    def test_initially_uncalibrated(self, system):
+        session = QuerySession(system)
+        assert not session.calibrated
+        assert session.confirmations == 0
+
+    def test_confirm_requires_query(self, system):
+        session = QuerySession(system)
+        with pytest.raises(RuntimeError, match="must follow"):
+            session.confirm(system.names[0])
+
+    def test_confirm_unknown_name(self, system, rng):
+        session = QuerySession(system)
+        session.query(rng.normal(60, 2, size=200))
+        with pytest.raises(KeyError, match="unknown melody"):
+            session.confirm("no-such-melody")
+
+    def test_profile_fits_after_min_confirmations(self, system, rng):
+        session = QuerySession(system, min_confirmations=2)
+        for target in (3, 41):
+            session.query(squeezed_hum(system, target, rng))
+            fitted = session.confirm(system.names[target])
+        assert fitted
+        assert session.calibrated
+        assert session.profile.interval_scale < 0.7
+
+    def test_history_capped(self, system, rng):
+        session = QuerySession(system, min_confirmations=1, max_history=3)
+        for target in (1, 2, 3, 4, 5):
+            session.query(squeezed_hum(system, target, rng))
+            session.confirm(system.names[target])
+        assert session.confirmations == 3
+
+    def test_reset_profile(self, system, rng):
+        session = QuerySession(system, min_confirmations=1)
+        session.query(squeezed_hum(system, 7, rng))
+        session.confirm(system.names[7])
+        assert session.calibrated
+        session.reset_profile()
+        assert not session.calibrated
+        assert session.confirmations == 0
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError, match="min_confirmations"):
+            QuerySession(system, min_confirmations=0)
+        with pytest.raises(ValueError, match="max_history"):
+            QuerySession(system, min_confirmations=5, max_history=2)
+
+
+class TestFeedbackLoopImprovesRetrieval:
+    def test_calibration_kicks_in(self, system, rng):
+        session = QuerySession(system, min_confirmations=3)
+
+        # Three sessions of confirmations from a compressing singer.
+        for target in (10, 60, 120):
+            session.query(squeezed_hum(system, target, rng))
+            session.confirm(system.names[target])
+        assert session.calibrated
+
+        # New queries are corrected transparently.
+        hits = 0
+        for target in (33, 99, 222):
+            hum = squeezed_hum(system, target, rng)
+            results, _ = session.query(hum, k=5)
+            names = [name for name, _ in results]
+            if system.names[target] in names[:1]:
+                hits += 1
+        assert hits >= 2
+
+    def test_uncalibrated_baseline_worse(self, system, rng):
+        """Sanity: without the feedback loop the same hums rank worse."""
+        raw_top1 = 0
+        for target in (33, 99, 222):
+            hum = squeezed_hum(system, target, rng)
+            results, _ = system.query(hum, k=5)
+            if results[0][0] == system.names[target]:
+                raw_top1 += 1
+        assert raw_top1 <= 2

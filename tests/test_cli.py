@@ -1,0 +1,147 @@
+"""Tests for the command-line interface (full lifecycle on disk)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_corpus_defaults(self):
+        args = build_parser().parse_args(["corpus", "--out", "x"])
+        assert args.songs == 50
+        assert args.per_song == 20
+
+    def test_index_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["index", "--corpus", "c", "--out", "o", "--transform", "svd"]
+            )
+
+
+class TestLifecycle:
+    def test_corpus_index_hum_query(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        index_file = str(tmp_path / "index.npz")
+        hum_file = str(tmp_path / "hum.npy")
+
+        assert main(["corpus", "--songs", "5", "--per-song", "10",
+                     "--seed", "3", "--out", corpus_dir]) == 0
+        assert main(["index", "--corpus", corpus_dir, "--out", index_file,
+                     "--delta", "0.1"]) == 0
+        assert main(["hum", "--corpus", corpus_dir, "--melody", "7",
+                     "--seed", "4", "--out", hum_file]) == 0
+        assert main(["query", "--index", index_file, "--hum", hum_file,
+                     "-k", "5"]) == 0
+
+        output = capsys.readouterr().out
+        assert "50 melodies" in output
+        assert "indexed 50 melodies" in output
+        assert "DTW distance" in output
+
+    def test_query_with_midi_hum(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        index_file = str(tmp_path / "index.npz")
+        main(["corpus", "--songs", "3", "--per-song", "5", "--out", corpus_dir])
+        main(["index", "--corpus", corpus_dir, "--out", index_file])
+        midi_file = str(tmp_path / "corpus" / "melody_00002.mid")
+        assert main(["query", "--index", index_file, "--hum", midi_file,
+                     "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        # Querying with an exact corpus melody must return it first.
+        first_result = [line for line in out.splitlines() if line.strip().startswith("1.")]
+        assert first_result and "0.000" in first_result[0]
+
+    def test_hum_out_of_range(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        main(["corpus", "--songs", "2", "--per-song", "3", "--out", corpus_dir])
+        code = main(["hum", "--corpus", corpus_dir, "--melody", "999",
+                     "--out", str(tmp_path / "h.npy")])
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--songs", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "database: 100 melodies" in out
+        assert "<-- target" in out
+
+    def test_assess_command(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        hum_file = str(tmp_path / "hum.npy")
+        main(["corpus", "--songs", "3", "--per-song", "5", "--out", corpus_dir])
+        main(["hum", "--corpus", corpus_dir, "--melody", "4",
+              "--out", hum_file])
+        assert main(["assess", "--corpus", corpus_dir, "--melody", "4",
+                     "--hum", hum_file]) == 0
+        out = capsys.readouterr().out
+        assert "grade:" in out
+        assert "pitch error" in out
+
+    def test_assess_out_of_range(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        hum_file = str(tmp_path / "hum.npy")
+        main(["corpus", "--songs", "2", "--per-song", "3", "--out", corpus_dir])
+        main(["hum", "--corpus", corpus_dir, "--melody", "0", "--out", hum_file])
+        assert main(["assess", "--corpus", corpus_dir, "--melody", "99",
+                     "--hum", hum_file]) == 2
+
+    def test_analyze_command(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        main(["corpus", "--songs", "3", "--per-song", "5", "--out", corpus_dir])
+        assert main(["analyze", "--corpus", corpus_dir, "--no-keys"]) == 0
+        out = capsys.readouterr().out
+        assert "melodies: 15" in out
+        assert "duplicate groups" in out
+
+    def test_tune_command(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        main(["corpus", "--songs", "4", "--per-song", "8", "--out", corpus_dir])
+        assert main(["tune", "--corpus", corpus_dir, "--queries", "2",
+                     "--grid", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended feature count:" in out
+
+    def test_experiment_command_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["experiment", "scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "db_size" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_table_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["experiment", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "delta=0.1" in out
+
+    def test_export_command(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        main(["corpus", "--songs", "2", "--per-song", "3", "--out", corpus_dir])
+        assert main(["export", "--corpus", corpus_dir, "--melody", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "X: 1" in out and "K: C" in out
+
+    def test_export_to_file(self, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        abc_file = str(tmp_path / "tune.abc")
+        main(["corpus", "--songs", "2", "--per-song", "3", "--out", corpus_dir])
+        assert main(["export", "--corpus", corpus_dir, "--melody", "0",
+                     "--out", abc_file]) == 0
+        with open(abc_file) as handle:
+            assert "T: " in handle.read()
+
+    def test_poor_profile_hum(self, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        hum_file = str(tmp_path / "hum.npy")
+        main(["corpus", "--songs", "2", "--per-song", "3", "--out", corpus_dir])
+        assert main(["hum", "--corpus", corpus_dir, "--melody", "0",
+                     "--profile", "poor", "--out", hum_file]) == 0
+        assert np.load(hum_file).size > 0

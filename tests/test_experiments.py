@@ -1,0 +1,121 @@
+"""Smoke tests for the programmatic experiment suite.
+
+Every table/figure function must run end to end at SMOKE scale and
+satisfy the invariants the full benchmarks assert; this keeps the
+experiment code itself under test without benchmark-scale runtimes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER,
+    REDUCED,
+    SMOKE,
+    ExperimentScale,
+    active_scale,
+    format_series,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig10,
+    run_size_scaling,
+    run_table2,
+    run_table3,
+)
+
+
+class TestConfig:
+    def test_presets_ordered(self):
+        assert SMOKE.fig10_db < REDUCED.fig10_db < PAPER.fig10_db
+        assert PAPER.fig9_db == 35000
+        assert PAPER.fig10_db == 50000
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            ExperimentScale(
+                name="bad", table_queries=0, corpus_songs=1,
+                corpus_per_song=1, fig6_series=1, fig7_pairs=1,
+                fig8_queries=1, fig9_db=1, fig10_db=1, sweep_deltas=(0.1,),
+            )
+        with pytest.raises(ValueError, match="sweep_deltas"):
+            ExperimentScale(
+                name="bad", table_queries=1, corpus_songs=1,
+                corpus_per_song=1, fig6_series=1, fig7_pairs=1,
+                fig8_queries=1, fig9_db=1, fig10_db=1, sweep_deltas=(),
+            )
+
+    def test_active_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert active_scale() is PAPER
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert active_scale() is SMOKE
+        monkeypatch.delenv("REPRO_SCALE")
+        assert active_scale() is REDUCED
+
+
+class TestFormatSeries:
+    def test_layout(self):
+        text = format_series("t", {"a": [1, 22], "b": ["x", "y"]})
+        lines = text.splitlines()
+        assert lines[0] == "=== t ==="
+        assert lines[1].split() == ["a", "b"]
+        assert lines[2].split() == ["1", "x"]
+
+    def test_unequal_columns_rejected(self):
+        with pytest.raises(ValueError, match="unequal"):
+            format_series("t", {"a": [1], "b": [1, 2]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            format_series("t", {})
+
+
+class TestQualityExperiments:
+    def test_table2_smoke(self):
+        ts, ct = run_table2(SMOKE)
+        assert ts.total == SMOKE.table_queries
+        assert ct.total == SMOKE.table_queries
+        assert ts.top1 >= ct.top1  # the paper's headline ordering
+
+    def test_table3_smoke(self):
+        tables = run_table3(SMOKE)
+        assert [t.name for t in tables] == [
+            "delta=0.05", "delta=0.1", "delta=0.2"
+        ]
+        assert all(t.total == SMOKE.table_queries for t in tables)
+
+
+class TestTightnessExperiments:
+    def test_fig6_smoke(self):
+        rows = run_fig6(SMOKE)
+        assert len(rows["dataset"]) == 24
+        lb = np.array(rows["LB"])
+        new = np.array(rows["New_PAA"])
+        keogh = np.array(rows["Keogh_PAA"])
+        assert np.all(lb >= new - 1e-9)
+        assert np.all(new >= keogh - 1e-9)
+
+    def test_fig7_smoke(self):
+        rows = run_fig7(SMOKE)
+        assert rows["width"][0] == 0.0
+        assert np.all(np.array(rows["LB"]) >= np.array(rows["New_PAA"]) - 1e-9)
+
+
+class TestScalabilityExperiments:
+    def test_fig8_smoke(self):
+        rows, results = run_fig8(SMOKE)
+        assert len(rows["width"]) == len(SMOKE.sweep_deltas) * 2
+        for point in results.values():
+            assert point["New"][0] <= point["Keogh"][0] + 1e-9
+
+    def test_fig10_smoke(self):
+        rows, results = run_fig10(SMOKE)
+        for point in results.values():
+            assert point["New"][1] >= 0
+            assert point["Keogh"][1] >= 0
+
+    def test_size_scaling_smoke(self):
+        rows = run_size_scaling(SMOKE)
+        assert rows["db_size"][-1] == SMOKE.fig10_db
+        assert rows["pages_scan"] == sorted(rows["pages_scan"])

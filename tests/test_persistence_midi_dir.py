@@ -1,0 +1,65 @@
+"""Tests for building melody databases from raw MIDI directories."""
+
+import pytest
+
+from repro.music.corpus import generate_corpus, segment_corpus
+from repro.music.midi import melody_to_midi_bytes
+from repro.persistence import melodies_from_midi_directory
+
+
+@pytest.fixture
+def midi_dir(tmp_path):
+    melodies = segment_corpus(generate_corpus(3, seed=55), per_song=4)
+    for i, melody in enumerate(melodies):
+        (tmp_path / f"tune_{i:02d}.mid").write_bytes(
+            melody_to_midi_bytes(melody)
+        )
+    (tmp_path / "README.txt").write_text("not midi")
+    return tmp_path, melodies
+
+
+class TestMelodiesFromMidiDirectory:
+    def test_loads_all_midi_files(self, midi_dir):
+        directory, melodies = midi_dir
+        loaded = melodies_from_midi_directory(directory)
+        assert len(loaded) == len(melodies)
+
+    def test_names_are_file_stems(self, midi_dir):
+        directory, _ = midi_dir
+        loaded = melodies_from_midi_directory(directory)
+        assert loaded[0].name == "tune_00"
+
+    def test_non_midi_files_ignored(self, midi_dir):
+        directory, melodies = midi_dir
+        loaded = melodies_from_midi_directory(directory)
+        assert all(m.name.startswith("tune_") for m in loaded)
+
+    def test_corrupt_file_skipped_by_default(self, midi_dir):
+        directory, melodies = midi_dir
+        (directory / "broken.mid").write_bytes(b"MThd garbage")
+        loaded = melodies_from_midi_directory(directory)
+        assert len(loaded) == len(melodies)
+
+    def test_corrupt_file_raises_when_asked(self, midi_dir):
+        directory, _ = midi_dir
+        (directory / "broken.mid").write_bytes(b"MThd garbage")
+        with pytest.raises(ValueError):
+            melodies_from_midi_directory(directory, on_error="raise")
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no usable"):
+            melodies_from_midi_directory(tmp_path)
+
+    def test_bad_on_error(self, tmp_path):
+        with pytest.raises(ValueError, match="on_error"):
+            melodies_from_midi_directory(tmp_path, on_error="ignore")
+
+    def test_feeds_the_index(self, midi_dir):
+        """The paper's pipeline: MIDI directory -> QBH database."""
+        from repro.qbh.system import QueryByHummingSystem
+
+        directory, melodies = midi_dir
+        loaded = melodies_from_midi_directory(directory)
+        system = QueryByHummingSystem(loaded, delta=0.1)
+        hum = loaded[5].to_time_series(8).astype(float)
+        assert system.rank_of(hum, 5) == 1

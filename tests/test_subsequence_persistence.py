@@ -1,0 +1,70 @@
+"""Round-trip tests for subsequence-index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.normal_form import NormalForm
+from repro.datasets.generators import random_walks
+from repro.index.subsequence import SubsequenceIndex
+from repro.persistence import (
+    load_subsequence_index,
+    save_index,
+    save_subsequence_index,
+)
+
+
+@pytest.fixture
+def index():
+    rng = np.random.default_rng(17)
+    songs = [np.cumsum(rng.normal(size=300)) for _ in range(6)]
+    return SubsequenceIndex(
+        songs, window_lengths=(64, 128), stride=16, delta=0.1,
+        normal_form=NormalForm(length=64), ids=[f"s{i}" for i in range(6)],
+    )
+
+
+class TestRoundtrip:
+    def test_config_preserved(self, index, tmp_path):
+        path = tmp_path / "sub.npz"
+        save_subsequence_index(index, path)
+        loaded = load_subsequence_index(path)
+        assert loaded.delta == index.delta
+        assert loaded.window_count == index.window_count
+        assert loaded.ids == index.ids
+
+    def test_queries_identical(self, index, tmp_path):
+        path = tmp_path / "sub.npz"
+        save_subsequence_index(index, path)
+        loaded = load_subsequence_index(path)
+        rng = np.random.default_rng(18)
+        query = np.cumsum(rng.normal(size=80))
+        for eps in (4.0, 12.0):
+            a, _ = index.range_query(query, eps)
+            b, _ = loaded.range_query(query, eps)
+            assert [(m.sequence_id, m.start, m.length) for m in a] == [
+                (m.sequence_id, m.start, m.length) for m in b
+            ]
+
+    def test_knn_identical(self, index, tmp_path):
+        path = tmp_path / "sub.npz"
+        save_subsequence_index(index, path)
+        loaded = load_subsequence_index(path)
+        query = np.cumsum(np.random.default_rng(19).normal(size=96))
+        a, _ = index.knn_query(query, 3)
+        b, _ = loaded.knn_query(query, 3)
+        assert [(m.sequence_id, m.start) for m in a] == [
+            (m.sequence_id, m.start) for m in b
+        ]
+
+    def test_wrong_kind_rejected(self, index, tmp_path):
+        from repro.index.gemini import WarpingIndex
+
+        plain = WarpingIndex(
+            list(np.cumsum(np.random.default_rng(1).normal(size=(5, 80)),
+                           axis=1)),
+            delta=0.1, normal_form=NormalForm(length=64),
+        )
+        path = tmp_path / "plain.npz"
+        save_index(plain, path)
+        with pytest.raises(ValueError, match="not a subsequence"):
+            load_subsequence_index(path)

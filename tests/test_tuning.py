@@ -1,0 +1,80 @@
+"""Tests for index auto-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import random_walks
+from repro.tuning import TuningReport, tune_feature_count
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return (
+        list(random_walks(400, 128, seed=5)),
+        random_walks(5, 128, seed=6),
+    )
+
+
+class TestTuneFeatureCount:
+    def test_report_shape(self, workload):
+        database, queries = workload
+        report = tune_feature_count(
+            database, queries, delta=0.1, candidates_grid=(4, 8, 16)
+        )
+        assert [p.n_features for p in report.points] == [4, 8, 16]
+        assert report.recommended in (4, 8, 16)
+
+    def test_more_features_filter_better(self, workload):
+        database, queries = workload
+        report = tune_feature_count(
+            database, queries, delta=0.1, candidates_grid=(4, 32)
+        )
+        by_n = {p.n_features: p.mean_candidates for p in report.points}
+        assert by_n[32] <= by_n[4]
+
+    def test_tolerance_prefers_small(self, workload):
+        """A huge tolerance always recommends the smallest N."""
+        database, queries = workload
+        report = tune_feature_count(
+            database, queries, delta=0.1, candidates_grid=(4, 8, 16),
+            tolerance=1e9,
+        )
+        assert report.recommended == 4
+
+    def test_tight_tolerance_prefers_filter_power(self, workload):
+        database, queries = workload
+        report = tune_feature_count(
+            database, queries, delta=0.1, candidates_grid=(2, 32),
+            tolerance=1.0,
+        )
+        by_n = {p.n_features: p.mean_candidates for p in report.points}
+        if by_n[32] < by_n[2]:
+            assert report.recommended == 32
+
+    def test_sampling_caps_measurement_db(self, workload):
+        database, queries = workload
+        report = tune_feature_count(
+            database, queries, delta=0.1, candidates_grid=(8,),
+            sample_size=50,
+        )
+        # candidates cannot exceed the sampled database size
+        assert report.points[0].mean_candidates <= 50
+
+    def test_summary_text(self, workload):
+        database, queries = workload
+        report = tune_feature_count(
+            database, queries, delta=0.1, candidates_grid=(4, 8)
+        )
+        text = report.summary()
+        assert "recommended" in text
+        assert "candidates" in text
+
+    def test_validation(self, workload):
+        database, queries = workload
+        with pytest.raises(ValueError, match="non-empty"):
+            tune_feature_count([], queries, delta=0.1)
+        with pytest.raises(ValueError, match="exceed"):
+            tune_feature_count(database, queries, delta=0.1,
+                               normal_length=16, candidates_grid=(32,))
+        with pytest.raises(ValueError, match="tolerance"):
+            tune_feature_count(database, queries, delta=0.1, tolerance=0.5)
