@@ -35,6 +35,7 @@ from .core import (
 )
 from .datasets import dataset_names, make_dataset, random_walks
 from .dtw import dtw_distance, ldtw_distance, utw_distance, warping_distance
+from .engine import CascadeStats, QueryEngine, StageStats
 from .hum import SingerProfile, hum_melody, synthesize_melody, track_pitch
 from .index import GridFile, LinearScan, QueryStats, RStarTree, WarpingIndex
 from .music import (
@@ -94,6 +95,9 @@ __all__ = [
     "ldtw_distance",
     "utw_distance",
     "warping_distance",
+    "QueryEngine",
+    "CascadeStats",
+    "StageStats",
     "SingerProfile",
     "hum_melody",
     "synthesize_melody",

@@ -80,9 +80,14 @@ def _cmd_query(args) -> int:
 
     index = load_index(args.index)
     hum = _load_hum(args.hum)
-    results, stats = index.knn_query(hum, args.k)
-    print(f"db={len(index)}  candidates={stats.candidates}  "
-          f"pages={stats.page_accesses}  refined={stats.dtw_computations}")
+    if args.stats:
+        results, cascade = index.cascade_knn_query(hum, args.k)
+        print(f"db={len(index)}  filter cascade:")
+        print(cascade.summary())
+    else:
+        results, stats = index.knn_query(hum, args.k)
+        print(f"db={len(index)}  candidates={stats.candidates}  "
+              f"pages={stats.page_accesses}  refined={stats.dtw_computations}")
     for rank, (name, dist) in enumerate(results, start=1):
         print(f"{rank:3d}. {name}  (DTW distance {dist:.3f})")
     return 0
@@ -210,6 +215,8 @@ def _cmd_experiment(args) -> int:
             small_db, scale.fig8_queries),
         "secondfilter": lambda: experiments.run_second_filter_ablation(
             small_db, scale.fig8_queries),
+        "cascade": lambda: experiments.run_cascade_ablation(
+            small_db, scale.fig8_queries),
         "splits": lambda: experiments.run_split_ablation(
             min(scale.fig10_db, 3000), scale.fig8_queries),
         "noise": lambda: experiments.run_noise_sweep(scale),
@@ -311,6 +318,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--hum", required=True,
                          help=".npy pitch series or .mid melody")
     p_query.add_argument("-k", type=int, default=10)
+    p_query.add_argument("--stats", action="store_true",
+                         help="answer via the batched filter cascade and "
+                              "print per-stage pruning counters")
     p_query.set_defaults(func=_cmd_query)
 
     p_assess = sub.add_parser("assess",

@@ -1,0 +1,586 @@
+"""The batched query engine: a cascade of lower-bound filters.
+
+GEMINI's filter-and-refine strategy, production-shaped: an entire
+corpus is evaluated through a configurable sequence of increasingly
+tight, increasingly expensive lower bounds — each stage vectorised
+over a ``(num_candidates, n)`` matrix — and only the candidates no
+bound could prune pay for an exact banded DTW, early-abandoned against
+the best result found so far.
+
+Stage names, in canonical cost order (:data:`STAGE_ORDER`):
+
+========== ===================================================== ========
+name       bound                                                 cost/row
+========== ===================================================== ========
+first_last corner cells of the banded DP (Kim-style)             O(1)
+keogh_paa  Keogh_PAA feature envelope (prior art, §5.2)          O(N)
+new_paa    New_PAA feature envelope (Theorem 1, the paper's)     O(N)
+lb_keogh   full-dimension query envelope (Lemma 2)               O(n)
+lemire     Lemire two-pass LB_Improved (2009 refinement)         O(n)
+========== ===================================================== ========
+
+Every stage bound is an individual lower bound on the exact distance,
+so pruning against a query radius never loses a true answer; the
+engine additionally carries the *running maximum* of all bounds seen
+so far per candidate, which makes the effective bound monotonically
+non-decreasing along the cascade by construction.  Within the envelope
+family the raw bounds are themselves provably ordered::
+
+    keogh_paa <= new_paa <= lb_keogh <= lemire <= exact LDTW
+
+(`tests/properties/` asserts both chains on hundreds of generated
+cases).  ``first_last`` is sound but outside that chain — it can beat
+or lose to the envelope bounds depending on the data, which is exactly
+why the running maximum is kept.
+
+Per-query observability lives in :class:`CascadeStats`: candidates in,
+pruned, bound statistics and wall time per stage, plus exact-phase
+counters (computed / early-abandoned / skipped refinements).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.envelope import Envelope, k_envelope, warping_width_to_k
+from ..core.envelope_transforms import (
+    KeoghPAAEnvelopeTransform,
+    NewPAAEnvelopeTransform,
+)
+from ..core.normal_form import NormalForm
+from ..dtw.distance import ldtw_distance, ldtw_distance_batch
+from ..index.stats import QueryStats
+from .stages import lb_envelope_batch, lb_first_last_batch, lb_lemire_batch
+
+__all__ = ["QueryEngine", "CascadeStats", "StageStats", "STAGE_ORDER",
+           "DEFAULT_STAGES"]
+
+#: All known stage names, cheapest first.
+STAGE_ORDER = ("first_last", "keogh_paa", "new_paa", "lb_keogh", "lemire")
+
+#: The default cascade (Lemire's refinement is opt-in: it costs one
+#: more O(n) pass per surviving candidate).
+DEFAULT_STAGES = ("first_last", "keogh_paa", "new_paa", "lb_keogh")
+
+#: Guard band against floating-point jitter at the pruning threshold:
+#: a bound within this of the radius is never used to prune.
+_PRUNE_ATOL = 1e-9
+
+
+@dataclass
+class StageStats:
+    """What one filter stage did to the candidate stream."""
+
+    name: str
+    candidates_in: int = 0
+    pruned: int = 0
+    wall_time_s: float = 0.0
+    bound_min: float = 0.0
+    bound_mean: float = 0.0
+    bound_max: float = 0.0
+
+    @property
+    def survivors(self) -> int:
+        """Candidates passed on to the next stage."""
+        return self.candidates_in - self.pruned
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of incoming candidates this stage removed."""
+        if self.candidates_in == 0:
+            return 0.0
+        return self.pruned / self.candidates_in
+
+    def __add__(self, other: "StageStats") -> "StageStats":
+        if not isinstance(other, StageStats):
+            return NotImplemented
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge stage {other.name!r} into {self.name!r}"
+            )
+        total_in = self.candidates_in + other.candidates_in
+        if total_in:
+            mean = (
+                self.bound_mean * self.candidates_in
+                + other.bound_mean * other.candidates_in
+            ) / total_in
+        else:
+            mean = 0.0
+        return StageStats(
+            name=self.name,
+            candidates_in=total_in,
+            pruned=self.pruned + other.pruned,
+            wall_time_s=self.wall_time_s + other.wall_time_s,
+            bound_min=min(self.bound_min, other.bound_min),
+            bound_mean=mean,
+            bound_max=max(self.bound_max, other.bound_max),
+        )
+
+
+@dataclass
+class CascadeStats:
+    """Full observability record of one engine query (or a merged batch).
+
+    Attributes
+    ----------
+    corpus_size:
+        Candidates entering the first stage.
+    stages:
+        One :class:`StageStats` per configured filter stage, in order.
+    dtw_computations:
+        Exact DTW dynamic programs started during refinement.
+    dtw_abandoned:
+        How many of those were cut short by early abandoning.
+    exact_skipped:
+        Survivors never refined because their lower bound already
+        exceeded the final answer radius (k-NN best-first stop).
+    results:
+        Size of the final exact answer.
+    exact_time_s / total_time_s:
+        Wall time of the refinement phase / the whole query.
+    """
+
+    corpus_size: int = 0
+    stages: list[StageStats] = field(default_factory=list)
+    dtw_computations: int = 0
+    dtw_abandoned: int = 0
+    exact_skipped: int = 0
+    results: int = 0
+    exact_time_s: float = 0.0
+    total_time_s: float = 0.0
+
+    @property
+    def exact_candidates(self) -> int:
+        """Candidates that survived every filter stage."""
+        if self.stages:
+            return self.stages[-1].survivors
+        return self.corpus_size
+
+    @property
+    def pruned_total(self) -> int:
+        """Candidates removed by lower bounds alone."""
+        return sum(stage.pruned for stage in self.stages)
+
+    def as_query_stats(self) -> QueryStats:
+        """Project onto the paper's :class:`~repro.index.stats.QueryStats`."""
+        stats = QueryStats(
+            candidates=self.exact_candidates,
+            dtw_computations=self.dtw_computations,
+            results=self.results,
+        )
+        stats.extra["pruned_by_cascade"] = self.pruned_total
+        stats.extra["dtw_abandoned"] = self.dtw_abandoned
+        return stats
+
+    def __add__(self, other: "CascadeStats") -> "CascadeStats":
+        if not isinstance(other, CascadeStats):
+            return NotImplemented
+        if [s.name for s in self.stages] != [s.name for s in other.stages]:
+            raise ValueError("cannot merge stats of different cascades")
+        return CascadeStats(
+            corpus_size=self.corpus_size + other.corpus_size,
+            stages=[a + b for a, b in zip(self.stages, other.stages)],
+            dtw_computations=self.dtw_computations + other.dtw_computations,
+            dtw_abandoned=self.dtw_abandoned + other.dtw_abandoned,
+            exact_skipped=self.exact_skipped + other.exact_skipped,
+            results=self.results + other.results,
+            exact_time_s=self.exact_time_s + other.exact_time_s,
+            total_time_s=self.total_time_s + other.total_time_s,
+        )
+
+    def summary(self) -> str:
+        """A fixed-width per-stage table for terminals and logs."""
+        lines = [
+            f"{'stage':<12}{'in':>8}{'pruned':>8}{'left':>8}"
+            f"{'rate':>7}{'ms':>9}",
+        ]
+        for stage in self.stages:
+            lines.append(
+                f"{stage.name:<12}{stage.candidates_in:>8}{stage.pruned:>8}"
+                f"{stage.survivors:>8}{stage.prune_rate:>7.1%}"
+                f"{stage.wall_time_s * 1e3:>9.2f}"
+            )
+        lines.append(
+            f"{'exact dtw':<12}{self.exact_candidates:>8}"
+            f"{self.exact_skipped:>8}{self.dtw_computations:>8}"
+            f"{'':>7}{self.exact_time_s * 1e3:>9.2f}"
+        )
+        lines.append(
+            f"refined {self.dtw_computations} "
+            f"(early-abandoned {self.dtw_abandoned}), "
+            f"{self.results} results, "
+            f"{self.total_time_s * 1e3:.2f} ms total"
+        )
+        return "\n".join(lines)
+
+
+class _QueryContext:
+    """Per-query precomputations, built lazily stage by stage."""
+
+    __slots__ = ("q", "band", "_q_env", "_reduced", "_engine")
+
+    def __init__(self, engine: "QueryEngine", q: np.ndarray) -> None:
+        self._engine = engine
+        self.q = q
+        self.band = engine.band
+        self._q_env: Envelope | None = None
+        self._reduced: dict[str, Envelope] = {}
+
+    @property
+    def q_envelope(self) -> Envelope:
+        if self._q_env is None:
+            self._q_env = k_envelope(self.q, self.band)
+        return self._q_env
+
+    def reduced(self, name: str) -> Envelope:
+        if name not in self._reduced:
+            transform = self._engine._env_transforms[name]
+            self._reduced[name] = transform.reduce(self.q_envelope)
+        return self._reduced[name]
+
+
+class QueryEngine:
+    """Batched filter-cascade search over a fixed-length series corpus.
+
+    Parameters
+    ----------
+    corpus:
+        Sequence of series.  With a *normal_form* they may have any
+        lengths (each is normalised); without one they must already
+        share a common length and be comparable as-is.
+    delta / band:
+        The DTW constraint, as a warping width ``(2k+1)/n`` or
+        directly as the band half-width ``k`` (give exactly one).
+    stages:
+        Filter stages to run, in order; see :data:`STAGE_ORDER`.  An
+        empty tuple degenerates to an exact scan (the ablation
+        baseline).
+    n_features:
+        Dimensionality of the PAA feature stages.
+    normal_form:
+        Optional normalisation applied to the corpus and every query.
+    ids:
+        Optional identifiers, default ``range(len(corpus))``.
+    metric:
+        ``"euclidean"`` (default) or ``"manhattan"``.
+    batch_refine_threshold:
+        Range queries with at least this many surviving candidates are
+        refined with the vectorised batch DP (no abandoning, same
+        result set) instead of per-candidate early-abandoning scalars.
+    """
+
+    def __init__(
+        self,
+        corpus: Sequence,
+        *,
+        delta: float | None = None,
+        band: int | None = None,
+        stages: Sequence[str] = DEFAULT_STAGES,
+        n_features: int = 8,
+        normal_form: NormalForm | None = None,
+        ids: Sequence | None = None,
+        metric: str = "euclidean",
+        batch_refine_threshold: int = 64,
+    ) -> None:
+        if metric not in ("euclidean", "manhattan"):
+            raise ValueError(
+                f"metric must be 'euclidean' or 'manhattan', got {metric!r}"
+            )
+        if not len(corpus):
+            raise ValueError("corpus must not be empty")
+        stages = tuple(stages)
+        unknown = [s for s in stages if s not in STAGE_ORDER]
+        if unknown:
+            raise ValueError(
+                f"unknown stages {unknown}; choose from {STAGE_ORDER}"
+            )
+        if len(set(stages)) != len(stages):
+            raise ValueError(f"duplicate stages in {stages}")
+        self.normal_form = normal_form
+        if normal_form is not None:
+            data = np.vstack([normal_form.apply(s) for s in corpus])
+        else:
+            data = np.asarray(corpus, dtype=np.float64)
+            if data.ndim != 2:
+                raise ValueError(
+                    "corpus series must share one length "
+                    "(or pass a fixed-length normal_form)"
+                )
+        self._data = data
+        m, n = data.shape
+        if (band is None) == (delta is None):
+            raise ValueError("give exactly one of band= or delta=")
+        if band is None:
+            band = warping_width_to_k(delta, n)
+        if band < 0:
+            raise ValueError(f"band half-width must be >= 0, got {band}")
+        self.band = int(band)
+        self.metric = metric
+        self.stages = stages
+        self.batch_refine_threshold = int(batch_refine_threshold)
+        if ids is None:
+            ids = list(range(m))
+        else:
+            ids = list(ids)
+            if len(ids) != m:
+                raise ValueError(f"{m} series but {len(ids)} ids")
+        self.ids = ids
+        n_features = min(n_features, n)
+        self._env_transforms = {
+            "keogh_paa": KeoghPAAEnvelopeTransform(n, n_features, metric=metric),
+            "new_paa": NewPAAEnvelopeTransform(n, n_features, metric=metric),
+        }
+        # Both feature stages share the PAA series transform, so one
+        # feature matrix serves both reduced envelopes.
+        self._features = (
+            self._env_transforms["new_paa"].transform.transform_batch(data)
+        )
+
+    def __len__(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def series_length(self) -> int:
+        return self._data.shape[1]
+
+    def _normalise_query(self, query) -> np.ndarray:
+        if self.normal_form is not None:
+            return self.normal_form.apply(query)
+        q = np.asarray(query, dtype=np.float64)
+        if q.shape != (self.series_length,):
+            raise ValueError(
+                f"query must have length {self.series_length} "
+                "(engine built without a normal form)"
+            )
+        return q
+
+    def _stage_bounds(
+        self, name: str, ctx: _QueryContext, rows: np.ndarray
+    ) -> np.ndarray:
+        if name == "first_last":
+            return lb_first_last_batch(
+                ctx.q, self._data[rows], metric=self.metric
+            )
+        if name in ("keogh_paa", "new_paa"):
+            return lb_envelope_batch(
+                self._features[rows], ctx.reduced(name), metric=self.metric
+            )
+        if name == "lb_keogh":
+            return lb_envelope_batch(
+                self._data[rows], ctx.q_envelope, metric=self.metric
+            )
+        if name == "lemire":
+            return lb_lemire_batch(
+                ctx.q,
+                self._data[rows],
+                self.band,
+                q_envelope=ctx.q_envelope,
+                metric=self.metric,
+            )
+        raise ValueError(f"unknown stage {name!r}")  # pragma: no cover
+
+    def _run_stage(
+        self,
+        name: str,
+        ctx: _QueryContext,
+        alive: np.ndarray,
+        bounds: np.ndarray,
+        radius: float,
+    ) -> tuple[np.ndarray, StageStats]:
+        """Evaluate one stage on the live set and prune against *radius*."""
+        started = time.perf_counter()
+        stage = StageStats(name=name, candidates_in=int(alive.size))
+        if alive.size:
+            raw = self._stage_bounds(name, ctx, alive)
+            bounds[alive] = np.maximum(bounds[alive], raw)
+            stage.bound_min = float(raw.min())
+            stage.bound_mean = float(raw.mean())
+            stage.bound_max = float(raw.max())
+            if math.isfinite(radius):
+                keep = bounds[alive] <= radius + _PRUNE_ATOL
+                stage.pruned = int(alive.size - np.count_nonzero(keep))
+                alive = alive[keep]
+        stage.wall_time_s = time.perf_counter() - started
+        return alive, stage
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def range_search(
+        self, query, epsilon: float
+    ) -> tuple[list[tuple[object, float]], CascadeStats]:
+        """All series within DTW distance *epsilon*, with stage stats.
+
+        Exact (no false negatives, no false positives): every filter
+        stage is a lower bound, and survivors are refined with the
+        exact banded DTW.  Results are ``(id, distance)`` pairs sorted
+        by distance.
+        """
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        started = time.perf_counter()
+        ctx = _QueryContext(self, self._normalise_query(query))
+        m = len(self)
+        stats = CascadeStats(corpus_size=m)
+        alive = np.arange(m)
+        bounds = np.zeros(m)
+        for name in self.stages:
+            alive, stage = self._run_stage(
+                name, ctx, alive, bounds, float(epsilon)
+            )
+            stats.stages.append(stage)
+
+        exact_started = time.perf_counter()
+        # Best-first order: candidates most likely to be answers first,
+        # so a consumer streaming the results sees hits early.
+        alive = alive[np.argsort(bounds[alive], kind="stable")]
+        results: list[tuple[object, float]] = []
+        if alive.size >= self.batch_refine_threshold:
+            dists = ldtw_distance_batch(
+                ctx.q, self._data[alive], self.band, metric=self.metric
+            )
+            stats.dtw_computations = int(alive.size)
+            for row, dist in zip(alive, dists):
+                if dist <= epsilon:
+                    results.append((self.ids[row], float(dist)))
+        else:
+            for row in alive:
+                dist = ldtw_distance(
+                    ctx.q,
+                    self._data[row],
+                    self.band,
+                    upper_bound=epsilon,
+                    metric=self.metric,
+                )
+                stats.dtw_computations += 1
+                if math.isinf(dist):
+                    stats.dtw_abandoned += 1
+                    continue
+                if dist <= epsilon:
+                    results.append((self.ids[row], float(dist)))
+        results.sort(key=lambda pair: pair[1])
+        stats.results = len(results)
+        now = time.perf_counter()
+        stats.exact_time_s = now - exact_started
+        stats.total_time_s = now - started
+        return results, stats
+
+    def knn(
+        self, query, k: int
+    ) -> tuple[list[tuple[object, float]], CascadeStats]:
+        """The *k* nearest series under the banded DTW, with stage stats.
+
+        After the first (cheapest) stage the engine refines the *k*
+        most promising candidates to seed a finite answer radius; every
+        later stage prunes against the shrinking radius, and surviving
+        candidates are refined best-first with early-abandoning DTW —
+        the optimal multi-step stop (no unexamined candidate's lower
+        bound is below the final k-th distance).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        started = time.perf_counter()
+        ctx = _QueryContext(self, self._normalise_query(query))
+        m = len(self)
+        stats = CascadeStats(corpus_size=m)
+        alive = np.arange(m)
+        bounds = np.zeros(m)
+        best: list[tuple[float, int, object]] = []  # max-heap via negation
+        refined = np.zeros(m, dtype=bool)
+        exact_time = 0.0
+
+        def radius() -> float:
+            return -best[0][0] if len(best) >= k else math.inf
+
+        def refine(row: int) -> None:
+            nonlocal exact_time
+            refined[row] = True
+            cutoff = radius()
+            refine_started = time.perf_counter()
+            dist = ldtw_distance(
+                ctx.q,
+                self._data[row],
+                self.band,
+                upper_bound=None if math.isinf(cutoff) else cutoff,
+                metric=self.metric,
+            )
+            exact_time += time.perf_counter() - refine_started
+            stats.dtw_computations += 1
+            if math.isinf(dist):
+                stats.dtw_abandoned += 1
+                return
+            entry = (-dist, row, self.ids[row])
+            if len(best) < k:
+                heapq.heappush(best, entry)
+            elif dist < -best[0][0]:
+                heapq.heapreplace(best, entry)
+
+        for position, name in enumerate(self.stages):
+            alive, stage = self._run_stage(name, ctx, alive, bounds, radius())
+            stats.stages.append(stage)
+            if position == 0 and alive.size:
+                # Seed the answer radius from the k most promising
+                # candidates so later (pricier) stages can prune.
+                seeds = alive[np.argsort(bounds[alive], kind="stable")][:k]
+                for row in seeds:
+                    refine(int(row))
+                if math.isfinite(radius()):
+                    keep = bounds[alive] <= radius() + _PRUNE_ATOL
+                    stage.pruned += int(alive.size - np.count_nonzero(keep))
+                    alive = alive[keep]
+
+        order = alive[np.argsort(bounds[alive], kind="stable")]
+        for position, row in enumerate(order):
+            row = int(row)
+            if refined[row]:
+                continue
+            if len(best) >= k and bounds[row] >= radius() + _PRUNE_ATOL:
+                stats.exact_skipped += int(
+                    np.count_nonzero(~refined[order[position:]])
+                )
+                break
+            refine(row)
+        results = sorted(
+            ((item, -negd) for negd, _, item in best), key=lambda p: p[1]
+        )
+        stats.results = len(results)
+        now = time.perf_counter()
+        stats.exact_time_s = exact_time
+        stats.total_time_s = now - started
+        return results, stats
+
+    # ------------------------------------------------------------------
+    # oracles
+    # ------------------------------------------------------------------
+
+    def ground_truth_range(
+        self, query, epsilon: float
+    ) -> list[tuple[object, float]]:
+        """Exact answer by an unfiltered vectorised scan (test oracle)."""
+        q = self._normalise_query(query)
+        dists = ldtw_distance_batch(
+            q, self._data, self.band, metric=self.metric
+        )
+        results = [
+            (item_id, float(dist))
+            for item_id, dist in zip(self.ids, dists)
+            if dist <= epsilon
+        ]
+        results.sort(key=lambda pair: pair[1])
+        return results
+
+    def ground_truth_knn(self, query, k: int) -> list[tuple[object, float]]:
+        """Exact k-NN by an unfiltered vectorised scan (test oracle)."""
+        q = self._normalise_query(query)
+        dists = ldtw_distance_batch(
+            q, self._data, self.band, metric=self.metric
+        )
+        order = np.argsort(dists, kind="stable")[:k]
+        return [(self.ids[i], float(dists[i])) for i in order]

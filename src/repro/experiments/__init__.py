@@ -12,6 +12,7 @@ these, so results are equally reproducible from a notebook or script::
 from .ablations import (
     NOISE_LEVELS,
     run_backend_ablation,
+    run_cascade_ablation,
     run_knn_ablation,
     run_noise_sweep,
     run_second_filter_ablation,
@@ -45,6 +46,7 @@ from .tightness import (
 __all__ = [
     "NOISE_LEVELS",
     "run_backend_ablation",
+    "run_cascade_ablation",
     "run_knn_ablation",
     "run_noise_sweep",
     "run_second_filter_ablation",

@@ -31,6 +31,7 @@ __all__ = [
     "run_signsplit_ablation",
     "run_knn_ablation",
     "run_backend_ablation",
+    "run_cascade_ablation",
     "run_second_filter_ablation",
     "run_split_ablation",
     "run_noise_sweep",
@@ -125,6 +126,57 @@ def run_backend_ablation(db_size: int, n_queries: int, *,
         "pages_per_query": [round(pages[k] / n_queries, 1) for k in kinds],
     }
     return rows, answers
+
+
+#: Stage configurations the cascade ablation compares.
+CASCADE_CONFIGS = (
+    ("none", ()),
+    ("keogh_paa", ("keogh_paa",)),
+    ("new_paa", ("new_paa",)),
+    ("default", None),                 # first_last+keogh_paa+new_paa+lb_keogh
+    ("default+lemire", "full"),
+)
+
+
+def run_cascade_ablation(db_size: int, n_queries: int, *,
+                         delta: float = 0.1, k_neighbours: int = 10,
+                         seed: int = 71) -> dict:
+    """Which filter stages earn their keep, and in what order.
+
+    Runs the same k-NN queries through :class:`~repro.engine.QueryEngine`
+    under different stage configurations — no filter (the exact-scan
+    baseline), each envelope bound alone, the default cascade, and the
+    default plus Lemire's LB_Improved — and reports exact-DTW work and
+    wall time per query.  Every configuration returns the identical
+    exact answer; only the cost moves.
+    """
+    from ..engine import DEFAULT_STAGES, STAGE_ORDER, QueryEngine
+
+    series = list(random_walks(db_size, _LENGTH, seed=seed))
+    queries = random_walks(n_queries, _LENGTH, seed=seed + 1)
+    rows = {"stages": [], "exact_dtw": [], "abandoned": [],
+            "pruned_by_bounds": [], "ms_per_query": []}
+    for label, stages in CASCADE_CONFIGS:
+        if stages == "full":
+            stages = STAGE_ORDER
+        elif stages is None:
+            stages = DEFAULT_STAGES
+        engine = QueryEngine(
+            series, delta=delta, stages=stages,
+            normal_form=NormalForm(length=_LENGTH), n_features=_DIMS,
+        )
+        total = None
+        for q in queries:
+            _, stats = engine.knn(q, k_neighbours)
+            total = stats if total is None else total + stats
+        rows["stages"].append(label)
+        rows["exact_dtw"].append(round(total.dtw_computations / n_queries, 1))
+        rows["abandoned"].append(round(total.dtw_abandoned / n_queries, 1))
+        rows["pruned_by_bounds"].append(
+            round(total.pruned_total / n_queries, 1))
+        rows["ms_per_query"].append(
+            round(total.total_time_s * 1e3 / n_queries, 2))
+    return rows
 
 
 def run_second_filter_ablation(db_size: int, n_queries: int, *,

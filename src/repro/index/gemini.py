@@ -128,6 +128,7 @@ class WarpingIndex:
         if len(self._id_to_row) != len(ids):
             raise ValueError("ids must be unique")
 
+        self._engines: dict = {}
         self._data = np.vstack(
             [self.normal_form.apply(series) for series in database]
         )
@@ -169,6 +170,7 @@ class WarpingIndex:
         self._data = np.vstack([self._data, normal])
         self._features = np.vstack([self._features, features])
         self.ids.append(item_id)
+        self._engines.clear()
 
     def remove(self, item_id) -> None:
         """Remove one series from the index.
@@ -185,6 +187,7 @@ class WarpingIndex:
         self._features = np.delete(self._features, row, axis=0)
         self.ids.pop(row)
         self._id_to_row = {iid: r for r, iid in enumerate(self.ids)}
+        self._engines.clear()
 
     def _query_rectangle(
         self, query
@@ -323,6 +326,52 @@ class WarpingIndex:
         results = sorted(((item, -negd) for negd, item in best), key=lambda p: p[1])
         stats.results = len(results)
         return [(item, dist) for item, dist in results], stats
+
+    def engine(self, *, stages=None):
+        """The batched filter-cascade engine over this index's corpus.
+
+        Lazily built (and cached per stage configuration) from the
+        stored normal forms; ``insert``/``remove`` invalidate the
+        cache.  The engine is the vectorised hot path: it evaluates
+        the whole corpus through cheap-to-tight lower-bound stages
+        before any exact DTW, and reports per-stage pruning counters.
+        """
+        from ..engine import DEFAULT_STAGES, QueryEngine
+
+        key = DEFAULT_STAGES if stages is None else tuple(stages)
+        if key not in self._engines:
+            self._engines[key] = QueryEngine(
+                self._data,
+                band=self.band,
+                stages=key,
+                n_features=self.feature_dim,
+                ids=list(self.ids),
+                metric=self.metric,
+            )
+        return self._engines[key]
+
+    def cascade_range_query(self, query, epsilon: float, *, stages=None):
+        """Exact ε-range query through the filter cascade.
+
+        Same answer as :meth:`range_query` (both are exact), but
+        evaluated with the vectorised engine; returns ``(results,
+        CascadeStats)`` with per-stage pruning counters instead of the
+        flat :class:`~repro.index.stats.QueryStats`.
+        """
+        return self.engine(stages=stages).range_search(
+            self.normal_form.apply(query), epsilon
+        )
+
+    def cascade_knn_query(self, query, k: int, *, stages=None):
+        """Exact k-NN query through the filter cascade.
+
+        Same answer as :meth:`knn_query`, evaluated with the
+        vectorised engine (best-first refinement with early-abandoning
+        DTW); returns ``(results, CascadeStats)``.
+        """
+        return self.engine(stages=stages).knn(
+            self.normal_form.apply(query), k
+        )
 
     def range_query_many(
         self, queries, epsilon: float, *, second_filter: bool = True

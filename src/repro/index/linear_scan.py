@@ -27,6 +27,12 @@ class LinearScan:
         Optional identifiers, default ``range(m)``.
     capacity:
         Points per notional page, used only for page-access accounting.
+
+    Both queries account their cost **eagerly at call time** — a full
+    scan touches every page and every point the moment the query is
+    issued — so ``reset_stats()`` has a consistent meaning: counters
+    reflect exactly the queries issued since the last reset, never a
+    query issued earlier whose results were consumed later.
     """
 
     def __init__(self, points, ids=None, *, capacity: int = 50) -> None:
@@ -44,6 +50,7 @@ class LinearScan:
         self.dim = pts.shape[1]
         self.capacity = capacity
         self.page_accesses = 0
+        self.points_scanned = 0
         self._points = pts.copy()
         self._ids = ids
 
@@ -71,7 +78,14 @@ class LinearScan:
         return False
 
     def reset_stats(self) -> None:
+        """Zero every cost counter (pages and points scanned)."""
         self.page_accesses = 0
+        self.points_scanned = 0
+
+    def _account_scan(self) -> None:
+        """Record the cost of one full scan (called when a query is issued)."""
+        self.page_accesses += math.ceil(len(self) / self.capacity)
+        self.points_scanned += len(self)
 
     def _rect_distances(self, rect_lower, rect_upper,
                         metric: str) -> np.ndarray:
@@ -98,15 +112,22 @@ class LinearScan:
         """All ids within *radius* of the query rectangle (full scan)."""
         if radius < 0:
             raise ValueError(f"radius must be >= 0, got {radius}")
-        self.page_accesses += math.ceil(len(self) / self.capacity)
+        self._account_scan()
         dist = self._rect_distances(rect_lower, rect_upper, metric)
         hits = np.nonzero(dist <= radius)[0]
         return [self._ids[i] for i in hits]
 
     def nearest(self, rect_lower, rect_upper, *,
                 metric: str = "euclidean") -> Iterator[tuple[float, object]]:
-        """Yield ``(distance, id)`` in increasing rectangle distance."""
-        self.page_accesses += math.ceil(len(self) / self.capacity)
+        """Return ``(distance, id)`` pairs in increasing rectangle distance.
+
+        The scan (and its cost accounting) happens here, not lazily at
+        first iteration — previously a generator deferred the counter
+        update, so a ``reset_stats()`` issued between creating and
+        consuming the iterator silently attributed the scan to the
+        wrong measurement window.
+        """
+        self._account_scan()
         dist = self._rect_distances(rect_lower, rect_upper, metric)
-        for i in np.argsort(dist, kind="stable"):
-            yield float(dist[i]), self._ids[i]
+        order = np.argsort(dist, kind="stable")
+        return iter([(float(dist[i]), self._ids[i]) for i in order])

@@ -145,6 +145,21 @@ class QueryByHummingSystem:
         hits, stats = self.index.range_query(pitch_series, epsilon)
         return [(self.names[idx], dist) for idx, dist in hits], stats
 
+    def query_cascade(self, pitch_series, k: int = 10, *, stages=None):
+        """Top-*k* melodies via the batched filter-cascade engine.
+
+        Returns the same exact answer as :meth:`query`, but evaluated
+        with :class:`~repro.engine.QueryEngine` — vectorised
+        lower-bound stages followed by best-first, early-abandoning
+        exact DTW — and returns a
+        :class:`~repro.engine.CascadeStats` whose per-stage counters
+        show where candidates were pruned (``repro query --stats``
+        prints it).
+        """
+        hits, stats = self.index.cascade_knn_query(pitch_series, k,
+                                                   stages=stages)
+        return [(self.names[idx], dist) for idx, dist in hits], stats
+
     def query_audio(
         self, waveform, *, sample_rate: int = 8000, k: int = 10
     ) -> tuple[list[tuple[str, float]], QueryStats]:

@@ -63,3 +63,68 @@ class TestLinearScan:
         assert scan.page_accesses > 0
         scan.reset_stats()
         assert scan.page_accesses == 0
+        assert scan.points_scanned == 0
+
+
+class TestStatsLifecycle:
+    """Counters reflect queries *issued* since the last reset_stats()."""
+
+    def make_scan(self, rng, m=100, capacity=10):
+        return LinearScan(rng.normal(size=(m, 2)), capacity=capacity)
+
+    def test_range_search_counts_pages_and_points(self, rng):
+        scan = self.make_scan(rng)
+        scan.range_search(np.zeros(2), np.zeros(2), 1.0)
+        assert scan.page_accesses == 10
+        assert scan.points_scanned == 100
+        scan.range_search(np.zeros(2), np.zeros(2), 1.0)
+        assert scan.page_accesses == 20
+        assert scan.points_scanned == 200
+
+    def test_nearest_accounts_eagerly_at_call_time(self, rng):
+        """The scan is charged when the query is issued, not consumed."""
+        scan = self.make_scan(rng)
+        results = scan.nearest(np.zeros(2), np.zeros(2))
+        assert scan.page_accesses == 10
+        assert scan.points_scanned == 100
+        # Consuming the (already materialised) results adds nothing.
+        assert len(list(results)) == 100
+        assert scan.page_accesses == 10
+        assert scan.points_scanned == 100
+
+    def test_reset_between_issue_and_consume_stays_zero(self, rng):
+        """A query issued before reset_stats() never leaks counters
+        into the post-reset measurement window."""
+        scan = self.make_scan(rng)
+        results = scan.nearest(np.zeros(2), np.zeros(2))
+        scan.reset_stats()
+        list(results)  # draining the old query is free
+        assert scan.page_accesses == 0
+        assert scan.points_scanned == 0
+
+    def test_partial_consumption_still_counts_full_scan(self, rng):
+        """A linear scan reads everything whatever the consumer takes."""
+        scan = self.make_scan(rng)
+        results = scan.nearest(np.zeros(2), np.zeros(2))
+        next(results)
+        assert scan.page_accesses == 10
+        assert scan.points_scanned == 100
+
+    def test_insert_and_delete_do_not_touch_counters(self, rng):
+        scan = self.make_scan(rng)
+        scan.range_search(np.zeros(2), np.zeros(2), 1.0)
+        pages, points = scan.page_accesses, scan.points_scanned
+        scan.insert(np.zeros(2), "extra")
+        scan.delete(np.zeros(2), "extra")
+        assert (scan.page_accesses, scan.points_scanned) == (pages, points)
+
+    def test_counters_track_growing_database(self, rng):
+        scan = LinearScan(rng.normal(size=(9, 2)), capacity=10)
+        scan.range_search(np.zeros(2), np.zeros(2), 1.0)
+        assert scan.page_accesses == 1
+        scan.insert(np.zeros(2), 9)
+        scan.insert(np.zeros(2), 10)
+        scan.reset_stats()
+        scan.range_search(np.zeros(2), np.zeros(2), 1.0)
+        assert scan.page_accesses == 2  # 11 points, capacity 10
+        assert scan.points_scanned == 11

@@ -123,6 +123,63 @@ class TestDatabaseComposition:
         assert dists[7] == pytest.approx(dists["clone-of-7"])
 
 
+class TestEngineInvariances:
+    """The cascade-engine query path inherits every system invariance."""
+
+    def _assert_valid_knn(self, system, hum, results, k):
+        """Exact-k-NN validity, robust to ties between duplicate
+        melodies (different paths may break ties differently)."""
+        all_dists = system.distances_to_all(hum)
+        truth = np.sort(all_dists)[:k]
+        np.testing.assert_allclose(
+            [d for _, d in results], truth, atol=1e-6
+        )
+        index_of = {name: i for i, name in enumerate(system.names)}
+        for name, dist in results:
+            assert dist == pytest.approx(all_dists[index_of[name]],
+                                         abs=1e-6)
+
+    def test_engine_agrees_with_classic_query_path(self, system, hum):
+        classic, _ = system.query(hum, k=10)
+        cascade, _ = system.query_cascade(hum, k=10)
+        self._assert_valid_knn(system, hum, classic, 10)
+        self._assert_valid_knn(system, hum, cascade, 10)
+        assert np.allclose([d for _, d in classic],
+                           [d for _, d in cascade])
+
+    def test_transposing_the_query_changes_nothing(self, system, hum):
+        base, _ = system.query_cascade(hum, k=10)
+        shifted, _ = system.query_cascade(hum + 11.0, k=10)
+        assert [n for n, _ in base] == [n for n, _ in shifted]
+        assert np.allclose([d for _, d in base], [d for _, d in shifted])
+
+    def test_uniform_tempo_change_changes_nothing(self, system, hum):
+        base, _ = system.query_cascade(hum, k=10)
+        slowed, _ = system.query_cascade(np.repeat(hum, 2), k=10)
+        assert [n for n, _ in base] == [n for n, _ in slowed]
+
+    def test_every_stage_config_returns_the_same_answer(self, system, hum):
+        from repro.engine import STAGE_ORDER
+
+        base, _ = system.query_cascade(hum, k=10, stages=())
+        for count in range(1, len(STAGE_ORDER) + 1):
+            got, _ = system.query_cascade(hum, k=10,
+                                          stages=STAGE_ORDER[:count])
+            self._assert_valid_knn(system, hum, got, 10)
+            assert np.allclose([d for _, d in base],
+                               [d for _, d in got])
+
+    def test_cascade_range_query_is_shift_invariant(self, melodies, hum):
+        index = WarpingIndex(
+            [m.to_time_series(8) for m in melodies], delta=0.1,
+            normal_form=NormalForm(length=64, shift=True),
+        )
+        a, _ = index.cascade_range_query(hum, 6.0)
+        b, _ = index.cascade_range_query(hum + 7.0, 6.0)
+        assert [i for i, _ in a] == [i for i, _ in b]
+        assert np.allclose([d for _, d in a], [d for _, d in b])
+
+
 class TestDeltaMonotonicity:
     def test_wider_delta_never_shrinks_range_answers(self):
         walks = list(random_walks(80, 96, seed=94))
