@@ -75,11 +75,33 @@ def _load_hum(path: str) -> np.ndarray:
     raise ValueError(f"unsupported hum input {path!r} (want .npy or .mid)")
 
 
+def _print_hits(results) -> None:
+    for rank, (name, dist) in enumerate(results, start=1):
+        print(f"{rank:3d}. {name}  (DTW distance {dist:.3f})")
+
+
 def _cmd_query(args) -> int:
     from .persistence import load_index
 
     index = load_index(args.index)
-    hum = _load_hum(args.hum)
+    if args.dtw_backend:
+        index.dtw_backend = args.dtw_backend
+    hums = [_load_hum(path) for path in args.hum]
+    if len(hums) > 1:
+        # Batch serving: shard the hums across a thread pool and answer
+        # each through the filter cascade (identical to one-at-a-time).
+        per_hum, cascade = index.cascade_knn_query_many(
+            hums, args.k, workers=args.workers
+        )
+        print(f"db={len(index)}  hums={len(hums)}")
+        for path, results in zip(args.hum, per_hum):
+            print(f"\n{path}:")
+            _print_hits(results)
+        if args.stats:
+            print("\nmerged filter cascade:")
+            print(cascade.summary())
+        return 0
+    hum = hums[0]
     if args.stats:
         results, cascade = index.cascade_knn_query(hum, args.k)
         print(f"db={len(index)}  filter cascade:")
@@ -88,8 +110,7 @@ def _cmd_query(args) -> int:
         results, stats = index.knn_query(hum, args.k)
         print(f"db={len(index)}  candidates={stats.candidates}  "
               f"pages={stats.page_accesses}  refined={stats.dtw_computations}")
-    for rank, (name, dist) in enumerate(results, start=1):
-        print(f"{rank:3d}. {name}  (DTW distance {dist:.3f})")
+    _print_hits(results)
     return 0
 
 
@@ -315,12 +336,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_query = sub.add_parser("query", help="query a saved index with a hum")
     p_query.add_argument("--index", required=True)
-    p_query.add_argument("--hum", required=True,
-                         help=".npy pitch series or .mid melody")
+    p_query.add_argument("--hum", required=True, nargs="+",
+                         help=".npy pitch series or .mid melody; several "
+                              "hums are served as one parallel batch")
     p_query.add_argument("-k", type=int, default=10)
     p_query.add_argument("--stats", action="store_true",
                          help="answer via the batched filter cascade and "
                               "print per-stage pruning counters")
+    p_query.add_argument("--dtw-backend", choices=("vectorized", "scalar"),
+                         help="DTW kernel for exact refinement "
+                              "(default: vectorized)")
+    p_query.add_argument("--workers", type=int,
+                         help="thread-pool size for multi-hum batches "
+                              "(default: one per CPU core)")
     p_query.set_defaults(func=_cmd_query)
 
     p_assess = sub.add_parser("assess",

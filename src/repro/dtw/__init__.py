@@ -1,11 +1,19 @@
-"""Dynamic Time Warping distances and warping paths."""
+"""Dynamic Time Warping distances, kernels, and warping paths."""
 
 from .distance import (
     dtw_distance,
     ldtw_distance,
     ldtw_distance_batch,
+    ldtw_refiner,
     utw_distance,
     warping_distance,
+)
+from .kernels import (
+    DEFAULT_BACKEND,
+    DTWKernel,
+    available_backends,
+    get_kernel,
+    register_kernel,
 )
 from .multivariate import (
     lb_keogh_multivariate,
@@ -19,8 +27,14 @@ __all__ = [
     "dtw_distance",
     "ldtw_distance",
     "ldtw_distance_batch",
+    "ldtw_refiner",
     "utw_distance",
     "warping_distance",
+    "DTWKernel",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "get_kernel",
+    "register_kernel",
     "lb_keogh_multivariate",
     "lb_paa_multivariate",
     "mdtw_distance",

@@ -14,85 +14,38 @@ the paper's ``D^2`` recurrences.
 * :func:`warping_distance` — the paper's composite Definition 5: LDTW
   between the UTW normal forms, parameterised by the warping width
   ``delta = (2k+1)/n``.
+
+The banded dynamic program itself lives in :mod:`repro.dtw.kernels`
+behind a backend registry (``"scalar"`` reference loop /
+``"vectorized"`` wavefront, the default); every function here takes a
+``backend=`` name.  Input validation and float64 conversion happen
+once in these wrappers — use :func:`ldtw_refiner` when refining many
+candidates against one query so the per-query preparation is also paid
+once.
 """
 
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 
 import numpy as np
 
 from ..core.envelope import warping_width_to_k
 from ..core.series import as_series, uniform_resample
+from .kernels import get_kernel
 
 __all__ = [
     "dtw_distance",
     "ldtw_distance",
     "ldtw_distance_batch",
+    "ldtw_refiner",
     "utw_distance",
     "warping_distance",
 ]
 
 
 _METRICS = ("euclidean", "manhattan")
-
-
-def _banded_dtw_cost(
-    x: np.ndarray,
-    y: np.ndarray,
-    k: int,
-    upper_bound_cost: float = math.inf,
-    *,
-    manhattan: bool = False,
-) -> float:
-    """Accumulated DTW cost with band half-width ``k``; inf if pruned.
-
-    The per-cell cost is the squared difference (Euclidean metric) or
-    the absolute difference (Manhattan).  Row-by-row DP over the band.
-    When *upper_bound_cost* is finite the computation abandons early
-    once every reachable cell in a row exceeds it (useful during index
-    refinement, where any distance above the query threshold is
-    equivalent to infinity).
-    """
-    n = x.size
-    m = y.size
-    if abs(n - m) > k:
-        return math.inf
-
-    inf = math.inf
-    prev = [inf] * m
-    x_list = x.tolist()
-    y_list = y.tolist()
-    for i in range(n):
-        lo = max(0, i - k)
-        hi = min(m - 1, i + k)
-        curr = [inf] * m
-        row_min = inf
-        xi = x_list[i]
-        for j in range(lo, hi + 1):
-            d = xi - y_list[j]
-            cost = (d if d >= 0 else -d) if manhattan else d * d
-            if i == 0 and j == 0:
-                best = 0.0
-            else:
-                best = inf
-                if i > 0:
-                    if prev[j] < best:
-                        best = prev[j]
-                    if j > 0 and prev[j - 1] < best:
-                        best = prev[j - 1]
-                if j > 0 and curr[j - 1] < best:
-                    best = curr[j - 1]
-                if best == inf:
-                    continue
-            total = best + cost
-            curr[j] = total
-            if total < row_min:
-                row_min = total
-        if row_min > upper_bound_cost:
-            return inf
-        prev = curr
-    return prev[m - 1]
 
 
 def _check_metric(metric: str) -> bool:
@@ -114,7 +67,8 @@ def _bound_cost(upper_bound: float | None, manhattan: bool) -> float:
 
 
 def dtw_distance(
-    x, y, *, upper_bound: float | None = None, metric: str = "euclidean"
+    x, y, *, upper_bound: float | None = None, metric: str = "euclidean",
+    backend: str | None = None,
 ) -> float:
     """Unconstrained DTW distance between two series (Definition 1).
 
@@ -129,12 +83,15 @@ def dtw_distance(
         ``"euclidean"`` (the paper's, default) or ``"manhattan"`` —
         the "other distance metrics" the paper says the framework
         admits with modifications.
+    backend:
+        DTW kernel backend name (default: the registry default,
+        ``"vectorized"``).
     """
     manhattan = _check_metric(metric)
     xa = as_series(x)
     ya = as_series(y)
     k = max(xa.size, ya.size)  # a band this wide imposes no constraint
-    cost = _banded_dtw_cost(
+    cost = get_kernel(backend).cost(
         xa, ya, k, _bound_cost(upper_bound, manhattan), manhattan=manhattan
     )
     return _finish(cost, manhattan)
@@ -142,7 +99,7 @@ def dtw_distance(
 
 def ldtw_distance(
     x, y, k: int, *, upper_bound: float | None = None,
-    metric: str = "euclidean",
+    metric: str = "euclidean", backend: str | None = None,
 ) -> float:
     """``k``-Local DTW distance (Definition 4).
 
@@ -155,24 +112,52 @@ def ldtw_distance(
     manhattan = _check_metric(metric)
     xa = as_series(x)
     ya = as_series(y)
-    cost = _banded_dtw_cost(
+    cost = get_kernel(backend).cost(
         xa, ya, k, _bound_cost(upper_bound, manhattan), manhattan=manhattan
     )
     return _finish(cost, manhattan)
 
 
+def ldtw_refiner(
+    query, k: int, *, metric: str = "euclidean", backend: str | None = None
+) -> Callable[..., float]:
+    """A prepared ``refine(y, upper_bound=None) -> distance`` closure.
+
+    Refinement loops call the exact banded DTW once per surviving
+    candidate with the *same* query; this hoists the query-side
+    validation and conversion (including the scalar backend's list
+    conversion) out of that loop, so each call pays only for the
+    candidate side.  The returned callable accepts an optional
+    early-abandoning *upper_bound* in distance space and returns the
+    distance (``inf`` if pruned).
+    """
+    if k < 0:
+        raise ValueError(f"band half-width must be >= 0, got {k}")
+    manhattan = _check_metric(metric)
+    qa = as_series(query)
+    prepared = get_kernel(backend).prepare(qa, k, manhattan=manhattan)
+
+    def refine(y, upper_bound: float | None = None) -> float:
+        ya = y if isinstance(y, np.ndarray) and y.dtype == np.float64 \
+            else as_series(y)
+        cost = prepared(ya, _bound_cost(upper_bound, manhattan))
+        return _finish(cost, manhattan)
+
+    return refine
+
+
 def ldtw_distance_batch(
-    query, candidates, k: int, *, metric: str = "euclidean"
+    query, candidates, k: int, *, metric: str = "euclidean",
+    upper_bound=None, backend: str | None = None,
 ) -> np.ndarray:
     """``k``-Local DTW distances from one query to many candidates.
 
     All candidates must share the query's length (the situation after
-    UTW normalisation).  The dynamic program is identical to
-    :func:`ldtw_distance` but runs vectorised *across candidates*: the
-    Python loop is O(n * band) while every cell update is a NumPy
-    operation over all ``m`` candidates at once — one to two orders of
-    magnitude faster than ``m`` scalar calls for databases of
-    thousands of series.
+    UTW normalisation).  The computation is delegated to the selected
+    kernel backend's batch path; the default ``"vectorized"`` backend
+    sweeps every candidate's banded DP simultaneously as anti-diagonal
+    wavefronts — one to two orders of magnitude faster than per-pair
+    scalar calls for databases of thousands of series.
 
     Parameters
     ----------
@@ -184,6 +169,13 @@ def ldtw_distance_batch(
         Band half-width.
     metric:
         ``"euclidean"`` or ``"manhattan"``.
+    upper_bound:
+        Optional early-abandoning cutoff in distance space — a scalar
+        shared by all candidates or one value per candidate.  Rows
+        whose distance provably exceeds their cutoff come back as
+        ``inf`` (sound for filtering, as in :func:`ldtw_distance`).
+    backend:
+        DTW kernel backend name (default ``"vectorized"``).
 
     Returns
     -------
@@ -194,47 +186,21 @@ def ldtw_distance_batch(
         raise ValueError(f"band half-width must be >= 0, got {k}")
     manhattan = _check_metric(metric)
     q = as_series(query)
-    cand = np.asarray(candidates, dtype=np.float64)
+    cand = np.ascontiguousarray(candidates, dtype=np.float64)
     if cand.ndim != 2 or cand.shape[1] != q.size:
         raise ValueError(
             f"candidates must have shape (m, {q.size}), got {cand.shape}"
         )
-    m, n = cand.shape
-    if m == 0:
+    if cand.shape[0] == 0:
         return np.zeros(0)
-
-    inf = math.inf
-    # prev[j] / curr[j] are length-m vectors: best cost reaching cell
-    # (i-1, j) / (i, j).  The two buffers are reused across rows; the
-    # single position beyond each row's band that the next row can
-    # read is reset to inf explicitly.
-    prev = np.full((n, m), inf)
-    curr = np.full((n, m), inf)
-    for i in range(n):
-        lo = max(0, i - k)
-        hi = min(n - 1, i + k)
-        qi = q[i]
-        if lo > 0:
-            # The buffer holds row i-2 here; this position is read as
-            # curr[j-1] at j = lo before being written.
-            curr[lo - 1] = inf
-        for j in range(lo, hi + 1):
-            diff = qi - cand[:, j]
-            cost = np.abs(diff) if manhattan else diff * diff
-            if i == 0 and j == 0:
-                curr[j] = cost
-                continue
-            best = prev[j].copy() if i > 0 else np.full(m, inf)
-            if i > 0 and j > 0:
-                np.minimum(best, prev[j - 1], out=best)
-            if j > 0:
-                np.minimum(best, curr[j - 1], out=best)
-            curr[j] = best + cost
-        # The next row reads this buffer (as prev) up to hi + 1.
-        if hi + 1 < n:
-            curr[hi + 1] = inf
-        prev, curr = curr, prev
-    final = prev[n - 1]
+    if upper_bound is None:
+        bound_costs = None
+    else:
+        bounds = np.asarray(upper_bound, dtype=np.float64)
+        bound_costs = bounds if manhattan else bounds * bounds
+    final = get_kernel(backend).cost_batch(
+        q, cand, k, bound_costs, manhattan=manhattan
+    )
     if manhattan:
         return final
     return np.sqrt(final)
@@ -267,6 +233,7 @@ def warping_distance(
     normal_length: int = 256,
     upper_bound: float | None = None,
     metric: str = "euclidean",
+    backend: str | None = None,
 ) -> float:
     """The paper's composite DTW distance (Definition 5).
 
@@ -277,4 +244,5 @@ def warping_distance(
     xa = uniform_resample(as_series(x), normal_length)
     ya = uniform_resample(as_series(y), normal_length)
     k = warping_width_to_k(delta, normal_length)
-    return ldtw_distance(xa, ya, k, upper_bound=upper_bound, metric=metric)
+    return ldtw_distance(xa, ya, k, upper_bound=upper_bound, metric=metric,
+                         backend=backend)

@@ -42,8 +42,10 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
 import time
 from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,7 +56,8 @@ from ..core.envelope_transforms import (
     NewPAAEnvelopeTransform,
 )
 from ..core.normal_form import NormalForm
-from ..dtw.distance import ldtw_distance, ldtw_distance_batch
+from ..dtw.distance import ldtw_distance_batch, ldtw_refiner
+from ..dtw.kernels import DEFAULT_BACKEND, get_kernel
 from ..index.stats import QueryStats
 from .stages import lb_envelope_batch, lb_first_last_batch, lb_lemire_batch
 
@@ -223,7 +226,7 @@ class CascadeStats:
 class _QueryContext:
     """Per-query precomputations, built lazily stage by stage."""
 
-    __slots__ = ("q", "band", "_q_env", "_reduced", "_engine")
+    __slots__ = ("q", "band", "_q_env", "_reduced", "_engine", "_refine")
 
     def __init__(self, engine: "QueryEngine", q: np.ndarray) -> None:
         self._engine = engine
@@ -231,12 +234,23 @@ class _QueryContext:
         self.band = engine.band
         self._q_env: Envelope | None = None
         self._reduced: dict[str, Envelope] = {}
+        self._refine = None
 
     @property
     def q_envelope(self) -> Envelope:
         if self._q_env is None:
             self._q_env = k_envelope(self.q, self.band)
         return self._q_env
+
+    @property
+    def refine(self):
+        """Prepared single-pair exact refiner (query converted once)."""
+        if self._refine is None:
+            self._refine = ldtw_refiner(
+                self.q, self.band, metric=self._engine.metric,
+                backend=self._engine.dtw_backend,
+            )
+        return self._refine
 
     def reduced(self, name: str) -> Envelope:
         if name not in self._reduced:
@@ -271,8 +285,23 @@ class QueryEngine:
         ``"euclidean"`` (default) or ``"manhattan"``.
     batch_refine_threshold:
         Range queries with at least this many surviving candidates are
-        refined with the vectorised batch DP (no abandoning, same
-        result set) instead of per-candidate early-abandoning scalars.
+        refined with one batched kernel call (per-candidate abandoning
+        against epsilon, same result set) instead of a per-candidate
+        refine loop.
+    dtw_backend:
+        DTW kernel backend for exact refinement (see
+        :mod:`repro.dtw.kernels`): ``"vectorized"`` (default) or
+        ``"scalar"``; both return identical results.
+    refine_chunk:
+        How many candidates the k-NN best-first loop refines per
+        kernel call.  Larger chunks amortise dispatch overhead via the
+        batched kernel but update the shrinking answer radius less
+        often.  Default: 32 for batch-capable backends, 1 for
+        ``"scalar"``.
+    workers:
+        Default thread count for :meth:`range_search_many` /
+        :meth:`knn_many` (``None`` = one thread per CPU, capped by the
+        batch size).
     """
 
     def __init__(
@@ -287,6 +316,9 @@ class QueryEngine:
         ids: Sequence | None = None,
         metric: str = "euclidean",
         batch_refine_threshold: int = 64,
+        dtw_backend: str | None = None,
+        refine_chunk: int | None = None,
+        workers: int | None = None,
     ) -> None:
         if metric not in ("euclidean", "manhattan"):
             raise ValueError(
@@ -324,6 +356,17 @@ class QueryEngine:
         self.metric = metric
         self.stages = stages
         self.batch_refine_threshold = int(batch_refine_threshold)
+        backend = DEFAULT_BACKEND if dtw_backend is None else dtw_backend
+        get_kernel(backend)  # validate the name now, not at query time
+        self.dtw_backend = backend
+        if refine_chunk is None:
+            refine_chunk = 1 if backend == "scalar" else 32
+        if refine_chunk < 1:
+            raise ValueError(f"refine_chunk must be >= 1, got {refine_chunk}")
+        self.refine_chunk = int(refine_chunk)
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
         if ids is None:
             ids = list(range(m))
         else:
@@ -444,21 +487,18 @@ class QueryEngine:
         results: list[tuple[object, float]] = []
         if alive.size >= self.batch_refine_threshold:
             dists = ldtw_distance_batch(
-                ctx.q, self._data[alive], self.band, metric=self.metric
+                ctx.q, self._data[alive], self.band, metric=self.metric,
+                upper_bound=epsilon, backend=self.dtw_backend,
             )
             stats.dtw_computations = int(alive.size)
+            stats.dtw_abandoned = int(np.count_nonzero(np.isinf(dists)))
             for row, dist in zip(alive, dists):
                 if dist <= epsilon:
                     results.append((self.ids[row], float(dist)))
         else:
+            refine = ctx.refine
             for row in alive:
-                dist = ldtw_distance(
-                    ctx.q,
-                    self._data[row],
-                    self.band,
-                    upper_bound=epsilon,
-                    metric=self.metric,
-                )
+                dist = refine(self._data[row], epsilon)
                 stats.dtw_computations += 1
                 if math.isinf(dist):
                     stats.dtw_abandoned += 1
@@ -499,20 +539,7 @@ class QueryEngine:
         def radius() -> float:
             return -best[0][0] if len(best) >= k else math.inf
 
-        def refine(row: int) -> None:
-            nonlocal exact_time
-            refined[row] = True
-            cutoff = radius()
-            refine_started = time.perf_counter()
-            dist = ldtw_distance(
-                ctx.q,
-                self._data[row],
-                self.band,
-                upper_bound=None if math.isinf(cutoff) else cutoff,
-                metric=self.metric,
-            )
-            exact_time += time.perf_counter() - refine_started
-            stats.dtw_computations += 1
+        def push(row: int, dist: float) -> None:
             if math.isinf(dist):
                 stats.dtw_abandoned += 1
                 return
@@ -522,6 +549,39 @@ class QueryEngine:
             elif dist < -best[0][0]:
                 heapq.heapreplace(best, entry)
 
+        def refine_rows(rows: np.ndarray) -> None:
+            """Refine a chunk with the cutoff frozen at the call.
+
+            A stale (larger) cutoff only costs extra work, never a
+            result: any candidate belonging in the final answer has a
+            distance at most the final radius, which every earlier
+            radius dominates, so it can never be abandoned.
+            """
+            nonlocal exact_time
+            refined[rows] = True
+            cutoff = radius()
+            refine_started = time.perf_counter()
+            if rows.size == 1 or self.refine_chunk == 1:
+                for row in rows:
+                    row = int(row)
+                    dist = ctx.refine(
+                        self._data[row],
+                        None if math.isinf(cutoff) else cutoff,
+                    )
+                    stats.dtw_computations += 1
+                    push(row, dist)
+                    cutoff = radius()
+            else:
+                dists = ldtw_distance_batch(
+                    ctx.q, self._data[rows], self.band, metric=self.metric,
+                    upper_bound=None if math.isinf(cutoff) else cutoff,
+                    backend=self.dtw_backend,
+                )
+                stats.dtw_computations += int(rows.size)
+                for row, dist in zip(rows, dists):
+                    push(int(row), float(dist))
+            exact_time += time.perf_counter() - refine_started
+
         for position, name in enumerate(self.stages):
             alive, stage = self._run_stage(name, ctx, alive, bounds, radius())
             stats.stages.append(stage)
@@ -529,24 +589,31 @@ class QueryEngine:
                 # Seed the answer radius from the k most promising
                 # candidates so later (pricier) stages can prune.
                 seeds = alive[np.argsort(bounds[alive], kind="stable")][:k]
-                for row in seeds:
-                    refine(int(row))
+                refine_rows(seeds)
                 if math.isfinite(radius()):
                     keep = bounds[alive] <= radius() + _PRUNE_ATOL
                     stage.pruned += int(alive.size - np.count_nonzero(keep))
                     alive = alive[keep]
 
         order = alive[np.argsort(bounds[alive], kind="stable")]
-        for position, row in enumerate(order):
-            row = int(row)
-            if refined[row]:
-                continue
-            if len(best) >= k and bounds[row] >= radius() + _PRUNE_ATOL:
-                stats.exact_skipped += int(
-                    np.count_nonzero(~refined[order[position:]])
-                )
+        pending = order[~refined[order]]
+        position = 0
+        while position < pending.size:
+            if (len(best) >= k
+                    and bounds[pending[position]] >= radius() + _PRUNE_ATOL):
+                stats.exact_skipped += int(pending.size - position)
                 break
-            refine(row)
+            # Grow the chunk only over candidates that still beat the
+            # radius as of now; the rest are re-checked next round
+            # against the (possibly smaller) radius.
+            end = position + 1
+            while (end < pending.size
+                   and end - position < self.refine_chunk
+                   and (len(best) < k
+                        or bounds[pending[end]] < radius() + _PRUNE_ATOL)):
+                end += 1
+            refine_rows(pending[position:end])
+            position = end
         results = sorted(
             ((item, -negd) for negd, _, item in best), key=lambda p: p[1]
         )
@@ -555,6 +622,68 @@ class QueryEngine:
         stats.exact_time_s = exact_time
         stats.total_time_s = now - started
         return results, stats
+
+    # ------------------------------------------------------------------
+    # batched / parallel serving
+    # ------------------------------------------------------------------
+
+    def _resolve_workers(self, workers: int | None, jobs: int) -> int:
+        if workers is None:
+            workers = self.workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        elif workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return max(1, min(int(workers), jobs))
+
+    def _search_many(self, queries, one_query, workers):
+        queries = list(queries)
+        if not queries:
+            raise ValueError("queries must not be empty")
+        pool_size = self._resolve_workers(workers, len(queries))
+        started = time.perf_counter()
+        if pool_size == 1:
+            outcomes = [one_query(query) for query in queries]
+        else:
+            # Threads, not processes: every worker shares the corpus
+            # matrix and the precomputed PAA features, and the hot
+            # paths spend their time in NumPy (GIL released).
+            with ThreadPoolExecutor(max_workers=pool_size) as pool:
+                outcomes = list(pool.map(one_query, queries))
+        all_results = [results for results, _ in outcomes]
+        merged = outcomes[0][1]
+        for _, stats in outcomes[1:]:
+            merged = merged + stats
+        # Per-query wall times overlap under the pool; report the
+        # batch's true elapsed time instead of their sum.
+        merged.total_time_s = time.perf_counter() - started
+        return all_results, merged
+
+    def range_search_many(
+        self, queries, epsilon: float, *, workers: int | None = None
+    ) -> tuple[list[list[tuple[object, float]]], CascadeStats]:
+        """Serve a batch of ε-range queries, sharded across threads.
+
+        Returns ``(per_query_results, merged_stats)``: results are in
+        query order and identical to one :meth:`range_search` call per
+        query; the :class:`CascadeStats` is the per-stage sum over the
+        batch with ``total_time_s`` measuring the batch wall clock.
+        """
+        return self._search_many(
+            queries, lambda query: self.range_search(query, epsilon), workers
+        )
+
+    def knn_many(
+        self, queries, k: int, *, workers: int | None = None
+    ) -> tuple[list[list[tuple[object, float]]], CascadeStats]:
+        """Serve a batch of k-NN queries, sharded across threads.
+
+        Returns ``(per_query_results, merged_stats)`` in query order;
+        answers are identical to sequential :meth:`knn` calls.
+        """
+        return self._search_many(
+            queries, lambda query: self.knn(query, k), workers
+        )
 
     # ------------------------------------------------------------------
     # oracles
@@ -566,7 +695,8 @@ class QueryEngine:
         """Exact answer by an unfiltered vectorised scan (test oracle)."""
         q = self._normalise_query(query)
         dists = ldtw_distance_batch(
-            q, self._data, self.band, metric=self.metric
+            q, self._data, self.band, metric=self.metric,
+            backend=self.dtw_backend,
         )
         results = [
             (item_id, float(dist))
@@ -580,7 +710,8 @@ class QueryEngine:
         """Exact k-NN by an unfiltered vectorised scan (test oracle)."""
         q = self._normalise_query(query)
         dists = ldtw_distance_batch(
-            q, self._data, self.band, metric=self.metric
+            q, self._data, self.band, metric=self.metric,
+            backend=self.dtw_backend,
         )
         order = np.argsort(dists, kind="stable")[:k]
         return [(self.ids[i], float(dists[i])) for i in order]

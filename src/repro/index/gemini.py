@@ -28,7 +28,8 @@ import numpy as np
 from ..core.envelope import Envelope, envelope_distance, k_envelope, warping_width_to_k
 from ..core.envelope_transforms import EnvelopeTransform, NewPAAEnvelopeTransform
 from ..core.normal_form import NormalForm
-from ..dtw.distance import ldtw_distance, ldtw_distance_batch
+from ..dtw.distance import ldtw_distance, ldtw_distance_batch, ldtw_refiner
+from ..dtw.kernels import DEFAULT_BACKEND, get_kernel
 from .cluster import ClusterIndex
 from .gridfile import GridFile
 from .linear_scan import LinearScan
@@ -68,6 +69,12 @@ class WarpingIndex:
         paper's, default) or ``"manhattan"``.  The envelope transform
         must be sound under the chosen metric (the default New_PAA is
         built accordingly).
+    dtw_backend:
+        DTW kernel backend used for exact refinement (see
+        :mod:`repro.dtw.kernels`): ``"vectorized"`` (default) or
+        ``"scalar"``.  A pure serving knob — results are identical —
+        and reassignable after construction (``index.dtw_backend =
+        "scalar"``).
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class WarpingIndex:
         capacity: int = 50,
         ids: Sequence | None = None,
         metric: str = "euclidean",
+        dtw_backend: str | None = None,
     ) -> None:
         if index_kind not in _INDEX_KINDS:
             raise ValueError(
@@ -93,6 +101,9 @@ class WarpingIndex:
             )
         if not len(database):
             raise ValueError("database must not be empty")
+        backend = DEFAULT_BACKEND if dtw_backend is None else dtw_backend
+        get_kernel(backend)  # validate the name now, not at query time
+        self.dtw_backend = backend
         self.normal_form = normal_form or NormalForm()
         if self.normal_form.length is None:
             raise ValueError("WarpingIndex requires a fixed normal-form length")
@@ -266,7 +277,9 @@ class WarpingIndex:
                 rows = [r for r, flag in zip(rows, keep) if flag]
             if survivors:
                 dists = ldtw_distance_batch(q, self._data[rows], self.band,
-                                            metric=self.metric)
+                                            metric=self.metric,
+                                            upper_bound=epsilon,
+                                            backend=self.dtw_backend)
                 stats.dtw_computations = len(survivors)
                 results = [
                     (item_id, float(dist))
@@ -293,6 +306,8 @@ class WarpingIndex:
         self._index.reset_stats()
         stats = QueryStats()
         best: list[tuple[float, object]] = []  # max-heap via negated dist
+        refine = ldtw_refiner(q, self.band, metric=self.metric,
+                              backend=self.dtw_backend)
         import heapq
 
         for lower_bound, item_id in self._index.nearest(
@@ -313,8 +328,7 @@ class WarpingIndex:
                         stats.extra.get("second_filter_pruned", 0) + 1
                     )
                     continue
-            dist = ldtw_distance(q, self._data[row], self.band,
-                                 upper_bound=cutoff, metric=self.metric)
+            dist = refine(self._data[row], cutoff)
             stats.dtw_computations += 1
             if not math.isfinite(dist):
                 continue
@@ -327,30 +341,34 @@ class WarpingIndex:
         stats.results = len(results)
         return [(item, dist) for item, dist in results], stats
 
-    def engine(self, *, stages=None):
+    def engine(self, *, stages=None, dtw_backend=None):
         """The batched filter-cascade engine over this index's corpus.
 
-        Lazily built (and cached per stage configuration) from the
-        stored normal forms; ``insert``/``remove`` invalidate the
-        cache.  The engine is the vectorised hot path: it evaluates
-        the whole corpus through cheap-to-tight lower-bound stages
-        before any exact DTW, and reports per-stage pruning counters.
+        Lazily built (and cached per stage configuration and DTW
+        backend) from the stored normal forms; ``insert``/``remove``
+        invalidate the cache.  The engine is the vectorised hot path:
+        it evaluates the whole corpus through cheap-to-tight
+        lower-bound stages before any exact DTW, and reports per-stage
+        pruning counters.
         """
         from ..engine import DEFAULT_STAGES, QueryEngine
 
-        key = DEFAULT_STAGES if stages is None else tuple(stages)
+        backend = self.dtw_backend if dtw_backend is None else dtw_backend
+        key = (DEFAULT_STAGES if stages is None else tuple(stages), backend)
         if key not in self._engines:
             self._engines[key] = QueryEngine(
                 self._data,
                 band=self.band,
-                stages=key,
+                stages=key[0],
                 n_features=self.feature_dim,
                 ids=list(self.ids),
                 metric=self.metric,
+                dtw_backend=backend,
             )
         return self._engines[key]
 
-    def cascade_range_query(self, query, epsilon: float, *, stages=None):
+    def cascade_range_query(self, query, epsilon: float, *, stages=None,
+                            dtw_backend=None):
         """Exact ε-range query through the filter cascade.
 
         Same answer as :meth:`range_query` (both are exact), but
@@ -358,20 +376,43 @@ class WarpingIndex:
         CascadeStats)`` with per-stage pruning counters instead of the
         flat :class:`~repro.index.stats.QueryStats`.
         """
-        return self.engine(stages=stages).range_search(
+        return self.engine(stages=stages, dtw_backend=dtw_backend).range_search(
             self.normal_form.apply(query), epsilon
         )
 
-    def cascade_knn_query(self, query, k: int, *, stages=None):
+    def cascade_knn_query(self, query, k: int, *, stages=None,
+                          dtw_backend=None):
         """Exact k-NN query through the filter cascade.
 
         Same answer as :meth:`knn_query`, evaluated with the
         vectorised engine (best-first refinement with early-abandoning
         DTW); returns ``(results, CascadeStats)``.
         """
-        return self.engine(stages=stages).knn(
+        return self.engine(stages=stages, dtw_backend=dtw_backend).knn(
             self.normal_form.apply(query), k
         )
+
+    def cascade_range_query_many(self, queries, epsilon: float, *,
+                                 stages=None, dtw_backend=None,
+                                 workers=None):
+        """A batch of ε-range queries served in parallel by the engine.
+
+        Shards the queries across a thread pool sharing this index's
+        corpus matrices (see
+        :meth:`repro.engine.QueryEngine.range_search_many`); returns
+        ``(per_query_results, merged CascadeStats)`` in query order,
+        identical to sequential :meth:`cascade_range_query` calls.
+        """
+        engine = self.engine(stages=stages, dtw_backend=dtw_backend)
+        normalised = [self.normal_form.apply(query) for query in queries]
+        return engine.range_search_many(normalised, epsilon, workers=workers)
+
+    def cascade_knn_query_many(self, queries, k: int, *, stages=None,
+                               dtw_backend=None, workers=None):
+        """A batch of k-NN queries served in parallel by the engine."""
+        engine = self.engine(stages=stages, dtw_backend=dtw_backend)
+        normalised = [self.normal_form.apply(query) for query in queries]
+        return engine.knn_many(normalised, k, workers=workers)
 
     def range_query_many(
         self, queries, epsilon: float, *, second_filter: bool = True
@@ -432,7 +473,7 @@ class WarpingIndex:
         envelope_lb = envelope_distance(self._data[row], q_envelope,
                                         metric=self.metric)
         exact = ldtw_distance(q, self._data[row], self.band,
-                              metric=self.metric)
+                              metric=self.metric, backend=self.dtw_backend)
         return {
             "item_id": item_id,
             "feature_lb": feature_lb,
@@ -446,7 +487,9 @@ class WarpingIndex:
     def ground_truth_range(self, query, epsilon: float) -> list[tuple[object, float]]:
         """Exact answer by scanning every series (test oracle)."""
         q = self.normal_form.apply(query)
-        dists = ldtw_distance_batch(q, self._data, self.band, metric=self.metric)
+        dists = ldtw_distance_batch(q, self._data, self.band,
+                                    metric=self.metric,
+                                    backend=self.dtw_backend)
         results = [
             (item_id, float(dist))
             for item_id, dist in zip(self.ids, dists)
@@ -458,6 +501,8 @@ class WarpingIndex:
     def ground_truth_knn(self, query, k: int) -> list[tuple[object, float]]:
         """Exact k-NN by scanning every series (test oracle)."""
         q = self.normal_form.apply(query)
-        dists = ldtw_distance_batch(q, self._data, self.band, metric=self.metric)
+        dists = ldtw_distance_batch(q, self._data, self.band,
+                                    metric=self.metric,
+                                    backend=self.dtw_backend)
         ranked = sorted(zip(self.ids, map(float, dists)), key=lambda p: p[1])
         return ranked[:k]

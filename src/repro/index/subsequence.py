@@ -26,7 +26,8 @@ import numpy as np
 from ..core.envelope import k_envelope, warping_width_to_k
 from ..core.envelope_transforms import EnvelopeTransform, NewPAAEnvelopeTransform
 from ..core.normal_form import NormalForm
-from ..dtw.distance import ldtw_distance, ldtw_distance_batch
+from ..dtw.distance import ldtw_distance, ldtw_distance_batch, ldtw_refiner
+from ..dtw.kernels import DEFAULT_BACKEND, get_kernel
 from .gridfile import GridFile
 from .linear_scan import LinearScan
 from .rstartree import RStarTree
@@ -76,6 +77,9 @@ class SubsequenceIndex:
         DTW warping width.
     normal_form:
         Normalisation applied to windows and queries.
+    dtw_backend:
+        DTW kernel backend used for exact refinement (``"vectorized"``
+        default / ``"scalar"`` reference; results are identical).
     """
 
     def __init__(
@@ -91,9 +95,13 @@ class SubsequenceIndex:
         index_kind: str = "rstar",
         capacity: int = 50,
         ids: Sequence | None = None,
+        dtw_backend: str | None = None,
     ) -> None:
         if not len(sequences):
             raise ValueError("sequence database must not be empty")
+        backend = DEFAULT_BACKEND if dtw_backend is None else dtw_backend
+        get_kernel(backend)  # validate the name now, not at query time
+        self.dtw_backend = backend
         if stride < 1:
             raise ValueError(f"stride must be >= 1, got {stride}")
         if not window_lengths or any(w < 2 for w in window_lengths):
@@ -203,7 +211,8 @@ class SubsequenceIndex:
         matches = []
         if candidates:
             dists = ldtw_distance_batch(
-                q, self._normalized[candidates], self.band
+                q, self._normalized[candidates], self.band,
+                backend=self.dtw_backend,
             )
             stats.dtw_computations = len(candidates)
             matches = [
@@ -229,6 +238,7 @@ class SubsequenceIndex:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         q, rect_lower, rect_upper = self._query_rectangle(query)
+        refine = ldtw_refiner(q, self.band, backend=self.dtw_backend)
         self._index.reset_stats()
         stats = QueryStats()
         # best distance (and its window) per dedup key; when not
@@ -246,9 +256,9 @@ class SubsequenceIndex:
             if lower_bound > cutoff:
                 break
             stats.candidates += 1
-            dist = ldtw_distance(
-                q, self._normalized[window_row], self.band,
-                upper_bound=None if math.isinf(cutoff) else cutoff,
+            dist = refine(
+                self._normalized[window_row],
+                None if math.isinf(cutoff) else cutoff,
             )
             stats.dtw_computations += 1
             if not math.isfinite(dist):

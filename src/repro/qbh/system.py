@@ -51,6 +51,10 @@ class QueryByHummingSystem:
         Sampling of the melody time series.
     env_transform:
         Optional custom envelope transform (defaults to New_PAA).
+    dtw_backend:
+        DTW kernel backend for exact refinement (``"vectorized"``
+        default, ``"scalar"`` reference) — a serving knob, results
+        are identical.
     """
 
     def __init__(
@@ -64,6 +68,7 @@ class QueryByHummingSystem:
         samples_per_beat: int = 8,
         env_transform=None,
         capacity: int = 50,
+        dtw_backend: str | None = None,
     ) -> None:
         if not melodies:
             raise ValueError("melody database must not be empty")
@@ -81,6 +86,7 @@ class QueryByHummingSystem:
             normal_form=NormalForm(length=normal_length, shift=True),
             index_kind=index_kind,
             capacity=capacity,
+            dtw_backend=dtw_backend,
         )
 
     def __len__(self) -> int:
@@ -145,7 +151,8 @@ class QueryByHummingSystem:
         hits, stats = self.index.range_query(pitch_series, epsilon)
         return [(self.names[idx], dist) for idx, dist in hits], stats
 
-    def query_cascade(self, pitch_series, k: int = 10, *, stages=None):
+    def query_cascade(self, pitch_series, k: int = 10, *, stages=None,
+                      dtw_backend=None):
         """Top-*k* melodies via the batched filter-cascade engine.
 
         Returns the same exact answer as :meth:`query`, but evaluated
@@ -156,9 +163,34 @@ class QueryByHummingSystem:
         show where candidates were pruned (``repro query --stats``
         prints it).
         """
-        hits, stats = self.index.cascade_knn_query(pitch_series, k,
-                                                   stages=stages)
+        hits, stats = self.index.cascade_knn_query(
+            pitch_series, k, stages=stages, dtw_backend=dtw_backend
+        )
         return [(self.names[idx], dist) for idx, dist in hits], stats
+
+    def query_cascade_many(
+        self, pitch_series_batch, k: int = 10, *, stages=None,
+        dtw_backend=None, workers: int | None = None,
+    ):
+        """Top-*k* melodies for a batch of hums, served in parallel.
+
+        Shards the batch across a thread pool (see
+        :meth:`repro.engine.QueryEngine.range_search_many`); every hum
+        gets exactly the answer :meth:`query_cascade` would return.
+        Returns ``(per_hum_results, merged_stats)`` where
+        ``per_hum_results[i]`` is the ``(melody_name, distance)`` list
+        for hum ``i`` and *merged_stats* aggregates the cascade
+        counters over the whole batch.
+        """
+        per_query, stats = self.index.cascade_knn_query_many(
+            pitch_series_batch, k, stages=stages,
+            dtw_backend=dtw_backend, workers=workers,
+        )
+        named = [
+            [(self.names[idx], dist) for idx, dist in hits]
+            for hits in per_query
+        ]
+        return named, stats
 
     def query_audio(
         self, waveform, *, sample_rate: int = 8000, k: int = 10

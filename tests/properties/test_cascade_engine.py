@@ -229,6 +229,109 @@ def test_validation_errors():
         engine.knn(np.zeros(16), 0)
 
 
+# ----------------------------------------------------------------------
+# DTW kernel backends
+# ----------------------------------------------------------------------
+
+BACKENDS = ("vectorized", "scalar")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_kernel_backend_range_equals_ground_truth(corpus, query, backend):
+    engine = QueryEngine(corpus, band=BAND, dtw_backend=backend)
+    truth = engine.ground_truth_range(query, epsilon=6.0)
+    results, _ = engine.range_search(query, epsilon=6.0)
+    assert [i for i, _ in results] == [i for i, _ in truth]
+    np.testing.assert_allclose(
+        [d for _, d in results], [d for _, d in truth], atol=1e-9
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("k", [1, 9])
+def test_kernel_backend_knn_equals_ground_truth(corpus, query, backend, k):
+    engine = QueryEngine(corpus, band=BAND, dtw_backend=backend)
+    truth = engine.ground_truth_knn(query, k)
+    results, _ = engine.knn(query, k)
+    assert [i for i, _ in results] == [i for i, _ in truth]
+    np.testing.assert_allclose(
+        [d for _, d in results], [d for _, d in truth], atol=1e-9
+    )
+
+
+def test_kernel_backends_agree_to_1e9(corpus, query):
+    """Scalar and vectorized serving paths are interchangeable."""
+    answers = {}
+    for backend in BACKENDS:
+        engine = QueryEngine(corpus, band=BAND, dtw_backend=backend)
+        answers[backend] = (engine.range_search(query, epsilon=8.0)[0],
+                           engine.knn(query, 6)[0])
+    for kind in (0, 1):
+        ref, other = answers["vectorized"][kind], answers["scalar"][kind]
+        assert [i for i, _ in ref] == [i for i, _ in other]
+        np.testing.assert_allclose(
+            [d for _, d in ref], [d for _, d in other], atol=1e-9
+        )
+
+
+def test_kernel_backend_validated_at_construction(corpus):
+    with pytest.raises(ValueError, match="unknown DTW backend"):
+        QueryEngine(corpus, band=BAND, dtw_backend="warp-core")
+
+
+# ----------------------------------------------------------------------
+# batched / parallel serving
+# ----------------------------------------------------------------------
+
+
+def _many_queries(corpus, count=9):
+    rng = np.random.default_rng(777)
+    rows = rng.choice(corpus.shape[0], size=count, replace=False)
+    return [corpus[row] + 0.3 * rng.normal(size=corpus.shape[1])
+            for row in rows]
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_range_search_many_matches_sequential(corpus, workers):
+    engine = QueryEngine(corpus, band=BAND)
+    queries = _many_queries(corpus)
+    per_query, merged = engine.range_search_many(queries, 6.0,
+                                                 workers=workers)
+    assert len(per_query) == len(queries)
+    total_results = 0
+    for query, results in zip(queries, per_query):
+        expect, _ = engine.range_search(query, 6.0)
+        assert results == expect
+        total_results += len(expect)
+    assert merged.corpus_size == corpus.shape[0] * len(queries)
+    assert merged.results == total_results
+    assert merged.total_time_s >= 0.0
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_knn_many_matches_sequential(corpus, workers):
+    engine = QueryEngine(corpus, band=BAND)
+    queries = _many_queries(corpus)
+    per_query, merged = engine.knn_many(queries, 5, workers=workers)
+    for query, results in zip(queries, per_query):
+        expect, _ = engine.knn(query, 5)
+        assert [i for i, _ in results] == [i for i, _ in expect]
+        np.testing.assert_allclose(
+            [d for _, d in results], [d for _, d in expect], atol=1e-9
+        )
+    assert merged.dtw_computations >= 5 * len(queries)
+
+
+def test_many_query_validation(corpus):
+    engine = QueryEngine(corpus, band=BAND)
+    with pytest.raises(ValueError, match="queries"):
+        engine.range_search_many([], 1.0)
+    with pytest.raises(ValueError, match="workers"):
+        engine.knn_many(_many_queries(corpus, 2), 3, workers=0)
+    with pytest.raises(ValueError, match="workers"):
+        QueryEngine(corpus, band=BAND, workers=0)
+
+
 def test_stage_kernel_validation():
     from repro.core.envelope import k_envelope
     from repro.engine import lb_envelope_batch, lb_first_last_batch

@@ -43,6 +43,42 @@ class TestLifecycle:
         assert "indexed 50 melodies" in output
         assert "DTW distance" in output
 
+    def test_query_kernel_backends_agree(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        index_file = str(tmp_path / "index.npz")
+        hum_file = str(tmp_path / "hum.npy")
+        main(["corpus", "--songs", "3", "--per-song", "5", "--out", corpus_dir])
+        main(["index", "--corpus", corpus_dir, "--out", index_file])
+        main(["hum", "--corpus", corpus_dir, "--melody", "2",
+              "--out", hum_file])
+        outputs = {}
+        for backend in ("vectorized", "scalar"):
+            assert main(["query", "--index", index_file, "--hum", hum_file,
+                         "-k", "4", "--dtw-backend", backend]) == 0
+            out = capsys.readouterr().out
+            outputs[backend] = [line for line in out.splitlines()
+                                if "DTW distance" in line]
+        assert outputs["vectorized"] == outputs["scalar"]
+        assert len(outputs["scalar"]) == 4
+
+    def test_query_kernel_multi_hum_batch(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        index_file = str(tmp_path / "index.npz")
+        hum_a = str(tmp_path / "a.npy")
+        hum_b = str(tmp_path / "b.npy")
+        main(["corpus", "--songs", "3", "--per-song", "5", "--out", corpus_dir])
+        main(["index", "--corpus", corpus_dir, "--out", index_file])
+        main(["hum", "--corpus", corpus_dir, "--melody", "1",
+              "--out", hum_a])
+        main(["hum", "--corpus", corpus_dir, "--melody", "6", "--seed", "9",
+              "--out", hum_b])
+        assert main(["query", "--index", index_file, "--hum", hum_a, hum_b,
+                     "-k", "3", "--workers", "2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "hums=2" in out
+        assert out.count("DTW distance") == 6
+        assert "merged filter cascade" in out
+
     def test_query_with_midi_hum(self, tmp_path, capsys):
         corpus_dir = str(tmp_path / "corpus")
         index_file = str(tmp_path / "index.npz")
