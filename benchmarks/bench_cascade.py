@@ -13,10 +13,17 @@ Asserted in-test, per the acceptance criteria:
   negatives, zero false positives — for both the scalar loop and the
   cascade;
 * the vectorised cascade is at least 5x faster than the scalar loop on
-  a 10k-series corpus.
+  a 10k-series corpus;
+* the disabled observability facade's hook cost is a small fraction of
+  the query time, and enabling metrics does not change any answer.
+
+Writes ``BENCH_cascade.json`` (timings plus a metrics-registry
+snapshot of the instrumented run) at the repo root.
 """
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -25,6 +32,7 @@ from repro.core.envelope import envelope_distance, k_envelope
 from repro.datasets.generators import random_walks
 from repro.dtw.distance import ldtw_distance, ldtw_distance_batch
 from repro.engine import QueryEngine
+from repro.obs import OBS_DISABLED, Observability
 
 from _harness import print_series
 
@@ -32,6 +40,8 @@ DB_SIZE = 10_000
 LENGTH = 128
 DELTA = 0.1
 N_RESULTS = 50          # epsilon is set to admit about this many answers
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cascade.json"
 
 
 def scalar_range_scan(corpus, query, band, epsilon):
@@ -98,6 +108,34 @@ def test_cascade_vs_scalar_loop(benchmark):
     )
     print()
     print(stats.summary())
+
+    # One instrumented re-run of the same query: identical answer, and
+    # its metrics snapshot rides along in the results file.
+    obs = Observability()
+    engine.obs = obs
+    try:
+        obs_results, obs_stats = engine.range_search(query, epsilon)
+    finally:
+        engine.obs = OBS_DISABLED
+    assert obs_results == results
+    OUT_PATH.write_text(json.dumps({
+        "workload": {
+            "db_size": DB_SIZE,
+            "length": LENGTH,
+            "delta": DELTA,
+            "epsilon": epsilon,
+            "results": len(results),
+        },
+        "timings_ms": {
+            "scalar_loop": round(scalar_s * 1e3, 3),
+            "cascade": round(cascade_s * 1e3, 3),
+            "cascade_instrumented": round(obs_stats.total_time_s * 1e3, 3),
+        },
+        "speedup": round(speedup, 2),
+        "cascade_stats": stats.to_dict(),
+        "metrics": obs.metrics.snapshot(),
+    }, indent=2) + "\n")
+
     assert speedup >= 5.0, (
         f"cascade only {speedup:.1f}x faster than the scalar loop"
     )
@@ -119,3 +157,58 @@ def test_cascade_knn_matches_ground_truth_at_scale(benchmark):
     )
     # The cascade must do far less exact work than a full scan.
     assert stats.dtw_computations < len(engine) // 4
+
+
+@pytest.mark.benchmark(group="engine")
+def test_disabled_observability_overhead(benchmark):
+    """Disabled-facade hook cost stays below 5% of a small query's time.
+
+    The engine calls the observability facade unconditionally; with the
+    shared disabled facade every call is an immediate return.  A/B
+    timing two full engine runs is too noisy at CI granularity to bound
+    a few percent, so this measures the thing itself: the per-query
+    number of facade touches, times their measured no-op cost, must be
+    under 5% of the measured query time.  Enabling metrics (no tracer)
+    must also leave the answer bit-identical.
+    """
+    corpus = random_walks(2_000, LENGTH, seed=29)
+    query = corpus[42] + 0.4 * np.random.default_rng(30).normal(size=LENGTH)
+    engine = QueryEngine(corpus, delta=DELTA)
+
+    results, stats = benchmark.pedantic(
+        lambda: engine.knn(query, 10), rounds=3, iterations=1
+    )
+    query_s = min(
+        engine.knn(query, 10)[1].total_time_s for _ in range(5)
+    )
+
+    # Facade touches per knn query: one span per stage, a refine +
+    # kernel span pair per refinement chunk (plus the seed chunk), the
+    # root span, and the record hook.
+    chunks = stats.dtw_computations // engine.refine_chunk + 2
+    hook_calls = len(stats.stages) + 2 * chunks + 1
+
+    reps = 200
+    started = time.perf_counter()
+    for _ in range(reps):
+        for _ in range(hook_calls):
+            with OBS_DISABLED.span("x", rows=1):
+                pass
+        OBS_DISABLED.record_cascade_query("knn", stats, None)
+    noop_s = (time.perf_counter() - started) / reps
+
+    overhead = noop_s / query_s
+    print(f"\ndisabled-facade hooks: {hook_calls + 1} calls/query, "
+          f"{noop_s * 1e6:.1f} us total = {overhead:.2%} of the "
+          f"{query_s * 1e3:.2f} ms query")
+    assert overhead < 0.05, (
+        f"no-op observability hooks cost {overhead:.1%} of the query"
+    )
+
+    # Metrics-enabled serving returns the identical answer.
+    engine.obs = Observability()
+    try:
+        obs_results, _ = engine.knn(query, 10)
+    finally:
+        engine.obs = OBS_DISABLED
+    assert obs_results == results

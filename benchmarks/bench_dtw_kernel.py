@@ -30,7 +30,8 @@ import pytest
 
 from repro.datasets.generators import random_walks
 from repro.dtw.distance import ldtw_distance_batch
-from repro.dtw.kernels import get_kernel
+from repro.dtw.kernels import KernelStats, get_kernel
+from repro.obs import Observability
 
 from _harness import print_series
 
@@ -87,18 +88,35 @@ def test_kernel_backends_speedup_and_parity(benchmark, scale):
     np.testing.assert_allclose(pair_dists, scalar_dists, atol=1e-9)
 
     # Identical epsilon survivor sets under early-abandon cutoffs.
+    # Kernel work counters ride along: the bounded run's stats expose
+    # the cells actually computed and the columns compacted away by
+    # the all-dead early exits, i.e. what early abandoning saved.
     epsilon = float(np.partition(scalar_dists, N_SURVIVORS)[N_SURVIVORS])
     survivors = {}
     bounded_s = {}
+    kernel_stats = {"full": KernelStats(), "bounded": KernelStats()}
+    full_vec = ldtw_distance_batch(query, corpus, BAND,
+                                   backend="vectorized",
+                                   kernel_stats=kernel_stats["full"])
+    abandoned = 0
     for backend in ("scalar", "vectorized"):
-        dists, elapsed = _time(lambda b=backend: ldtw_distance_batch(
-            query, corpus, BAND, upper_bound=epsilon, backend=b
+        ks = kernel_stats["bounded"] if backend == "vectorized" else None
+        dists, elapsed = _time(lambda b=backend, s=ks: ldtw_distance_batch(
+            query, corpus, BAND, upper_bound=epsilon, backend=b,
+            kernel_stats=s,
         ))
         survivors[backend] = set(np.flatnonzero(dists <= epsilon).tolist())
         bounded_s[backend] = elapsed
+        if backend == "vectorized":
+            abandoned = int(np.count_nonzero(np.isinf(dists)))
     truth = set(np.flatnonzero(scalar_dists <= epsilon).tolist())
     assert survivors["scalar"] == truth
     assert survivors["vectorized"] == truth
+    np.testing.assert_allclose(full_vec, scalar_dists, atol=1e-9)
+
+    obs = Observability()
+    obs.record_kernel(kernel_stats["full"])
+    obs.record_kernel(kernel_stats["bounded"])
 
     speedup_batch = scalar_s / batch_s
     speedup_pair = scalar_s / pair_s
@@ -138,6 +156,15 @@ def test_kernel_backends_speedup_and_parity(benchmark, scale):
             "epsilon": epsilon,
             "survivors": len(truth),
         },
+        "kernel_stats": {
+            "full": kernel_stats["full"].as_dict(),
+            "bounded": kernel_stats["bounded"].as_dict(),
+            "abandon_rate_bounded": abandoned / total,
+            "cells_saved_by_abandoning": (
+                kernel_stats["full"].cells - kernel_stats["bounded"].cells
+            ),
+        },
+        "metrics": obs.metrics.snapshot(),
     }, indent=2) + "\n")
 
     assert speedup_batch >= 5.0, (

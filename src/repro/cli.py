@@ -80,38 +80,116 @@ def _print_hits(results) -> None:
         print(f"{rank:3d}. {name}  (DTW distance {dist:.3f})")
 
 
+def _emit_stats_json(payload: dict, dest: str, info) -> None:
+    """Write the machine-readable query record to *dest* (``-`` = stdout)."""
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if dest == "-":
+        print(text)
+    else:
+        with open(dest, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote stats to {dest}", file=info)
+
+
 def _cmd_query(args) -> int:
     from .persistence import load_index
 
-    index = load_index(args.index)
-    if args.dtw_backend:
-        index.dtw_backend = args.dtw_backend
-    hums = [_load_hum(path) for path in args.hum]
-    if len(hums) > 1:
-        # Batch serving: shard the hums across a thread pool and answer
-        # each through the filter cascade (identical to one-at-a-time).
-        per_hum, cascade = index.cascade_knn_query_many(
-            hums, args.k, workers=args.workers
+    obs = None
+    if (args.trace_out or args.metrics_out
+            or args.slow_query_ms is not None):
+        from .obs import Observability
+
+        def on_slow(record):
+            print(f"slow query: {record['duration_ms']:.1f} ms "
+                  f"({record['refined']} refined of "
+                  f"{record['corpus_size']})", file=sys.stderr)
+
+        obs = Observability.to_files(
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
+            slow_query_ms=args.slow_query_ms,
+            on_slow=on_slow if args.slow_query_ms is not None else None,
         )
-        print(f"db={len(index)}  hums={len(hums)}")
-        for path, results in zip(args.hum, per_hum):
-            print(f"\n{path}:")
+    # With --stats-json, stdout is reserved for results (rows, or the
+    # JSON document itself with ``-``); diagnostics move to stderr.
+    stats_json = args.stats_json
+    info = sys.stderr if stats_json is not None else sys.stdout
+    try:
+        index = load_index(args.index)
+        if obs is not None:
+            index.set_observability(obs)
+        if args.dtw_backend:
+            index.dtw_backend = args.dtw_backend
+        hums = [_load_hum(path) for path in args.hum]
+        # The cascade engine is the instrumented path: stats flags need
+        # its counters, and observability needs its span tree.
+        want_cascade = args.stats or stats_json is not None or obs is not None
+        if len(hums) > 1:
+            # Batch serving: shard the hums across a thread pool and
+            # answer each through the filter cascade (identical to
+            # one-at-a-time).
+            per_hum, cascade = index.cascade_knn_query_many(
+                hums, args.k, workers=args.workers
+            )
+            print(f"db={len(index)}  hums={len(hums)}", file=info)
+            if stats_json != "-":
+                for path, results in zip(args.hum, per_hum):
+                    print(f"\n{path}:")
+                    _print_hits(results)
+            if args.stats:
+                print("\nmerged filter cascade:", file=info)
+                print(cascade.summary(), file=info)
+            if stats_json is not None:
+                payload = {
+                    "db": len(index),
+                    "k": args.k,
+                    "hums": list(args.hum),
+                    "results": {
+                        path: [[name, dist] for name, dist in results]
+                        for path, results in zip(args.hum, per_hum)
+                    },
+                    "cascade": cascade.to_dict(),
+                }
+                _emit_stats_json(payload, stats_json, info)
+            return 0
+        hum = hums[0]
+        if want_cascade:
+            results, cascade = index.cascade_knn_query(hum, args.k)
+            if args.stats:
+                print(f"db={len(index)}  filter cascade:", file=info)
+                print(cascade.summary(), file=info)
+            else:
+                print(f"db={len(index)}  "
+                      f"pruned={cascade.pruned_total}  "
+                      f"refined={cascade.dtw_computations}", file=info)
+        else:
+            cascade = None
+            results, stats = index.knn_query(hum, args.k)
+            print(f"db={len(index)}  candidates={stats.candidates}  "
+                  f"pages={stats.page_accesses}  "
+                  f"refined={stats.dtw_computations}", file=info)
+        if stats_json != "-":
             _print_hits(results)
-        if args.stats:
-            print("\nmerged filter cascade:")
-            print(cascade.summary())
+        if stats_json is not None:
+            payload = {
+                "db": len(index),
+                "k": args.k,
+                "hums": list(args.hum),
+                "results": [[name, dist] for name, dist in results],
+                "cascade": cascade.to_dict(),
+            }
+            _emit_stats_json(payload, stats_json, info)
         return 0
-    hum = hums[0]
-    if args.stats:
-        results, cascade = index.cascade_knn_query(hum, args.k)
-        print(f"db={len(index)}  filter cascade:")
-        print(cascade.summary())
-    else:
-        results, stats = index.knn_query(hum, args.k)
-        print(f"db={len(index)}  candidates={stats.candidates}  "
-              f"pages={stats.page_accesses}  refined={stats.dtw_computations}")
-    _print_hits(results)
-    return 0
+    finally:
+        if obs is not None:
+            obs.close()
+            if args.trace_out:
+                print(f"wrote trace spans to {args.trace_out}", file=info)
+            if args.metrics_out:
+                print(f"wrote metrics snapshot to {args.metrics_out}",
+                      file=info)
 
 
 def _cmd_hum(args) -> int:
@@ -349,6 +427,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--workers", type=int,
                          help="thread-pool size for multi-hum batches "
                               "(default: one per CPU core)")
+    p_query.add_argument("--stats-json", nargs="?", const="-", metavar="FILE",
+                         help="emit results + cascade stats as one JSON "
+                              "document to FILE (or stdout with no FILE; "
+                              "diagnostics then go to stderr)")
+    p_query.add_argument("--trace-out", metavar="FILE",
+                         help="export tracing spans of every query as "
+                              "JSONL (query -> stage -> refine -> kernel)")
+    p_query.add_argument("--metrics-out", metavar="FILE",
+                         help="write a metrics-registry snapshot (JSON) "
+                              "after serving")
+    p_query.add_argument("--slow-query-ms", type=float, metavar="N",
+                         help="log queries slower than N ms to stderr; "
+                              "with --trace-out, export only their traces")
     p_query.set_defaults(func=_cmd_query)
 
     p_assess = sub.add_parser("assess",

@@ -33,7 +33,7 @@ import numpy as np
 
 from ..core.envelope import warping_width_to_k
 from ..core.series import as_series, uniform_resample
-from .kernels import get_kernel
+from .kernels import KernelStats, get_kernel
 
 __all__ = [
     "dtw_distance",
@@ -119,7 +119,8 @@ def ldtw_distance(
 
 
 def ldtw_refiner(
-    query, k: int, *, metric: str = "euclidean", backend: str | None = None
+    query, k: int, *, metric: str = "euclidean", backend: str | None = None,
+    kernel_stats: KernelStats | None = None,
 ) -> Callable[..., float]:
     """A prepared ``refine(y, upper_bound=None) -> distance`` closure.
 
@@ -129,13 +130,24 @@ def ldtw_refiner(
     conversion) out of that loop, so each call pays only for the
     candidate side.  The returned callable accepts an optional
     early-abandoning *upper_bound* in distance space and returns the
-    distance (``inf`` if pruned).
+    distance (``inf`` if pruned).  A *kernel_stats* recorder, when
+    given, accumulates the work counters of every refine call (see
+    :class:`repro.dtw.kernels.KernelStats`).
     """
     if k < 0:
         raise ValueError(f"band half-width must be >= 0, got {k}")
     manhattan = _check_metric(metric)
     qa = as_series(query)
-    prepared = get_kernel(backend).prepare(qa, k, manhattan=manhattan)
+    kernel = get_kernel(backend)
+    if kernel_stats is None:
+        prepared = kernel.prepare(qa, k, manhattan=manhattan)
+    else:
+        try:
+            prepared = kernel.prepare(qa, k, manhattan=manhattan,
+                                      stats=kernel_stats)
+        except TypeError:
+            # Third-party kernel predating the stats capability.
+            prepared = kernel.prepare(qa, k, manhattan=manhattan)
 
     def refine(y, upper_bound: float | None = None) -> float:
         ya = y if isinstance(y, np.ndarray) and y.dtype == np.float64 \
@@ -149,6 +161,7 @@ def ldtw_refiner(
 def ldtw_distance_batch(
     query, candidates, k: int, *, metric: str = "euclidean",
     upper_bound=None, backend: str | None = None,
+    kernel_stats: KernelStats | None = None,
 ) -> np.ndarray:
     """``k``-Local DTW distances from one query to many candidates.
 
@@ -176,6 +189,10 @@ def ldtw_distance_batch(
         ``inf`` (sound for filtering, as in :func:`ldtw_distance`).
     backend:
         DTW kernel backend name (default ``"vectorized"``).
+    kernel_stats:
+        Optional :class:`repro.dtw.kernels.KernelStats` recorder; the
+        built-in kernels accumulate cells computed, rows processed,
+        and columns compacted into it.
 
     Returns
     -------
@@ -198,9 +215,13 @@ def ldtw_distance_batch(
     else:
         bounds = np.asarray(upper_bound, dtype=np.float64)
         bound_costs = bounds if manhattan else bounds * bounds
-    final = get_kernel(backend).cost_batch(
-        q, cand, k, bound_costs, manhattan=manhattan
-    )
+    kernel = get_kernel(backend)
+    if kernel_stats is None:
+        final = kernel.cost_batch(q, cand, k, bound_costs,
+                                  manhattan=manhattan)
+    else:
+        final = kernel.cost_batch(q, cand, k, bound_costs,
+                                  manhattan=manhattan, stats=kernel_stats)
     if manhattan:
         return final
     return np.sqrt(final)

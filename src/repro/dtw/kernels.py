@@ -46,6 +46,7 @@ import numpy as np
 
 __all__ = [
     "DTWKernel",
+    "KernelStats",
     "ScalarDTWKernel",
     "VectorizedDTWKernel",
     "DEFAULT_BACKEND",
@@ -68,6 +69,63 @@ _BATCH_BLOCK_BYTES = 2_000_000
 #: to pay for itself.
 _COMPACT_MIN_DEAD = 32
 _COMPACT_DEAD_FRACTION = 0.5
+
+
+class KernelStats:
+    """Opt-in work counters a kernel call fills in.
+
+    Pass one to ``cost`` / ``prepare`` / ``cost_batch`` (or through
+    :func:`repro.dtw.distance.ldtw_distance_batch` /
+    :func:`~repro.dtw.distance.ldtw_refiner`) and the built-in kernels
+    accumulate into it; the observability layer folds the totals into
+    the ``dtw.*`` metrics and kernel spans.  The object is plain
+    mutable state with no locking — share one only within a thread
+    (the engine keeps one per query).
+
+    Attributes
+    ----------
+    calls:
+        Kernel dispatches (one per ``cost`` call or batch block row
+        set).
+    rows:
+        Candidate rows processed across those calls.
+    cells:
+        Band DP cells evaluated (dead columns stop counting once
+        abandoned or compacted away) — the implementation-bias-free
+        work measure for comparing backends and cutoffs.
+    compacted_columns:
+        Candidate columns physically dropped from batched wavefront
+        blocks by dead-column compaction.
+    """
+
+    __slots__ = ("calls", "rows", "cells", "compacted_columns")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.rows = 0
+        self.cells = 0
+        self.compacted_columns = 0
+
+    def merge(self, other: "KernelStats") -> None:
+        """Fold another recorder's counts into this one."""
+        self.calls += other.calls
+        self.rows += other.rows
+        self.cells += other.cells
+        self.compacted_columns += other.compacted_columns
+
+    def as_dict(self) -> dict:
+        """The counters as a JSON-ready dict."""
+        return {
+            "calls": self.calls,
+            "rows": self.rows,
+            "cells": self.cells,
+            "compacted_columns": self.compacted_columns,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"KernelStats(calls={self.calls}, rows={self.rows}, "
+                f"cells={self.cells}, "
+                f"compacted_columns={self.compacted_columns})")
 
 
 class DTWKernel:
@@ -93,12 +151,18 @@ class DTWKernel:
         bound_cost: float = _INF,
         *,
         manhattan: bool = False,
+        stats: KernelStats | None = None,
     ) -> float:
-        """Accumulated banded-DTW cost of one pair; ``inf`` if pruned."""
+        """Accumulated banded-DTW cost of one pair; ``inf`` if pruned.
+
+        *stats*, when given, receives work counters; third-party
+        kernels may ignore it (the built-in ones fill it in).
+        """
         return self.prepare(x, k, manhattan=manhattan)(y, bound_cost)
 
     def prepare(
-        self, x: np.ndarray, k: int, *, manhattan: bool = False
+        self, x: np.ndarray, k: int, *, manhattan: bool = False,
+        stats: KernelStats | None = None,
     ) -> Callable[[np.ndarray, float], float]:
         """A ``refine(y, bound_cost) -> cost`` closure bound to *x*."""
         raise NotImplementedError
@@ -111,17 +175,27 @@ class DTWKernel:
         bound_costs: np.ndarray | float | None = None,
         *,
         manhattan: bool = False,
+        stats: KernelStats | None = None,
     ) -> np.ndarray:
         """Costs from *x* to every row of *candidates* (``inf`` = pruned).
 
         *bound_costs* may be a scalar cutoff shared by every candidate
         or one cutoff per row; ``None`` disables abandoning.  The
         default implementation loops a prepared refiner over the rows;
-        vectorized backends override it.
+        vectorized backends override it.  *stats* receives work
+        counters when the concrete kernel supports them.
         """
         m = candidates.shape[0]
         bounds = _broadcast_bounds(bound_costs, m)
-        refine = self.prepare(x, k, manhattan=manhattan)
+        if stats is None:
+            refine = self.prepare(x, k, manhattan=manhattan)
+        else:
+            try:
+                refine = self.prepare(x, k, manhattan=manhattan,
+                                      stats=stats)
+            except TypeError:
+                # Third-party kernel predating the stats capability.
+                refine = self.prepare(x, k, manhattan=manhattan)
         out = np.empty(m)
         for row in range(m):
             out[row] = refine(candidates[row], bounds[row])
@@ -155,16 +229,32 @@ class ScalarDTWKernel(DTWKernel):
     name = "scalar"
 
     def prepare(
-        self, x: np.ndarray, k: int, *, manhattan: bool = False
+        self, x: np.ndarray, k: int, *, manhattan: bool = False,
+        stats: KernelStats | None = None,
     ) -> Callable[[np.ndarray, float], float]:
         x_list = x.tolist() if isinstance(x, np.ndarray) else list(x)
 
         def refine(y: np.ndarray, bound_cost: float = _INF) -> float:
             y_list = y.tolist() if isinstance(y, np.ndarray) else list(y)
             return _scalar_banded_cost(x_list, y_list, k, bound_cost,
-                                       manhattan)
+                                       manhattan, stats)
 
         return refine
+
+    def cost(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        k: int,
+        bound_cost: float = _INF,
+        *,
+        manhattan: bool = False,
+        stats: KernelStats | None = None,
+    ) -> float:
+        """Accumulated banded-DTW cost of one pair; ``inf`` if pruned."""
+        return self.prepare(x, k, manhattan=manhattan, stats=stats)(
+            y, bound_cost
+        )
 
 
 def _scalar_banded_cost(
@@ -173,17 +263,23 @@ def _scalar_banded_cost(
     k: int,
     upper_bound_cost: float,
     manhattan: bool,
+    stats: KernelStats | None = None,
 ) -> float:
     n = len(x_list)
     m = len(y_list)
+    if stats is not None:
+        stats.calls += 1
+        stats.rows += 1
     if abs(n - m) > k:
         return _INF
 
     inf = _INF
+    cells = 0
     prev = [inf] * m
     for i in range(n):
         lo = max(0, i - k)
         hi = min(m - 1, i + k)
+        cells += hi - lo + 1
         curr = [inf] * m
         row_min = inf
         xi = x_list[i]
@@ -208,8 +304,12 @@ def _scalar_banded_cost(
             if total < row_min:
                 row_min = total
         if row_min > upper_bound_cost:
+            if stats is not None:
+                stats.cells += cells
             return inf
         prev = curr
+    if stats is not None:
+        stats.cells += cells
     return prev[m - 1]
 
 
@@ -234,10 +334,12 @@ class VectorizedDTWKernel(DTWKernel):
     name = "vectorized"
 
     def prepare(
-        self, x: np.ndarray, k: int, *, manhattan: bool = False
+        self, x: np.ndarray, k: int, *, manhattan: bool = False,
+        stats: KernelStats | None = None,
     ) -> Callable[[np.ndarray, float], float]:
         def refine(y: np.ndarray, bound_cost: float = _INF) -> float:
-            return self.cost(x, y, k, bound_cost, manhattan=manhattan)
+            return self.cost(x, y, k, bound_cost, manhattan=manhattan,
+                             stats=stats)
 
         return refine
 
@@ -249,18 +351,25 @@ class VectorizedDTWKernel(DTWKernel):
         bound_cost: float = _INF,
         *,
         manhattan: bool = False,
+        stats: KernelStats | None = None,
     ) -> float:
         n = x.size
         m = y.size
+        if stats is not None:
+            stats.calls += 1
+            stats.rows += 1
         if abs(n - m) > k:
             return _INF
         if k == 0:
+            if stats is not None:
+                stats.cells += n
             diff = x - y
             total = (float(np.abs(diff).sum()) if manhattan
                      else float(np.dot(diff, diff)))
             return _INF if total > bound_cost else total
 
         inf = _INF
+        cells = 0
         yr = y[::-1]
         # Rolling diagonals, indexed by row + 1: position 0 is a
         # permanent inf pad for the i == 0 edge.
@@ -272,6 +381,7 @@ class VectorizedDTWKernel(DTWKernel):
         for d in range(n + m - 1):
             lo = max(0, d - (m - 1), -((k - d) // 2))
             hi = min(n - 1, d, (d + k) // 2)
+            cells += hi - lo + 1
             diff = x[lo:hi + 1] - yr[m - 1 - d + lo:m - d + hi]
             cost = np.abs(diff) if manhattan else diff * diff
             if d == 0:
@@ -288,9 +398,13 @@ class VectorizedDTWKernel(DTWKernel):
             cur[lo] = inf
             if check:
                 if cur_min > bound_cost and prev_min > bound_cost:
+                    if stats is not None:
+                        stats.cells += cells
                     return inf
                 prev_min = cur_min
             prev2, prev1, cur = prev1, cur, prev2
+        if stats is not None:
+            stats.cells += cells
         return float(prev1[n])
 
     def cost_batch(
@@ -301,18 +415,26 @@ class VectorizedDTWKernel(DTWKernel):
         bound_costs: np.ndarray | float | None = None,
         *,
         manhattan: bool = False,
+        stats: KernelStats | None = None,
     ) -> np.ndarray:
         total = candidates.shape[0]
         if total == 0:
             return np.zeros(0)
+        if stats is not None:
+            stats.rows += total
         bounds = None if bound_costs is None else _broadcast_bounds(
             bound_costs, total
         )
         n = x.size
         m = candidates.shape[1]
         if abs(n - m) > k:
+            if stats is not None:
+                stats.calls += 1
             return np.full(total, _INF)
         if k == 0:
+            if stats is not None:
+                stats.calls += 1
+                stats.cells += total * n
             diff = candidates - x
             if manhattan:
                 totals = np.abs(diff).sum(axis=1)
@@ -326,12 +448,15 @@ class VectorizedDTWKernel(DTWKernel):
         out = np.empty(total)
         for start in range(0, total, block):
             stop = min(start + block, total)
+            if stats is not None:
+                stats.calls += 1
             out[start:stop] = self._batch_block(
                 x,
                 candidates[start:stop],
                 k,
                 None if bounds is None else bounds[start:stop],
                 manhattan,
+                stats,
             )
         return out
 
@@ -342,8 +467,10 @@ class VectorizedDTWKernel(DTWKernel):
         k: int,
         bounds: np.ndarray | None,
         manhattan: bool,
+        stats: KernelStats | None = None,
     ) -> np.ndarray:
         inf = _INF
+        cells = 0
         n = x.size
         batch, m = candidates.shape
         # Row t of the flipped transpose is y[m-1-t] for every
@@ -362,6 +489,7 @@ class VectorizedDTWKernel(DTWKernel):
         for d in range(n + m - 1):
             lo = max(0, d - (m - 1), -((k - d) // 2))
             hi = min(n - 1, d, (d + k) // 2)
+            cells += (hi - lo + 1) * cols.size
             diff = x[lo:hi + 1, None] - flipped[m - 1 - d + lo:m - d + hi]
             cost = np.abs(diff) if manhattan else diff * diff
             if d == 0:
@@ -378,6 +506,8 @@ class VectorizedDTWKernel(DTWKernel):
                 dead = (cur_min > bounds) & (prev_min > bounds)
                 n_dead = int(np.count_nonzero(dead))
                 if n_dead == cols.size:
+                    if stats is not None:
+                        stats.cells += cells
                     return out
                 if (n_dead >= _COMPACT_MIN_DEAD
                         and n_dead >= _COMPACT_DEAD_FRACTION * cols.size):
@@ -389,9 +519,13 @@ class VectorizedDTWKernel(DTWKernel):
                     bounds = bounds[keep]
                     cols = cols[keep]
                     cur_min = cur_min[keep]
+                    if stats is not None:
+                        stats.compacted_columns += n_dead
                 prev_min = cur_min
             prev2, prev1, cur = prev1, cur, prev2
         out[cols] = prev1[n]
+        if stats is not None:
+            stats.cells += cells
         return out
 
 
@@ -453,12 +587,13 @@ def banded_dtw_cost(
     *,
     manhattan: bool = False,
     backend: str | None = None,
+    stats: KernelStats | None = None,
 ) -> float:
     """Accumulated banded-DTW cost via a named backend (cost space)."""
     xa = np.ascontiguousarray(x, dtype=np.float64)
     ya = np.ascontiguousarray(y, dtype=np.float64)
     return get_kernel(backend).cost(xa, ya, k, bound_cost,
-                                    manhattan=manhattan)
+                                    manhattan=manhattan, stats=stats)
 
 
 def banded_dtw_cost_batch(
@@ -469,9 +604,10 @@ def banded_dtw_cost_batch(
     *,
     manhattan: bool = False,
     backend: str | None = None,
+    stats: KernelStats | None = None,
 ) -> np.ndarray:
     """Batched accumulated banded-DTW costs via a named backend."""
     xa = np.ascontiguousarray(x, dtype=np.float64)
     cand = np.ascontiguousarray(candidates, dtype=np.float64)
     return get_kernel(backend).cost_batch(xa, cand, k, bound_costs,
-                                          manhattan=manhattan)
+                                          manhattan=manhattan, stats=stats)

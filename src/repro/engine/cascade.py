@@ -35,7 +35,20 @@ why the running maximum is kept.
 
 Per-query observability lives in :class:`CascadeStats`: candidates in,
 pruned, bound statistics and wall time per stage, plus exact-phase
-counters (computed / early-abandoned / skipped refinements).
+counters (computed / early-abandoned / skipped refinements).  The same
+numbers also flow through the :mod:`repro.obs` layer when an
+:class:`~repro.obs.Observability` facade is attached
+(``QueryEngine(obs=...)``): every query emits a span tree
+(``query → stage:<name> → refine → kernel``) whose attributes are set
+from the exact ``CascadeStats``/``StageStats`` fields — so the
+exported trace and the returned stats reconcile by construction (see
+:meth:`CascadeStats.from_trace`) — and per-stage/per-kernel counters
+land in the facade's sharded :class:`~repro.obs.MetricsRegistry`,
+which aggregates exactly across the thread-pooled
+:meth:`QueryEngine.range_search_many` / :meth:`~QueryEngine.knn_many`
+paths.  All timing goes through :mod:`repro.obs.clock` — the lint in
+``tools/lint_timers.py`` keeps raw ``time.perf_counter()`` calls out
+of this package.
 """
 
 from __future__ import annotations
@@ -43,7 +56,6 @@ from __future__ import annotations
 import heapq
 import math
 import os
-import time
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -57,8 +69,10 @@ from ..core.envelope_transforms import (
 )
 from ..core.normal_form import NormalForm
 from ..dtw.distance import ldtw_distance_batch, ldtw_refiner
-from ..dtw.kernels import DEFAULT_BACKEND, get_kernel
+from ..dtw.kernels import DEFAULT_BACKEND, KernelStats, get_kernel
 from ..index.stats import QueryStats
+from ..obs import OBS_DISABLED, Observability
+from ..obs.clock import monotonic_s
 from .stages import lb_envelope_batch, lb_first_last_batch, lb_lemire_batch
 
 __all__ = ["QueryEngine", "CascadeStats", "StageStats", "STAGE_ORDER",
@@ -78,7 +92,14 @@ _PRUNE_ATOL = 1e-9
 
 @dataclass
 class StageStats:
-    """What one filter stage did to the candidate stream."""
+    """What one filter stage did to the candidate stream.
+
+    ``wall_time_s`` is the stage's elapsed time for one query; when
+    stats objects for several queries are merged with ``+`` it becomes
+    the *sum* over those queries (per-query stage runs overlap under
+    the thread pool, so the sum is CPU-style accumulated time, not
+    batch wall time).
+    """
 
     name: str
     candidates_in: int = 0
@@ -99,6 +120,20 @@ class StageStats:
         if self.candidates_in == 0:
             return 0.0
         return self.pruned / self.candidates_in
+
+    def to_dict(self) -> dict:
+        """The stage record as a JSON-ready dict (``--stats-json``)."""
+        return {
+            "name": self.name,
+            "candidates_in": self.candidates_in,
+            "pruned": self.pruned,
+            "survivors": self.survivors,
+            "prune_rate": self.prune_rate,
+            "wall_time_s": self.wall_time_s,
+            "bound_min": self.bound_min,
+            "bound_mean": self.bound_mean,
+            "bound_max": self.bound_max,
+        }
 
     def __add__(self, other: "StageStats") -> "StageStats":
         if not isinstance(other, StageStats):
@@ -145,8 +180,22 @@ class CascadeStats:
         exceeded the final answer radius (k-NN best-first stop).
     results:
         Size of the final exact answer.
-    exact_time_s / total_time_s:
-        Wall time of the refinement phase / the whole query.
+    exact_time_s:
+        Elapsed time of the refinement phase (summed when merged).
+    total_time_s:
+        **Wall-clock time** of the call that produced this object.
+        For a single query, the query's elapsed time.  For the merged
+        stats of :meth:`QueryEngine.range_search_many` /
+        :meth:`~QueryEngine.knn_many`, the *batch's* elapsed time
+        under the thread pool — per-query times overlap there, so
+        this is deliberately **not** the sum and is the right
+        denominator for batch throughput.
+    cpu_time_s:
+        **Summed per-query elapsed time** across everything merged
+        into this object (equals ``total_time_s`` for a single
+        query).  This is the value comparable with the summed
+        per-stage ``wall_time_s`` / ``exact_time_s`` fields, and the
+        right numerator for per-query cost accounting.
     """
 
     corpus_size: int = 0
@@ -157,6 +206,7 @@ class CascadeStats:
     results: int = 0
     exact_time_s: float = 0.0
     total_time_s: float = 0.0
+    cpu_time_s: float = 0.0
 
     @property
     def exact_candidates(self) -> int:
@@ -181,6 +231,80 @@ class CascadeStats:
         stats.extra["dtw_abandoned"] = self.dtw_abandoned
         return stats
 
+    def to_dict(self) -> dict:
+        """The full record as a JSON-ready dict (``--stats-json``)."""
+        return {
+            "corpus_size": self.corpus_size,
+            "stages": [stage.to_dict() for stage in self.stages],
+            "exact_candidates": self.exact_candidates,
+            "pruned_total": self.pruned_total,
+            "dtw_computations": self.dtw_computations,
+            "dtw_abandoned": self.dtw_abandoned,
+            "exact_skipped": self.exact_skipped,
+            "results": self.results,
+            "exact_time_s": self.exact_time_s,
+            "total_time_s": self.total_time_s,
+            "cpu_time_s": self.cpu_time_s,
+        }
+
+    @classmethod
+    def from_trace(cls, spans) -> "CascadeStats":
+        """Rebuild a stats record from one query's exported span tree.
+
+        The engine sets every span attribute from the exact
+        ``CascadeStats`` / ``StageStats`` fields, so this projection is
+        lossless for the counters: ``CascadeStats.from_trace(spans)``
+        equals the stats object the query returned (bound statistics
+        and timings included).  *spans* may be
+        :class:`~repro.obs.Span` objects or their ``to_dict()`` /
+        JSONL dicts — one trace, i.e. exactly one root ``query`` span.
+        """
+        root_attrs = None
+        stage_spans = []
+        for item in spans:
+            if isinstance(item, dict):
+                name = item["name"]
+                parent = item.get("parent_id")
+                start = item.get("start_s", 0.0)
+                attrs = item.get("attrs", {})
+            else:
+                name = item.name
+                parent = item.parent_id
+                start = item.start_s
+                attrs = item.attrs
+            if name == "query" and parent is None:
+                if root_attrs is not None:
+                    raise ValueError("spans contain more than one trace")
+                root_attrs = attrs
+            elif name.startswith("stage:"):
+                stage_spans.append((start, attrs))
+        if root_attrs is None:
+            raise ValueError("no root 'query' span among the given spans")
+        stage_spans.sort(key=lambda pair: pair[0])
+        stages = [
+            StageStats(
+                name=attrs["name"],
+                candidates_in=attrs["candidates_in"],
+                pruned=attrs["pruned"],
+                wall_time_s=attrs["wall_time_s"],
+                bound_min=attrs["bound_min"],
+                bound_mean=attrs["bound_mean"],
+                bound_max=attrs["bound_max"],
+            )
+            for _, attrs in stage_spans
+        ]
+        return cls(
+            corpus_size=root_attrs["corpus_size"],
+            stages=stages,
+            dtw_computations=root_attrs["dtw_computations"],
+            dtw_abandoned=root_attrs["dtw_abandoned"],
+            exact_skipped=root_attrs["exact_skipped"],
+            results=root_attrs["results"],
+            exact_time_s=root_attrs["exact_time_s"],
+            total_time_s=root_attrs["total_time_s"],
+            cpu_time_s=root_attrs["cpu_time_s"],
+        )
+
     def __add__(self, other: "CascadeStats") -> "CascadeStats":
         if not isinstance(other, CascadeStats):
             return NotImplemented
@@ -195,6 +319,7 @@ class CascadeStats:
             results=self.results + other.results,
             exact_time_s=self.exact_time_s + other.exact_time_s,
             total_time_s=self.total_time_s + other.total_time_s,
+            cpu_time_s=self.cpu_time_s + other.cpu_time_s,
         )
 
     def summary(self) -> str:
@@ -223,10 +348,49 @@ class CascadeStats:
         return "\n".join(lines)
 
 
+def _query_span_attrs(stats: CascadeStats) -> dict:
+    """Root-span attributes, taken verbatim from the finished stats.
+
+    Together with the per-stage span attributes this makes the trace a
+    lossless projection of the stats — see
+    :meth:`CascadeStats.from_trace`.
+    """
+    return {
+        "corpus_size": stats.corpus_size,
+        "dtw_computations": stats.dtw_computations,
+        "dtw_abandoned": stats.dtw_abandoned,
+        "exact_skipped": stats.exact_skipped,
+        "results": stats.results,
+        "exact_time_s": stats.exact_time_s,
+        "total_time_s": stats.total_time_s,
+        "cpu_time_s": stats.cpu_time_s,
+    }
+
+
+def _kernel_snapshot(ks: KernelStats | None):
+    """Counter snapshot for span attribution (``None`` when untracked)."""
+    if ks is None:
+        return None
+    return (ks.calls, ks.rows, ks.cells, ks.compacted_columns)
+
+
+def _set_kernel_span(span, ks: KernelStats | None, before) -> None:
+    """Attribute the kernel work done since *before* to *span*."""
+    if before is None:
+        return
+    span.set(
+        calls=ks.calls - before[0],
+        rows=ks.rows - before[1],
+        cells=ks.cells - before[2],
+        compacted_columns=ks.compacted_columns - before[3],
+    )
+
+
 class _QueryContext:
     """Per-query precomputations, built lazily stage by stage."""
 
-    __slots__ = ("q", "band", "_q_env", "_reduced", "_engine", "_refine")
+    __slots__ = ("q", "band", "_q_env", "_reduced", "_engine", "_refine",
+                 "kernel_stats")
 
     def __init__(self, engine: "QueryEngine", q: np.ndarray) -> None:
         self._engine = engine
@@ -235,6 +399,10 @@ class _QueryContext:
         self._q_env: Envelope | None = None
         self._reduced: dict[str, Envelope] = {}
         self._refine = None
+        # Kernel work counters are collected only when observability is
+        # on: the kernels' per-row/per-diagonal accounting is cheap but
+        # not free, and nothing reads it otherwise.
+        self.kernel_stats = KernelStats() if engine.obs.enabled else None
 
     @property
     def q_envelope(self) -> Envelope:
@@ -249,6 +417,7 @@ class _QueryContext:
             self._refine = ldtw_refiner(
                 self.q, self.band, metric=self._engine.metric,
                 backend=self._engine.dtw_backend,
+                kernel_stats=self.kernel_stats,
             )
         return self._refine
 
@@ -302,6 +471,15 @@ class QueryEngine:
         Default thread count for :meth:`range_search_many` /
         :meth:`knn_many` (``None`` = one thread per CPU, capped by the
         batch size).
+    obs:
+        An :class:`~repro.obs.Observability` facade.  When given,
+        every query emits a span tree
+        (``query → stage:<name> → refine → kernel``), folds its
+        :class:`CascadeStats` and kernel work counters into the
+        facade's metrics registry, and participates in its slow-query
+        log.  Default ``None`` uses the shared disabled facade
+        (:data:`repro.obs.OBS_DISABLED`) whose hooks return
+        immediately.
     """
 
     def __init__(
@@ -319,7 +497,9 @@ class QueryEngine:
         dtw_backend: str | None = None,
         refine_chunk: int | None = None,
         workers: int | None = None,
+        obs: Observability | None = None,
     ) -> None:
+        self.obs = OBS_DISABLED if obs is None else obs
         if metric not in ("euclidean", "manhattan"):
             raise ValueError(
                 f"metric must be 'euclidean' or 'manhattan', got {metric!r}"
@@ -435,22 +615,30 @@ class QueryEngine:
         alive: np.ndarray,
         bounds: np.ndarray,
         radius: float,
-    ) -> tuple[np.ndarray, StageStats]:
-        """Evaluate one stage on the live set and prune against *radius*."""
-        started = time.perf_counter()
-        stage = StageStats(name=name, candidates_in=int(alive.size))
-        if alive.size:
-            raw = self._stage_bounds(name, ctx, alive)
-            bounds[alive] = np.maximum(bounds[alive], raw)
-            stage.bound_min = float(raw.min())
-            stage.bound_mean = float(raw.mean())
-            stage.bound_max = float(raw.max())
-            if math.isfinite(radius):
-                keep = bounds[alive] <= radius + _PRUNE_ATOL
-                stage.pruned = int(alive.size - np.count_nonzero(keep))
-                alive = alive[keep]
-        stage.wall_time_s = time.perf_counter() - started
-        return alive, stage
+    ):
+        """Evaluate one stage on the live set and prune against *radius*.
+
+        Returns ``(alive, stage, span)``; the span is already closed,
+        but its attributes stay writable until the trace is delivered,
+        which lets :meth:`knn` fold its seed-radius re-prune into the
+        first stage's record *and* span consistently.
+        """
+        with self.obs.span("stage:" + name) as span:
+            started = monotonic_s()
+            stage = StageStats(name=name, candidates_in=int(alive.size))
+            if alive.size:
+                raw = self._stage_bounds(name, ctx, alive)
+                bounds[alive] = np.maximum(bounds[alive], raw)
+                stage.bound_min = float(raw.min())
+                stage.bound_mean = float(raw.mean())
+                stage.bound_max = float(raw.max())
+                if math.isfinite(radius):
+                    keep = bounds[alive] <= radius + _PRUNE_ATOL
+                    stage.pruned = int(alive.size - np.count_nonzero(keep))
+                    alive = alive[keep]
+            stage.wall_time_s = monotonic_s() - started
+            span.set(**stage.to_dict())
+        return alive, stage, span
 
     # ------------------------------------------------------------------
     # queries
@@ -468,48 +656,65 @@ class QueryEngine:
         """
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
-        started = time.perf_counter()
         ctx = _QueryContext(self, self._normalise_query(query))
         m = len(self)
-        stats = CascadeStats(corpus_size=m)
-        alive = np.arange(m)
-        bounds = np.zeros(m)
-        for name in self.stages:
-            alive, stage = self._run_stage(
-                name, ctx, alive, bounds, float(epsilon)
-            )
-            stats.stages.append(stage)
+        with self.obs.span(
+            "query", kind="range", epsilon=float(epsilon),
+            backend=self.dtw_backend, band=self.band,
+        ) as qspan:
+            started = monotonic_s()
+            stats = CascadeStats(corpus_size=m)
+            alive = np.arange(m)
+            bounds = np.zeros(m)
+            for name in self.stages:
+                alive, stage, _ = self._run_stage(
+                    name, ctx, alive, bounds, float(epsilon)
+                )
+                stats.stages.append(stage)
 
-        exact_started = time.perf_counter()
-        # Best-first order: candidates most likely to be answers first,
-        # so a consumer streaming the results sees hits early.
-        alive = alive[np.argsort(bounds[alive], kind="stable")]
-        results: list[tuple[object, float]] = []
-        if alive.size >= self.batch_refine_threshold:
-            dists = ldtw_distance_batch(
-                ctx.q, self._data[alive], self.band, metric=self.metric,
-                upper_bound=epsilon, backend=self.dtw_backend,
-            )
-            stats.dtw_computations = int(alive.size)
-            stats.dtw_abandoned = int(np.count_nonzero(np.isinf(dists)))
-            for row, dist in zip(alive, dists):
-                if dist <= epsilon:
-                    results.append((self.ids[row], float(dist)))
-        else:
-            refine = ctx.refine
-            for row in alive:
-                dist = refine(self._data[row], epsilon)
-                stats.dtw_computations += 1
-                if math.isinf(dist):
-                    stats.dtw_abandoned += 1
-                    continue
-                if dist <= epsilon:
-                    results.append((self.ids[row], float(dist)))
-        results.sort(key=lambda pair: pair[1])
-        stats.results = len(results)
-        now = time.perf_counter()
-        stats.exact_time_s = now - exact_started
-        stats.total_time_s = now - started
+            exact_started = monotonic_s()
+            # Best-first order: candidates most likely to be answers
+            # first, so a consumer streaming the results sees hits early.
+            alive = alive[np.argsort(bounds[alive], kind="stable")]
+            results: list[tuple[object, float]] = []
+            with self.obs.span("refine", rows=int(alive.size)):
+                ks = ctx.kernel_stats
+                with self.obs.span(
+                    "kernel", backend=self.dtw_backend
+                ) as kspan:
+                    before = _kernel_snapshot(ks)
+                    if alive.size >= self.batch_refine_threshold:
+                        dists = ldtw_distance_batch(
+                            ctx.q, self._data[alive], self.band,
+                            metric=self.metric, upper_bound=epsilon,
+                            backend=self.dtw_backend, kernel_stats=ks,
+                        )
+                        stats.dtw_computations = int(alive.size)
+                        stats.dtw_abandoned = int(
+                            np.count_nonzero(np.isinf(dists))
+                        )
+                        for row, dist in zip(alive, dists):
+                            if dist <= epsilon:
+                                results.append((self.ids[row], float(dist)))
+                    else:
+                        refine = ctx.refine
+                        for row in alive:
+                            dist = refine(self._data[row], epsilon)
+                            stats.dtw_computations += 1
+                            if math.isinf(dist):
+                                stats.dtw_abandoned += 1
+                                continue
+                            if dist <= epsilon:
+                                results.append((self.ids[row], float(dist)))
+                    _set_kernel_span(kspan, ks, before)
+            results.sort(key=lambda pair: pair[1])
+            stats.results = len(results)
+            now = monotonic_s()
+            stats.exact_time_s = now - exact_started
+            stats.total_time_s = now - started
+            stats.cpu_time_s = stats.total_time_s
+            qspan.set(**_query_span_attrs(stats))
+        self.obs.record_cascade_query("range", stats, ctx.kernel_stats)
         return results, stats
 
     def knn(
@@ -526,101 +731,131 @@ class QueryEngine:
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        started = time.perf_counter()
         ctx = _QueryContext(self, self._normalise_query(query))
         m = len(self)
-        stats = CascadeStats(corpus_size=m)
-        alive = np.arange(m)
-        bounds = np.zeros(m)
-        best: list[tuple[float, int, object]] = []  # max-heap via negation
-        refined = np.zeros(m, dtype=bool)
-        exact_time = 0.0
+        with self.obs.span(
+            "query", kind="knn", k=int(k),
+            backend=self.dtw_backend, band=self.band,
+        ) as qspan:
+            started = monotonic_s()
+            stats = CascadeStats(corpus_size=m)
+            alive = np.arange(m)
+            bounds = np.zeros(m)
+            best: list[tuple[float, int, object]] = []  # max-heap, negated
+            refined = np.zeros(m, dtype=bool)
+            exact_time = 0.0
+            ks = ctx.kernel_stats
 
-        def radius() -> float:
-            return -best[0][0] if len(best) >= k else math.inf
+            def radius() -> float:
+                return -best[0][0] if len(best) >= k else math.inf
 
-        def push(row: int, dist: float) -> None:
-            if math.isinf(dist):
-                stats.dtw_abandoned += 1
-                return
-            entry = (-dist, row, self.ids[row])
-            if len(best) < k:
-                heapq.heappush(best, entry)
-            elif dist < -best[0][0]:
-                heapq.heapreplace(best, entry)
+            def push(row: int, dist: float) -> None:
+                if math.isinf(dist):
+                    stats.dtw_abandoned += 1
+                    return
+                entry = (-dist, row, self.ids[row])
+                if len(best) < k:
+                    heapq.heappush(best, entry)
+                elif dist < -best[0][0]:
+                    heapq.heapreplace(best, entry)
 
-        def refine_rows(rows: np.ndarray) -> None:
-            """Refine a chunk with the cutoff frozen at the call.
+            def refine_rows(rows: np.ndarray) -> None:
+                """Refine a chunk with the cutoff frozen at the call.
 
-            A stale (larger) cutoff only costs extra work, never a
-            result: any candidate belonging in the final answer has a
-            distance at most the final radius, which every earlier
-            radius dominates, so it can never be abandoned.
-            """
-            nonlocal exact_time
-            refined[rows] = True
-            cutoff = radius()
-            refine_started = time.perf_counter()
-            if rows.size == 1 or self.refine_chunk == 1:
-                for row in rows:
-                    row = int(row)
-                    dist = ctx.refine(
-                        self._data[row],
-                        None if math.isinf(cutoff) else cutoff,
-                    )
-                    stats.dtw_computations += 1
-                    push(row, dist)
-                    cutoff = radius()
-            else:
-                dists = ldtw_distance_batch(
-                    ctx.q, self._data[rows], self.band, metric=self.metric,
-                    upper_bound=None if math.isinf(cutoff) else cutoff,
-                    backend=self.dtw_backend,
+                A stale (larger) cutoff only costs extra work, never a
+                result: any candidate belonging in the final answer has
+                a distance at most the final radius, which every
+                earlier radius dominates, so it can never be abandoned.
+                """
+                nonlocal exact_time
+                refined[rows] = True
+                cutoff = radius()
+                with self.obs.span("refine", rows=int(rows.size)):
+                    refine_started = monotonic_s()
+                    with self.obs.span(
+                        "kernel", backend=self.dtw_backend
+                    ) as kspan:
+                        before = _kernel_snapshot(ks)
+                        if rows.size == 1 or self.refine_chunk == 1:
+                            for row in rows:
+                                row = int(row)
+                                dist = ctx.refine(
+                                    self._data[row],
+                                    None if math.isinf(cutoff) else cutoff,
+                                )
+                                stats.dtw_computations += 1
+                                push(row, dist)
+                                cutoff = radius()
+                        else:
+                            dists = ldtw_distance_batch(
+                                ctx.q, self._data[rows], self.band,
+                                metric=self.metric,
+                                upper_bound=(
+                                    None if math.isinf(cutoff) else cutoff
+                                ),
+                                backend=self.dtw_backend, kernel_stats=ks,
+                            )
+                            stats.dtw_computations += int(rows.size)
+                            for row, dist in zip(rows, dists):
+                                push(int(row), float(dist))
+                        _set_kernel_span(kspan, ks, before)
+                    exact_time += monotonic_s() - refine_started
+
+            for position, name in enumerate(self.stages):
+                alive, stage, sspan = self._run_stage(
+                    name, ctx, alive, bounds, radius()
                 )
-                stats.dtw_computations += int(rows.size)
-                for row, dist in zip(rows, dists):
-                    push(int(row), float(dist))
-            exact_time += time.perf_counter() - refine_started
+                stats.stages.append(stage)
+                if position == 0 and alive.size:
+                    # Seed the answer radius from the k most promising
+                    # candidates so later (pricier) stages can prune.
+                    seeds = alive[np.argsort(bounds[alive], kind="stable")][:k]
+                    refine_rows(seeds)
+                    if math.isfinite(radius()):
+                        keep = bounds[alive] <= radius() + _PRUNE_ATOL
+                        stage.pruned += int(
+                            alive.size - np.count_nonzero(keep)
+                        )
+                        alive = alive[keep]
+                        # Keep the closed stage span a faithful
+                        # projection of the (just amended) stage stats.
+                        sspan.set(
+                            pruned=stage.pruned,
+                            survivors=stage.survivors,
+                            prune_rate=stage.prune_rate,
+                        )
 
-        for position, name in enumerate(self.stages):
-            alive, stage = self._run_stage(name, ctx, alive, bounds, radius())
-            stats.stages.append(stage)
-            if position == 0 and alive.size:
-                # Seed the answer radius from the k most promising
-                # candidates so later (pricier) stages can prune.
-                seeds = alive[np.argsort(bounds[alive], kind="stable")][:k]
-                refine_rows(seeds)
-                if math.isfinite(radius()):
-                    keep = bounds[alive] <= radius() + _PRUNE_ATOL
-                    stage.pruned += int(alive.size - np.count_nonzero(keep))
-                    alive = alive[keep]
-
-        order = alive[np.argsort(bounds[alive], kind="stable")]
-        pending = order[~refined[order]]
-        position = 0
-        while position < pending.size:
-            if (len(best) >= k
-                    and bounds[pending[position]] >= radius() + _PRUNE_ATOL):
-                stats.exact_skipped += int(pending.size - position)
-                break
-            # Grow the chunk only over candidates that still beat the
-            # radius as of now; the rest are re-checked next round
-            # against the (possibly smaller) radius.
-            end = position + 1
-            while (end < pending.size
-                   and end - position < self.refine_chunk
-                   and (len(best) < k
-                        or bounds[pending[end]] < radius() + _PRUNE_ATOL)):
-                end += 1
-            refine_rows(pending[position:end])
-            position = end
-        results = sorted(
-            ((item, -negd) for negd, _, item in best), key=lambda p: p[1]
-        )
-        stats.results = len(results)
-        now = time.perf_counter()
-        stats.exact_time_s = exact_time
-        stats.total_time_s = now - started
+            order = alive[np.argsort(bounds[alive], kind="stable")]
+            pending = order[~refined[order]]
+            position = 0
+            while position < pending.size:
+                if (len(best) >= k
+                        and bounds[pending[position]]
+                        >= radius() + _PRUNE_ATOL):
+                    stats.exact_skipped += int(pending.size - position)
+                    break
+                # Grow the chunk only over candidates that still beat
+                # the radius as of now; the rest are re-checked next
+                # round against the (possibly smaller) radius.
+                end = position + 1
+                while (end < pending.size
+                       and end - position < self.refine_chunk
+                       and (len(best) < k
+                            or bounds[pending[end]]
+                            < radius() + _PRUNE_ATOL)):
+                    end += 1
+                refine_rows(pending[position:end])
+                position = end
+            results = sorted(
+                ((item, -negd) for negd, _, item in best), key=lambda p: p[1]
+            )
+            stats.results = len(results)
+            now = monotonic_s()
+            stats.exact_time_s = exact_time
+            stats.total_time_s = now - started
+            stats.cpu_time_s = stats.total_time_s
+            qspan.set(**_query_span_attrs(stats))
+        self.obs.record_cascade_query("knn", stats, ctx.kernel_stats)
         return results, stats
 
     # ------------------------------------------------------------------
@@ -641,7 +876,7 @@ class QueryEngine:
         if not queries:
             raise ValueError("queries must not be empty")
         pool_size = self._resolve_workers(workers, len(queries))
-        started = time.perf_counter()
+        started = monotonic_s()
         if pool_size == 1:
             outcomes = [one_query(query) for query in queries]
         else:
@@ -654,9 +889,10 @@ class QueryEngine:
         merged = outcomes[0][1]
         for _, stats in outcomes[1:]:
             merged = merged + stats
-        # Per-query wall times overlap under the pool; report the
-        # batch's true elapsed time instead of their sum.
-        merged.total_time_s = time.perf_counter() - started
+        # Per-query wall times overlap under the pool: total_time_s
+        # reports the batch's true elapsed time, while the summed
+        # per-query time survives as cpu_time_s (see CascadeStats).
+        merged.total_time_s = monotonic_s() - started
         return all_results, merged
 
     def range_search_many(

@@ -30,6 +30,8 @@ from ..core.envelope_transforms import EnvelopeTransform, NewPAAEnvelopeTransfor
 from ..core.normal_form import NormalForm
 from ..dtw.distance import ldtw_distance, ldtw_distance_batch, ldtw_refiner
 from ..dtw.kernels import DEFAULT_BACKEND, get_kernel
+from ..obs import OBS_DISABLED, Observability
+from ..obs.clock import monotonic_s
 from .cluster import ClusterIndex
 from .gridfile import GridFile
 from .linear_scan import LinearScan
@@ -75,6 +77,11 @@ class WarpingIndex:
         ``"scalar"``.  A pure serving knob — results are identical —
         and reassignable after construction (``index.dtw_backend =
         "scalar"``).
+    obs:
+        An :class:`~repro.obs.Observability` facade.  Attaches to the
+        R*-tree/grid query paths (``index.*`` metrics, ``query`` spans)
+        and propagates to every cached cascade engine (see
+        :meth:`set_observability`).  Default ``None`` = disabled.
     """
 
     def __init__(
@@ -90,7 +97,9 @@ class WarpingIndex:
         ids: Sequence | None = None,
         metric: str = "euclidean",
         dtw_backend: str | None = None,
+        obs: Observability | None = None,
     ) -> None:
+        self.obs = OBS_DISABLED if obs is None else obs
         if index_kind not in _INDEX_KINDS:
             raise ValueError(
                 f"index_kind must be one of {_INDEX_KINDS}, got {index_kind!r}"
@@ -249,6 +258,7 @@ class WarpingIndex:
         """
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        started = monotonic_s()
         q, rect_lower, rect_upper, q_envelope = self._query_rectangle(query)
         self._index.reset_stats()
         candidates = self._index.range_search(
@@ -288,6 +298,7 @@ class WarpingIndex:
                 ]
         results.sort(key=lambda pair: pair[1])
         stats.results = len(results)
+        self.obs.record_index_query("range", stats, monotonic_s() - started)
         return results, stats
 
     def knn_query(
@@ -302,6 +313,7 @@ class WarpingIndex:
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        started = monotonic_s()
         q, rect_lower, rect_upper, q_envelope = self._query_rectangle(query)
         self._index.reset_stats()
         stats = QueryStats()
@@ -339,7 +351,19 @@ class WarpingIndex:
         stats.page_accesses = self._index.page_accesses
         results = sorted(((item, -negd) for negd, item in best), key=lambda p: p[1])
         stats.results = len(results)
+        self.obs.record_index_query("knn", stats, monotonic_s() - started)
         return [(item, dist) for item, dist in results], stats
+
+    def set_observability(self, obs: Observability | None) -> None:
+        """Attach (or detach, with ``None``) an observability facade.
+
+        Takes effect immediately for the index query paths *and* every
+        already-cached cascade engine, so a facade can be attached to a
+        long-lived index without rebuilding anything.
+        """
+        self.obs = OBS_DISABLED if obs is None else obs
+        for engine in self._engines.values():
+            engine.obs = self.obs
 
     def engine(self, *, stages=None, dtw_backend=None):
         """The batched filter-cascade engine over this index's corpus.
@@ -364,6 +388,7 @@ class WarpingIndex:
                 ids=list(self.ids),
                 metric=self.metric,
                 dtw_backend=backend,
+                obs=self.obs,
             )
         return self._engines[key]
 

@@ -28,6 +28,8 @@ from ..core.envelope_transforms import EnvelopeTransform, NewPAAEnvelopeTransfor
 from ..core.normal_form import NormalForm
 from ..dtw.distance import ldtw_distance, ldtw_distance_batch, ldtw_refiner
 from ..dtw.kernels import DEFAULT_BACKEND, get_kernel
+from ..obs import OBS_DISABLED, Observability
+from ..obs.clock import monotonic_s
 from .gridfile import GridFile
 from .linear_scan import LinearScan
 from .rstartree import RStarTree
@@ -80,6 +82,10 @@ class SubsequenceIndex:
     dtw_backend:
         DTW kernel backend used for exact refinement (``"vectorized"``
         default / ``"scalar"`` reference; results are identical).
+    obs:
+        An :class:`~repro.obs.Observability` facade for the window
+        query paths (``index.*`` metrics).  Default ``None`` =
+        disabled.
     """
 
     def __init__(
@@ -96,7 +102,9 @@ class SubsequenceIndex:
         capacity: int = 50,
         ids: Sequence | None = None,
         dtw_backend: str | None = None,
+        obs: Observability | None = None,
     ) -> None:
+        self.obs = OBS_DISABLED if obs is None else obs
         if not len(sequences):
             raise ValueError("sequence database must not be empty")
         backend = DEFAULT_BACKEND if dtw_backend is None else dtw_backend
@@ -202,6 +210,7 @@ class SubsequenceIndex:
         """
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        started = monotonic_s()
         q, rect_lower, rect_upper = self._query_rectangle(query)
         self._index.reset_stats()
         candidates = self._index.range_search(rect_lower, rect_upper, epsilon)
@@ -225,6 +234,9 @@ class SubsequenceIndex:
         else:
             matches.sort(key=lambda m: m.distance)
         stats.results = len(matches)
+        self.obs.record_index_query(
+            "subsequence_range", stats, monotonic_s() - started
+        )
         return matches, stats
 
     def knn_query(
@@ -237,6 +249,7 @@ class SubsequenceIndex:
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        started = monotonic_s()
         q, rect_lower, rect_upper = self._query_rectangle(query)
         refine = ldtw_refiner(q, self.band, backend=self.dtw_backend)
         self._index.reset_stats()
@@ -275,6 +288,9 @@ class SubsequenceIndex:
         ranked = sorted(per_key.values())[:k]
         matches = [self._match(row, dist) for dist, row in ranked]
         stats.results = len(matches)
+        self.obs.record_index_query(
+            "subsequence_knn", stats, monotonic_s() - started
+        )
         return matches, stats
 
     def ground_truth_range(

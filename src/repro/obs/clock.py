@@ -1,0 +1,28 @@
+"""The observability clock — the query path's single timing source.
+
+Every duration the engine, kernels, or exporters measure comes through
+this module, for two reasons:
+
+* **Auditability.**  A grep for ``time.perf_counter`` in
+  ``src/repro/engine/`` must come back empty (``tools/lint_timers.py``
+  enforces it in CI); all timing intent is visible here instead.
+* **Substitutability.**  Tests freeze or script the clock by swapping
+  one function, without monkeypatching ``time`` globally.
+
+``monotonic_s()`` is the *span* clock: monotonic, unaffected by wall
+clock adjustments, suitable only for durations.  ``wall_s()`` is the
+*timestamp* clock: Unix epoch seconds, used when exported records need
+an absolute time (slow-query log lines, metrics snapshots).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic_s", "wall_s"]
+
+#: Monotonic seconds for measuring durations (``time.perf_counter``).
+monotonic_s = time.perf_counter
+
+#: Wall-clock Unix seconds for timestamping exported records.
+wall_s = time.time

@@ -1,0 +1,266 @@
+"""The :class:`Observability` facade — what instrumented code holds.
+
+One object bundles the three concerns of the obs layer:
+
+* a tracer (:mod:`repro.obs.tracing`) producing nested spans,
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters / gauges /
+  histograms, and
+* a slow-query log: per-query records (and, when tracing, full trace
+  capture) gated by a latency threshold.
+
+Instrumented code never branches on "is observability on?" — it calls
+the facade unconditionally (``with obs.span(...)``,
+``obs.record_cascade_query(...)``) and the *disabled* facade
+(:data:`OBS_DISABLED`, the default everywhere) turns every call into
+an immediate return.  That keeps hot paths free of dead branches and
+makes the disabled cost a couple of attribute lookups per query.
+
+Construction::
+
+    obs = Observability()                          # in-memory only
+    obs = Observability.to_files(
+        trace_out="trace.jsonl",                   # span export
+        metrics_out="metrics.json",                # snapshot on close()
+        slow_query_ms=50,                          # gate trace capture
+    )
+
+The CLI flags ``--trace-out`` / ``--metrics-out`` / ``--slow-query-ms``
+build exactly the second form.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .clock import wall_s
+from .metrics import MetricsRegistry
+from .tracing import (
+    NOOP_TRACER,
+    InMemorySink,
+    JsonlSpanExporter,
+    Tracer,
+    slow_trace_filter,
+)
+
+__all__ = ["Observability", "OBS_DISABLED"]
+
+#: Histogram edges for per-query pruning ratios (fraction in [0, 1]).
+_RATIO_EDGES = (0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0)
+
+#: How many slow-query records the in-memory ring keeps.
+_SLOW_LOG_CAPACITY = 1024
+
+
+class Observability:
+    """Tracer + metrics registry + slow-query log, as one handle.
+
+    Parameters
+    ----------
+    tracer:
+        A :class:`~repro.obs.tracing.Tracer` (or the no-op tracer).
+        ``None`` builds a tracer over *trace_sink* when one is given,
+        else the no-op tracer.
+    trace_sink:
+        Where finished traces go (a callable taking a span list).
+    metrics:
+        An existing registry to record into (``None`` creates one).
+    slow_query_s:
+        Latency threshold in seconds: queries at least this slow are
+        appended to :attr:`slow_queries` (and reported to *on_slow*),
+        and trace capture — when *gate_traces* — is restricted to them.
+    on_slow:
+        Optional callback invoked with each slow-query record dict.
+    gate_traces:
+        With a *slow_query_s* threshold, export only slow traces
+        instead of every trace.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        tracer: Tracer | None = None,
+        trace_sink=None,
+        metrics: MetricsRegistry | None = None,
+        slow_query_s: float | None = None,
+        on_slow=None,
+        gate_traces: bool = False,
+    ) -> None:
+        if tracer is None:
+            if trace_sink is not None:
+                if gate_traces and slow_query_s is not None:
+                    trace_sink = slow_trace_filter(slow_query_s, trace_sink)
+                tracer = Tracer(sink=trace_sink)
+            else:
+                tracer = NOOP_TRACER
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.slow_query_s = slow_query_s
+        self.on_slow = on_slow
+        self.slow_queries: deque = deque(maxlen=_SLOW_LOG_CAPACITY)
+        self._closers: list = []
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def to_files(
+        cls,
+        *,
+        trace_out=None,
+        metrics_out=None,
+        slow_query_ms: float | None = None,
+        on_slow=None,
+    ) -> "Observability":
+        """File-backed observability, the CLI's configuration.
+
+        *trace_out* receives every finished trace as JSONL spans (only
+        slow ones when *slow_query_ms* is also given); *metrics_out*
+        receives one registry snapshot when :meth:`close` runs.
+        """
+        sink = None
+        closers = []
+        if trace_out is not None:
+            exporter = JsonlSpanExporter(trace_out)
+            closers.append(exporter.close)
+            sink = exporter
+        obs = cls(
+            trace_sink=sink,
+            slow_query_s=None if slow_query_ms is None else slow_query_ms / 1e3,
+            on_slow=on_slow,
+            gate_traces=slow_query_ms is not None,
+        )
+        obs._metrics_out = metrics_out
+        obs._closers = closers
+        return obs
+
+    @classmethod
+    def in_memory(cls, **kwargs) -> tuple["Observability", InMemorySink]:
+        """Observability capturing traces in memory (tests, benchmarks)."""
+        sink = InMemorySink()
+        return cls(trace_sink=sink, **kwargs), sink
+
+    def close(self) -> None:
+        """Flush exporters; write the metrics snapshot if configured."""
+        metrics_out = getattr(self, "_metrics_out", None)
+        if metrics_out is not None:
+            self.metrics.write_json(metrics_out)
+        for closer in self._closers:
+            closer()
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Open a span on the facade's tracer (no-op when disabled)."""
+        return self.tracer.span(name, **attrs)
+
+    # ------------------------------------------------------------------
+    # recording hooks (called unconditionally by instrumented code)
+    # ------------------------------------------------------------------
+
+    def record_cascade_query(self, kind: str, stats,
+                             kernel_stats=None) -> None:
+        """Fold one finished engine query into metrics + slow-query log.
+
+        *stats* is the query's :class:`~repro.engine.CascadeStats`;
+        *kernel_stats* the per-query
+        :class:`~repro.dtw.kernels.KernelStats`, when the caller
+        collected one.  Metric names recorded here are the contract
+        documented in ``docs/ARCHITECTURE.md`` ("Observability").
+        """
+        m = self.metrics
+        m.counter("engine.queries_total", kind=kind).inc()
+        m.histogram("engine.query_seconds", kind=kind).observe(
+            stats.total_time_s
+        )
+        m.counter("engine.candidates_total").inc(stats.corpus_size)
+        m.counter("engine.candidates_refined_total").inc(
+            stats.dtw_computations
+        )
+        m.counter("engine.dtw_abandoned_total").inc(stats.dtw_abandoned)
+        m.counter("engine.exact_skipped_total").inc(stats.exact_skipped)
+        m.counter("engine.results_total").inc(stats.results)
+        if stats.corpus_size:
+            m.histogram("engine.pruning_ratio", edges=_RATIO_EDGES).observe(
+                stats.pruned_total / stats.corpus_size
+            )
+        for stage in stats.stages:
+            m.counter("engine.stage.candidates_in_total",
+                      stage=stage.name).inc(stage.candidates_in)
+            m.counter("engine.stage.pruned_total",
+                      stage=stage.name).inc(stage.pruned)
+            m.counter("engine.stage.seconds_total",
+                      stage=stage.name).inc(stage.wall_time_s)
+        if kernel_stats is not None:
+            self.record_kernel(kernel_stats)
+        self._check_slow(kind, stats)
+
+    def record_kernel(self, kernel_stats) -> None:
+        """Fold one :class:`~repro.dtw.kernels.KernelStats` into metrics."""
+        m = self.metrics
+        m.counter("dtw.kernel_calls_total").inc(kernel_stats.calls)
+        m.counter("dtw.cells_total").inc(kernel_stats.cells)
+        m.counter("dtw.columns_compacted_total").inc(
+            kernel_stats.compacted_columns
+        )
+
+    def record_index_query(self, kind: str, stats,
+                           duration_s: float) -> None:
+        """Fold one index-path query (:class:`QueryStats`) into metrics."""
+        m = self.metrics
+        m.counter("index.queries_total", kind=kind).inc()
+        m.histogram("index.query_seconds", kind=kind).observe(duration_s)
+        m.counter("index.candidates_total").inc(stats.candidates)
+        m.counter("index.page_accesses_total").inc(stats.page_accesses)
+        m.counter("index.dtw_computations_total").inc(stats.dtw_computations)
+        m.counter("index.results_total").inc(stats.results)
+
+    def _check_slow(self, kind: str, stats) -> None:
+        if (self.slow_query_s is None
+                or stats.total_time_s < self.slow_query_s):
+            return
+        record = {
+            "timestamp_s": wall_s(),
+            "kind": kind,
+            "duration_ms": stats.total_time_s * 1e3,
+            "corpus_size": stats.corpus_size,
+            "refined": stats.dtw_computations,
+            "results": stats.results,
+            "pruned": stats.pruned_total,
+        }
+        self.slow_queries.append(record)
+        if self.on_slow is not None:
+            self.on_slow(record)
+
+
+class _DisabledObservability(Observability):
+    """Observability off: every hook is an immediate return.
+
+    One shared instance (:data:`OBS_DISABLED`) is the default ``obs``
+    of every engine, index, and system object.  ``span`` hands back
+    the no-op tracer's shared null context manager; the record hooks
+    are overridden to do nothing, so the hot path's cost is one
+    method call per hook site.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(tracer=NOOP_TRACER)
+
+    def record_cascade_query(self, kind, stats, kernel_stats=None) -> None:
+        """Do nothing (observability is disabled)."""
+
+    def record_kernel(self, kernel_stats) -> None:
+        """Do nothing (observability is disabled)."""
+
+    def record_index_query(self, kind, stats, duration_s) -> None:
+        """Do nothing (observability is disabled)."""
+
+
+#: The shared disabled facade — the default everywhere.
+OBS_DISABLED = _DisabledObservability()

@@ -55,6 +55,11 @@ class QueryByHummingSystem:
         DTW kernel backend for exact refinement (``"vectorized"``
         default, ``"scalar"`` reference) — a serving knob, results
         are identical.
+    obs:
+        An :class:`~repro.obs.Observability` facade, passed through to
+        the underlying :class:`~repro.index.gemini.WarpingIndex` (and
+        from there to the cascade engines), so a hummed query traces
+        and meters end to end.  Default ``None`` = disabled.
     """
 
     def __init__(
@@ -69,6 +74,7 @@ class QueryByHummingSystem:
         env_transform=None,
         capacity: int = 50,
         dtw_backend: str | None = None,
+        obs=None,
     ) -> None:
         if not melodies:
             raise ValueError("melody database must not be empty")
@@ -87,10 +93,25 @@ class QueryByHummingSystem:
             index_kind=index_kind,
             capacity=capacity,
             dtw_backend=dtw_backend,
+            obs=obs,
         )
 
     def __len__(self) -> int:
         return len(self.melodies)
+
+    @property
+    def obs(self):
+        """The attached observability facade (the index's)."""
+        return self.index.obs
+
+    def set_observability(self, obs) -> None:
+        """Attach (or detach, with ``None``) an observability facade.
+
+        Delegates to
+        :meth:`repro.index.gemini.WarpingIndex.set_observability`, so
+        cached cascade engines pick the facade up immediately.
+        """
+        self.index.set_observability(obs)
 
     @property
     def delta(self) -> float:

@@ -1,0 +1,119 @@
+"""Exactness of sharded metrics under the engine's thread pool.
+
+The acceptance bar for the metrics registry: totals must be *exact* —
+not approximately right — when queries are served by
+``range_search_many``/``knn_many`` with many workers, and when raw
+threads hammer a single counter.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import random_walks
+from repro.engine import QueryEngine
+from repro.obs import MetricsRegistry, Observability
+
+WORKERS = 8
+
+
+def test_counter_exact_under_thread_hammer():
+    registry = MetricsRegistry()
+    counter = registry.counter("hammer_total")
+    hist = registry.histogram("hammer_values", edges=(250.0, 500.0))
+    n_threads, per_thread = 8, 5_000
+    barrier = threading.Barrier(n_threads)
+
+    def hammer():
+        barrier.wait()
+        for i in range(per_thread):
+            counter.inc()
+            hist.observe(i % 1000)
+
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        list(pool.map(lambda _: hammer(), range(n_threads)))
+
+    assert counter.value == n_threads * per_thread
+    merged = hist.merged()
+    assert merged["count"] == n_threads * per_thread
+    by_le = {bucket["le"]: bucket["count"] for bucket in merged["buckets"]}
+    # 0..999 per cycle: 251 values <= 250, 501 values <= 500.
+    cycles = n_threads * per_thread // 1000
+    assert by_le[250.0] == 251 * cycles
+    assert by_le[500.0] == 501 * cycles
+    assert by_le["+Inf"] == merged["count"]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return random_walks(300, 64, seed=5)
+
+
+@pytest.fixture(scope="module")
+def queries(corpus):
+    rng = np.random.default_rng(6)
+    return [corpus[i] + 0.3 * rng.normal(size=64) for i in range(24)]
+
+
+def test_metrics_exact_across_knn_many_workers(corpus, queries):
+    obs = Observability()
+    engine = QueryEngine(corpus, band=4, obs=obs, workers=WORKERS)
+    results, merged = engine.knn_many(queries, 5)
+    assert len(results) == len(queries)
+
+    m = obs.metrics
+    assert m.counter("engine.queries_total", kind="knn").value == len(queries)
+    assert m.counter("engine.candidates_total").value == merged.corpus_size
+    assert (m.counter("engine.candidates_refined_total").value
+            == merged.dtw_computations)
+    assert (m.counter("engine.dtw_abandoned_total").value
+            == merged.dtw_abandoned)
+    assert (m.counter("engine.exact_skipped_total").value
+            == merged.exact_skipped)
+    assert m.counter("engine.results_total").value == merged.results
+    for stage in merged.stages:
+        assert (m.counter("engine.stage.candidates_in_total",
+                          stage=stage.name).value == stage.candidates_in)
+        assert (m.counter("engine.stage.pruned_total",
+                          stage=stage.name).value == stage.pruned)
+    assert (m.histogram("engine.query_seconds", kind="knn").count
+            == len(queries))
+    # Kernel accounting flows through the same shards.
+    assert m.counter("dtw.kernel_calls_total").value > 0
+    assert m.counter("dtw.cells_total").value > 0
+
+
+def test_metrics_exact_across_range_many_workers(corpus, queries):
+    obs = Observability()
+    engine = QueryEngine(corpus, band=4, obs=obs)
+    results, merged = engine.range_search_many(queries, 4.0, workers=WORKERS)
+    assert len(results) == len(queries)
+
+    m = obs.metrics
+    assert (m.counter("engine.queries_total", kind="range").value
+            == len(queries))
+    assert m.counter("engine.candidates_total").value == merged.corpus_size
+    assert (m.counter("engine.candidates_refined_total").value
+            == merged.dtw_computations)
+    assert m.counter("engine.results_total").value == merged.results
+
+
+def test_parallel_results_identical_and_cpu_vs_wall_time(corpus, queries):
+    obs = Observability()
+    instrumented = QueryEngine(corpus, band=4, obs=obs)
+    plain = QueryEngine(corpus, band=4)
+
+    par_results, par_stats = instrumented.knn_many(queries, 5, workers=WORKERS)
+    seq_results = [plain.knn(query, 5)[0] for query in queries]
+    assert par_results == seq_results
+
+    # cpu_time_s sums per-query elapsed times; total_time_s is the
+    # batch wall clock — under a pool the sum covers overlapped work,
+    # and both always cover the summed stage/exact phases.
+    assert par_stats.cpu_time_s > 0
+    assert par_stats.total_time_s > 0
+    phase_s = (sum(stage.wall_time_s for stage in par_stats.stages)
+               + par_stats.exact_time_s)
+    assert par_stats.cpu_time_s >= phase_s * 0.5

@@ -1,0 +1,85 @@
+"""Metrics registry: counters, gauges, histograms, labels, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_basics_and_identity():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests_total", kind="knn")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    # Same (name, labels) -> the same metric object; different labels
+    # -> a distinct one.
+    assert registry.counter("requests_total", kind="knn") is counter
+    other = registry.counter("requests_total", kind="range")
+    assert other is not counter
+    assert other.value == 0
+    assert counter.full_name == "requests_total{kind=knn}"
+
+
+def test_gauge_set_and_read():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("pool_size")
+    assert gauge.value == 0.0
+    gauge.set(8)
+    assert gauge.value == 8.0
+    assert gauge.full_name == "pool_size"
+
+
+def test_histogram_bucket_semantics():
+    registry = MetricsRegistry()
+    hist = registry.histogram("latency", edges=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.0, 1.5, 4.0, 9.0):
+        hist.observe(value)
+    merged = hist.merged()
+    assert merged["count"] == 5
+    assert merged["sum"] == pytest.approx(16.0)
+    assert merged["min"] == 0.5
+    assert merged["max"] == 9.0
+    # Cumulative le-buckets: a value equal to an edge belongs to that
+    # edge's bucket, and the +Inf bucket equals count.
+    by_le = {bucket["le"]: bucket["count"] for bucket in merged["buckets"]}
+    assert by_le == {1.0: 2, 2.0: 3, 4.0: 4, "+Inf": 5}
+    assert hist.count == 5
+
+
+def test_histogram_rejects_bad_edges():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="strictly increasing"):
+        registry.histogram("bad", edges=(1.0, 1.0, 2.0))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        registry.histogram("empty", edges=())
+
+
+def test_snapshot_structure_and_write_json(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("a_total").inc(3)
+    registry.counter("b_total", stage="lb_keogh").inc(7)
+    registry.gauge("level").set(2.5)
+    registry.histogram("lat", edges=(0.1, 1.0)).observe(0.05)
+
+    snap = registry.snapshot()
+    assert set(snap) == {"timestamp_s", "counters", "gauges", "histograms"}
+    assert snap["counters"]["a_total"] == 3
+    assert snap["counters"]["b_total{stage=lb_keogh}"] == 7
+    assert snap["gauges"]["level"] == 2.5
+    assert snap["histograms"]["lat"]["count"] == 1
+
+    path = tmp_path / "metrics.json"
+    written = registry.write_json(path)
+    loaded = json.loads(path.read_text())
+    assert loaded["counters"] == written["counters"] == snap["counters"]
+    assert loaded["histograms"]["lat"]["buckets"][-1]["le"] == "+Inf"
+
+
+def test_empty_histogram_merges_cleanly():
+    registry = MetricsRegistry()
+    merged = registry.histogram("never", edges=(1.0,)).merged()
+    assert merged["count"] == 0
+    assert merged["min"] is None and merged["max"] is None
+    assert all(bucket["count"] == 0 for bucket in merged["buckets"])

@@ -1,0 +1,135 @@
+"""Tracer behaviour: nesting, delivery, export, and the no-op path."""
+
+import json
+import threading
+
+from repro.obs import (
+    NOOP_TRACER,
+    InMemorySink,
+    JsonlSpanExporter,
+    Tracer,
+    slow_trace_filter,
+)
+
+
+def test_spans_nest_and_parent_implicitly():
+    sink = InMemorySink()
+    tracer = Tracer(sink=sink)
+    with tracer.span("root", kind="test") as root:
+        with tracer.span("child") as child:
+            with tracer.span("grandchild") as grand:
+                assert tracer.current_span() is grand
+            assert tracer.current_span() is child
+        with tracer.span("sibling") as sib:
+            pass
+    assert tracer.current_span() is None
+
+    assert child.parent_id == root.span_id
+    assert grand.parent_id == child.span_id
+    assert sib.parent_id == root.span_id
+    assert root.parent_id is None
+    assert {s.trace_id for s in (root, child, grand, sib)} == {root.trace_id}
+    assert root.attrs == {"kind": "test"}
+
+
+def test_trace_delivered_once_root_closes_root_last():
+    sink = InMemorySink()
+    tracer = Tracer(sink=sink)
+    with tracer.span("root"):
+        with tracer.span("child"):
+            pass
+        assert sink.traces == []  # nothing until the root closes
+    assert len(sink.traces) == 1
+    names = [s.name for s in sink.traces[0]]
+    assert names == ["child", "root"]
+
+
+def test_sequential_traces_get_distinct_ids():
+    sink = InMemorySink()
+    tracer = Tracer(sink=sink)
+    for _ in range(2):
+        with tracer.span("root"):
+            pass
+    assert len(sink.traces) == 2
+    first, second = (trace[0] for trace in sink.traces)
+    assert first.trace_id != second.trace_id
+    assert len({s.span_id for s in sink.spans}) == 2
+
+
+def test_threads_produce_independent_traces():
+    sink = InMemorySink()
+    tracer = Tracer(sink=sink)
+
+    def work(tag):
+        with tracer.span("root", tag=tag):
+            with tracer.span("child"):
+                pass
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(sink.traces) == 4
+    for trace in sink.traces:
+        root = trace[-1]
+        assert root.parent_id is None
+        assert all(s.trace_id == root.trace_id for s in trace)
+    assert len({trace[-1].trace_id for trace in sink.traces}) == 4
+
+
+def test_span_durations_and_late_attrs():
+    sink = InMemorySink()
+    tracer = Tracer(sink=sink)
+    with tracer.span("root") as root:
+        with tracer.span("child") as child:
+            pass
+        child.set(late=1)  # still writable until the trace is delivered
+    assert child.end_s is not None
+    assert 0.0 <= child.duration_s <= root.duration_s
+    assert sink.traces[0][0].attrs == {"late": 1}
+
+
+def test_jsonl_exporter_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    exporter = JsonlSpanExporter(path)
+    tracer = Tracer(sink=exporter)
+    with tracer.span("root", kind="t"):
+        with tracer.span("child", n=3):
+            pass
+    exporter.close()
+    exporter.close()  # idempotent
+
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [rec["name"] for rec in lines] == ["child", "root"]
+    for rec in lines:
+        assert set(rec) == {"name", "trace_id", "span_id", "parent_id",
+                            "start_s", "duration_s", "attrs"}
+        assert rec["duration_s"] >= 0
+    assert lines[0]["parent_id"] == lines[1]["span_id"]
+    assert lines[0]["attrs"] == {"n": 3}
+
+
+def test_slow_trace_filter_gates_on_root_duration():
+    received = InMemorySink()
+    filtered = slow_trace_filter(0.05, received)
+    tracer = Tracer(sink=filtered)
+    with tracer.span("root") as root:
+        pass
+    # Fast root: dropped.
+    assert received.traces == []
+    # Forge a slow root through the same filter.
+    root.start_s -= 1.0
+    filtered([root])
+    assert len(received.traces) == 1
+
+
+def test_noop_tracer_is_inert_and_allocation_free():
+    handle_a = NOOP_TRACER.span("a", big=list(range(3)))
+    handle_b = NOOP_TRACER.span("b")
+    assert handle_a is handle_b  # one shared handle
+    with handle_a as span:
+        span.set(anything=1)
+        assert span.attrs == {}
+    assert NOOP_TRACER.current_span() is None
+    assert NOOP_TRACER.enabled is False

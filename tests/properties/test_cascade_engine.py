@@ -344,3 +344,44 @@ def test_stage_kernel_validation():
         lb_envelope_batch(np.zeros((3, 8)), env)       # length mismatch
     with pytest.raises(ValueError):
         lb_first_last_batch(q, np.zeros(16))           # not a matrix
+
+
+@pytest.mark.parametrize("kind", ["knn", "range"])
+def test_trace_is_lossless_stats_projection(corpus, query, kind):
+    """A traced query's span tree rebuilds the exact CascadeStats.
+
+    Observability is a projection, not a second bookkeeping system:
+    every span attribute is set verbatim from the stats fields, so
+    ``CascadeStats.from_trace`` must round-trip — for the live span
+    objects and their exported-dict form alike.
+    """
+    from repro.engine import CascadeStats
+    from repro.obs import Observability
+
+    obs, sink = Observability.in_memory()
+    engine = QueryEngine(corpus, band=BAND, obs=obs)
+    if kind == "knn":
+        _, stats = engine.knn(query, 4)
+    else:
+        _, stats = engine.range_search(query, 6.0)
+    (trace,) = sink.traces
+    assert CascadeStats.from_trace(trace) == stats
+    assert CascadeStats.from_trace([s.to_dict() for s in trace]) == stats
+
+    # The trace is one tree: a single root, every parent resolvable.
+    ids = {span.span_id for span in trace}
+    roots = [span for span in trace if span.parent_id is None]
+    assert len(roots) == 1 and roots[0].name == "query"
+    assert all(span.parent_id in ids for span in trace
+               if span.parent_id is not None)
+
+
+def test_traced_and_plain_engines_answer_identically(corpus, query):
+    """Attaching observability never changes an answer."""
+    from repro.obs import Observability
+
+    plain = QueryEngine(corpus, band=BAND)
+    traced = QueryEngine(corpus, band=BAND, obs=Observability())
+    assert plain.knn(query, 5)[0] == traced.knn(query, 5)[0]
+    assert (plain.range_search(query, 6.0)[0]
+            == traced.range_search(query, 6.0)[0])

@@ -181,3 +181,99 @@ class TestLifecycle:
         assert main(["hum", "--corpus", corpus_dir, "--melody", "0",
                      "--profile", "poor", "--out", hum_file]) == 0
         assert np.load(hum_file).size > 0
+
+
+class TestObservabilityFlags:
+    @pytest.fixture()
+    def pipeline(self, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        index_file = str(tmp_path / "index.npz")
+        hum_file = str(tmp_path / "hum.npy")
+        main(["corpus", "--songs", "3", "--per-song", "5", "--out", corpus_dir])
+        main(["index", "--corpus", corpus_dir, "--out", index_file])
+        main(["hum", "--corpus", corpus_dir, "--melody", "2",
+              "--out", hum_file])
+        return index_file, hum_file
+
+    def test_stats_json_to_stdout(self, pipeline, capsys):
+        import json
+
+        index_file, hum_file = pipeline
+        capsys.readouterr()
+        assert main(["query", "--index", index_file, "--hum", hum_file,
+                     "-k", "3", "--stats-json"]) == 0
+        captured = capsys.readouterr()
+        # stdout is the JSON document alone; diagnostics go to stderr.
+        payload = json.loads(captured.out)
+        assert payload["k"] == 3
+        assert len(payload["results"]) == 3
+        assert payload["cascade"]["corpus_size"] == payload["db"] == 15
+        assert "DTW distance" not in captured.out
+        assert "db=15" in captured.err
+
+    def test_stats_json_to_file_keeps_rows_on_stdout(self, pipeline,
+                                                     tmp_path, capsys):
+        import json
+
+        index_file, hum_file = pipeline
+        stats_file = str(tmp_path / "stats.json")
+        capsys.readouterr()
+        assert main(["query", "--index", index_file, "--hum", hum_file,
+                     "-k", "2", "--stats-json", stats_file]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("DTW distance") == 2
+        assert f"wrote stats to {stats_file}" in captured.err
+        with open(stats_file) as handle:
+            payload = json.load(handle)
+        # The JSON rows match the human-readable rows on stdout.
+        for name, _ in payload["results"]:
+            assert name in captured.out
+        assert payload["cascade"]["results"] >= 2
+
+    def test_trace_and_metrics_exports(self, pipeline, tmp_path, capsys):
+        import json
+
+        from repro.engine import CascadeStats
+
+        index_file, hum_file = pipeline
+        trace_file = str(tmp_path / "trace.jsonl")
+        metrics_file = str(tmp_path / "metrics.json")
+        assert main(["query", "--index", index_file, "--hum", hum_file,
+                     "-k", "3", "--trace-out", trace_file,
+                     "--metrics-out", metrics_file]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote trace spans to {trace_file}" in out
+        assert f"wrote metrics snapshot to {metrics_file}" in out
+
+        with open(trace_file) as handle:
+            spans = [json.loads(line) for line in handle]
+        stats = CascadeStats.from_trace(spans)
+        assert stats.corpus_size == 15
+        assert stats.results == 3
+        with open(metrics_file) as handle:
+            snap = json.load(handle)
+        assert snap["counters"]["engine.queries_total{kind=knn}"] == 1
+        assert (snap["counters"]["engine.candidates_refined_total"]
+                == stats.dtw_computations)
+
+    def test_slow_query_threshold_zero_reports_on_stderr(self, pipeline,
+                                                         capsys):
+        index_file, hum_file = pipeline
+        capsys.readouterr()
+        assert main(["query", "--index", index_file, "--hum", hum_file,
+                     "-k", "2", "--slow-query-ms", "0"]) == 0
+        assert "slow query:" in capsys.readouterr().err
+
+    def test_batch_stats_json_keyed_by_hum_path(self, pipeline, tmp_path,
+                                                capsys):
+        import json
+
+        index_file, hum_file = pipeline
+        assert main(["query", "--index", index_file,
+                     "--hum", hum_file, hum_file,
+                     "-k", "2", "--workers", "2", "--stats-json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert set(payload["results"]) == {hum_file}
+        assert payload["cascade"]["corpus_size"] == 2 * 15
+        assert "hums=2" in captured.err

@@ -20,6 +20,10 @@ MODULES = [
     "repro.cli",
     "repro.tuning",
     "repro.dtw.multivariate",
+    "repro.obs",
+    "repro.obs.tracing",
+    "repro.obs.metrics",
+    "repro.obs.observability",
 ]
 
 

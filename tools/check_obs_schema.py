@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Validate exported observability artifacts against their schema.
+
+CI runs a traced query and then::
+
+    python tools/check_obs_schema.py --trace trace.jsonl --metrics metrics.json
+
+Checks (each is part of the documented export contract — see
+``docs/ARCHITECTURE.md``, "Observability"):
+
+Trace JSONL — one span object per line with keys ``name`` /
+``trace_id`` / ``span_id`` / ``parent_id`` / ``start_s`` /
+``duration_s`` / ``attrs``; span ids unique; every non-null parent id
+resolves within the same trace; exactly one root per trace and it is a
+``query`` span; durations non-negative; a root's stage spans carry the
+candidate-accounting attributes.
+
+Metrics JSON — a registry snapshot with ``timestamp_s`` /
+``counters`` / ``gauges`` / ``histograms``; counter values numeric and
+non-negative; each histogram's bucket counts are cumulative,
+monotonically non-decreasing, and end at the +Inf bucket equal to
+``count``.
+
+Exit status 0 = all given artifacts valid, 1 = any violation (printed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SPAN_KEYS = {"name", "trace_id", "span_id", "parent_id", "start_s",
+             "duration_s", "attrs"}
+STAGE_ATTRS = {"name", "candidates_in", "pruned", "survivors",
+               "wall_time_s"}
+SNAPSHOT_KEYS = {"timestamp_s", "counters", "gauges", "histograms"}
+
+
+def check_trace(path: str, errors: list[str]) -> int:
+    """Validate a span JSONL export; returns the number of spans."""
+    spans = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{path}:{lineno}: not JSON ({exc})")
+                continue
+            missing = SPAN_KEYS - span.keys()
+            if missing:
+                errors.append(
+                    f"{path}:{lineno}: span missing keys {sorted(missing)}"
+                )
+                continue
+            if span["duration_s"] < 0:
+                errors.append(f"{path}:{lineno}: negative duration")
+            spans.append((lineno, span))
+
+    seen_ids: dict[tuple, int] = {}
+    by_trace: dict[object, list[dict]] = {}
+    for lineno, span in spans:
+        key = (span["trace_id"], span["span_id"])
+        if key in seen_ids:
+            errors.append(
+                f"{path}:{lineno}: duplicate span id {key} "
+                f"(first at line {seen_ids[key]})"
+            )
+        seen_ids[key] = lineno
+        by_trace.setdefault(span["trace_id"], []).append(span)
+
+    for trace_id, members in by_trace.items():
+        ids = {span["span_id"] for span in members}
+        roots = [span for span in members if span["parent_id"] is None]
+        if len(roots) != 1:
+            errors.append(
+                f"{path}: trace {trace_id} has {len(roots)} roots (want 1)"
+            )
+        elif roots[0]["name"] != "query":
+            errors.append(
+                f"{path}: trace {trace_id} root is "
+                f"{roots[0]['name']!r}, not 'query'"
+            )
+        for span in members:
+            parent = span["parent_id"]
+            if parent is not None and parent not in ids:
+                errors.append(
+                    f"{path}: trace {trace_id} span {span['span_id']} "
+                    f"has unresolved parent {parent}"
+                )
+            if span["name"].startswith("stage:"):
+                missing = STAGE_ATTRS - span["attrs"].keys()
+                if missing:
+                    errors.append(
+                        f"{path}: trace {trace_id} stage span "
+                        f"{span['name']!r} missing attrs {sorted(missing)}"
+                    )
+    return len(spans)
+
+
+def check_metrics(path: str, errors: list[str]) -> int:
+    """Validate a metrics snapshot; returns the number of metrics."""
+    with open(path) as handle:
+        try:
+            snapshot = json.load(handle)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{path}: not JSON ({exc})")
+            return 0
+    missing = SNAPSHOT_KEYS - snapshot.keys()
+    if missing:
+        errors.append(f"{path}: snapshot missing keys {sorted(missing)}")
+        return 0
+    for name, value in snapshot["counters"].items():
+        if not isinstance(value, (int, float)) or value < 0:
+            errors.append(f"{path}: counter {name!r} has bad value {value!r}")
+    for name, hist in snapshot["histograms"].items():
+        buckets = hist.get("buckets")
+        if not buckets or buckets[-1].get("le") != "+Inf":
+            errors.append(f"{path}: histogram {name!r} lacks a +Inf bucket")
+            continue
+        counts = [bucket["count"] for bucket in buckets]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            errors.append(
+                f"{path}: histogram {name!r} bucket counts not cumulative"
+            )
+        if counts[-1] != hist.get("count"):
+            errors.append(
+                f"{path}: histogram {name!r} +Inf bucket {counts[-1]} != "
+                f"count {hist.get('count')}"
+            )
+    return (len(snapshot["counters"]) + len(snapshot["gauges"])
+            + len(snapshot["histograms"]))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", help="span JSONL export to validate")
+    parser.add_argument("--metrics", help="metrics snapshot to validate")
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("give --trace and/or --metrics")
+    errors: list[str] = []
+    if args.trace:
+        count = check_trace(args.trace, errors)
+        print(f"{args.trace}: {count} spans")
+    if args.metrics:
+        count = check_metrics(args.metrics, errors)
+        print(f"{args.metrics}: {count} metrics")
+    for error in errors:
+        print(f"SCHEMA ERROR: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    print("observability schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
