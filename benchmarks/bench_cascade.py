@@ -34,7 +34,7 @@ from repro.dtw.distance import ldtw_distance, ldtw_distance_batch
 from repro.engine import QueryEngine
 from repro.obs import OBS_DISABLED, Observability
 
-from _harness import print_series
+from _harness import print_series, record_history
 
 DB_SIZE = 10_000
 LENGTH = 128
@@ -118,7 +118,7 @@ def test_cascade_vs_scalar_loop(benchmark):
     finally:
         engine.obs = OBS_DISABLED
     assert obs_results == results
-    OUT_PATH.write_text(json.dumps({
+    payload = {
         "workload": {
             "db_size": DB_SIZE,
             "length": LENGTH,
@@ -134,7 +134,9 @@ def test_cascade_vs_scalar_loop(benchmark):
         "speedup": round(speedup, 2),
         "cascade_stats": stats.to_dict(),
         "metrics": obs.metrics.snapshot(),
-    }, indent=2) + "\n")
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    record_history("cascade", payload)
 
     assert speedup >= 5.0, (
         f"cascade only {speedup:.1f}x faster than the scalar loop"

@@ -33,7 +33,7 @@ from repro.dtw.distance import ldtw_distance_batch
 from repro.dtw.kernels import KernelStats, get_kernel
 from repro.obs import Observability
 
-from _harness import print_series
+from _harness import print_series, record_history
 
 LENGTH = 256
 BAND = 16
@@ -131,7 +131,7 @@ def test_kernel_backends_speedup_and_parity(benchmark, scale):
         },
     )
 
-    OUT_PATH.write_text(json.dumps({
+    payload = {
         "workload": {
             "candidates": total,
             "length": LENGTH,
@@ -165,7 +165,9 @@ def test_kernel_backends_speedup_and_parity(benchmark, scale):
             ),
         },
         "metrics": obs.metrics.snapshot(),
-    }, indent=2) + "\n")
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    record_history("dtw_kernel", payload)
 
     assert speedup_batch >= 5.0, (
         f"batched wavefront only {speedup_batch:.1f}x over the scalar loop"

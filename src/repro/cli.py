@@ -10,6 +10,13 @@ Subcommands mirror a real deployment's lifecycle::
 
 Hum inputs to ``query`` may be ``.npy`` pitch-series files (MIDI pitch
 per 10 ms frame, as the pitch tracker emits) or ``.mid`` files.
+
+The telemetry loop closes through two more groups::
+
+    repro obs report   --trace trace.jsonl          # trace analytics
+    repro perf record  --bench cascade --json BENCH_cascade.json
+    repro perf check                                # regression gate
+    repro perf replay  --workload wl.jsonl --index index.npz
 """
 
 from __future__ import annotations
@@ -97,7 +104,7 @@ def _cmd_query(args) -> int:
     from .persistence import load_index
 
     obs = None
-    if (args.trace_out or args.metrics_out
+    if (args.trace_out or args.metrics_out or args.workload_out
             or args.slow_query_ms is not None):
         from .obs import Observability
 
@@ -109,8 +116,10 @@ def _cmd_query(args) -> int:
         obs = Observability.to_files(
             trace_out=args.trace_out,
             metrics_out=args.metrics_out,
+            workload_out=args.workload_out,
             slow_query_ms=args.slow_query_ms,
             on_slow=on_slow if args.slow_query_ms is not None else None,
+            trace_append=args.trace_append,
         )
     # With --stats-json, stdout is reserved for results (rows, or the
     # JSON document itself with ``-``); diagnostics move to stderr.
@@ -190,6 +199,119 @@ def _cmd_query(args) -> int:
             if args.metrics_out:
                 print(f"wrote metrics snapshot to {args.metrics_out}",
                       file=info)
+            if args.workload_out:
+                print(f"wrote workload records to {args.workload_out}",
+                      file=info)
+
+
+def _cmd_obs_report(args) -> int:
+    """Aggregate an exported span JSONL into the operator's report."""
+    import json
+
+    from .obs import TraceReadStats, analyze_traces, read_traces
+
+    stats = TraceReadStats()
+    report = analyze_traces(read_traces(args.trace, stats), stats)
+    if args.format == "json":
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    elif args.format == "folded":
+        text = report.format_folded()
+    else:
+        text = report.format_table()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.format} report to {args.out}")
+    else:
+        print(text)
+    if not stats.traces:
+        print(f"error: no complete traces in {args.trace} "
+              f"({stats.bad_lines} bad lines, "
+              f"{stats.incomplete_traces} incomplete)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_perf_record(args) -> int:
+    """Append one BENCH_*.json snapshot to the benchmark history."""
+    import json
+
+    from .perf import BenchHistory
+
+    with open(args.json) as handle:
+        snapshot = json.load(handle)
+    if "timings_ms" not in snapshot:
+        print(f"error: {args.json} has no 'timings_ms' section",
+              file=sys.stderr)
+        return 2
+    history = BenchHistory(args.history)
+    entry = history.record(
+        args.bench,
+        snapshot["timings_ms"],
+        snapshot.get("workload", {}),
+        timestamp_s=(snapshot.get("metrics", {}) or {}).get("timestamp_s"),
+    )
+    print(f"recorded {args.bench} ({len(entry['timings_ms'])} timings, "
+          f"machine {entry['machine']['fingerprint']}) -> {args.history}")
+    return 0
+
+
+def _cmd_perf_check(args) -> int:
+    """Gate the newest benchmark runs against their history."""
+    from .perf import BenchHistory, GateConfig, check_history
+
+    history = BenchHistory(args.history)
+    entries = history.entries()
+    if not entries:
+        print(f"error: no readable history entries in {args.history} "
+              f"({history.read_stats.bad_lines} bad lines)",
+              file=sys.stderr)
+        return 2
+    config = GateConfig(
+        rel_tolerance=args.rel_tolerance,
+        min_effect_ms=args.min_effect_ms,
+        candidate_runs=args.candidate_runs,
+        match_machine=not args.any_machine,
+        inject_slowdown=args.inject_slowdown,
+        metrics=tuple(args.metric) if args.metric else None,
+        benches=tuple(args.bench) if args.bench else None,
+    )
+    report = check_history(entries, config)
+    print(report.summary())
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as handle:
+            handle.write(json.dumps(report.to_dict(), indent=2,
+                                    sort_keys=True) + "\n")
+        print(f"wrote gate report to {args.json_out}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_perf_replay(args) -> int:
+    """Re-execute a captured workload and verify answer parity."""
+    from .perf import load_workload, replay_workload
+    from .persistence import load_index
+
+    records = load_workload(args.workload)
+    if not records:
+        print(f"error: no replayable records in {args.workload}",
+              file=sys.stderr)
+        return 2
+    index = load_index(args.index)
+    report = replay_workload(
+        lambda backend: index.engine(dtw_backend=backend),
+        records,
+        backends=tuple(args.backends),
+        modes=tuple(args.modes),
+        workers=args.workers,
+        atol=args.atol,
+    )
+    print(f"replaying {len(records)} recorded queries from "
+          f"{args.workload} against {args.index} "
+          f"(db={len(index)})", file=sys.stderr)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_hum(args) -> int:
@@ -439,8 +561,105 @@ def build_parser() -> argparse.ArgumentParser:
                               "after serving")
     p_query.add_argument("--slow-query-ms", type=float, metavar="N",
                          help="log queries slower than N ms to stderr; "
-                              "with --trace-out, export only their traces")
+                              "with --trace-out, export only their traces "
+                              "and workload records")
+    p_query.add_argument("--trace-append", action="store_true",
+                         help="append to an existing --trace-out file "
+                              "instead of truncating it (accumulate a "
+                              "slow-query corpus across runs)")
+    p_query.add_argument("--workload-out", metavar="FILE",
+                         help="capture each served query (raw input, "
+                              "parameters, exact results) as replayable "
+                              "JSONL for 'repro perf replay'")
     p_query.set_defaults(func=_cmd_query)
+
+    p_obs = sub.add_parser(
+        "obs", help="analyze exported observability data"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_report = obs_sub.add_parser(
+        "report",
+        help="aggregate a span JSONL into latency percentiles, "
+             "pruning power, and critical paths",
+    )
+    p_obs_report.add_argument("--trace", required=True, metavar="FILE",
+                              help="span JSONL written by --trace-out")
+    p_obs_report.add_argument("--format",
+                              choices=("table", "json", "folded"),
+                              default="table",
+                              help="terminal table, JSON document, or "
+                                   "folded stacks for flamegraph tools")
+    p_obs_report.add_argument("--out", metavar="FILE",
+                              help="write the report to FILE instead of "
+                                   "stdout")
+    p_obs_report.set_defaults(func=_cmd_obs_report)
+
+    p_perf = sub.add_parser(
+        "perf", help="benchmark history, regression gate, workload replay"
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+
+    p_perf_record = perf_sub.add_parser(
+        "record",
+        help="append one BENCH_*.json snapshot to BENCH_history.jsonl",
+    )
+    p_perf_record.add_argument("--bench", required=True,
+                               help="bench name, e.g. cascade, dtw_kernel")
+    p_perf_record.add_argument("--json", required=True, metavar="FILE",
+                               help="BENCH_*.json snapshot to ingest")
+    p_perf_record.add_argument("--history", default="BENCH_history.jsonl",
+                               metavar="FILE")
+    p_perf_record.set_defaults(func=_cmd_perf_record)
+
+    p_perf_check = perf_sub.add_parser(
+        "check",
+        help="fail (exit 1) when the newest runs regressed vs history",
+    )
+    p_perf_check.add_argument("--history", default="BENCH_history.jsonl",
+                              metavar="FILE")
+    p_perf_check.add_argument("--rel-tolerance", type=float, default=0.20,
+                              help="relative slowdown that fails the gate "
+                                   "(default: 0.20 = 20%%)")
+    p_perf_check.add_argument("--min-effect-ms", type=float, default=1.0,
+                              help="absolute slowdown floor below which "
+                                   "jitter never fails the gate")
+    p_perf_check.add_argument("--candidate-runs", type=int, default=1,
+                              help="median the newest K runs into the "
+                                   "candidate (default: 1)")
+    p_perf_check.add_argument("--any-machine", action="store_true",
+                              help="also compare runs across machine "
+                                   "fingerprints")
+    p_perf_check.add_argument("--inject-slowdown", type=float, default=1.0,
+                              metavar="F",
+                              help="multiply candidate timings by F "
+                                   "(the gate's self-test)")
+    p_perf_check.add_argument("--bench", nargs="+",
+                              help="restrict to these bench names")
+    p_perf_check.add_argument("--metric", nargs="+",
+                              help="restrict to these timing metrics")
+    p_perf_check.add_argument("--json-out", metavar="FILE",
+                              help="also write the gate report as JSON")
+    p_perf_check.set_defaults(func=_cmd_perf_check)
+
+    p_perf_replay = perf_sub.add_parser(
+        "replay",
+        help="re-execute a captured workload and verify answer parity",
+    )
+    p_perf_replay.add_argument("--workload", required=True, metavar="FILE",
+                               help="workload JSONL from --workload-out")
+    p_perf_replay.add_argument("--index", required=True,
+                               help="saved index to replay against")
+    p_perf_replay.add_argument("--backends", nargs="+",
+                               choices=("vectorized", "scalar"),
+                               default=["vectorized", "scalar"])
+    p_perf_replay.add_argument("--modes", nargs="+",
+                               choices=("serial", "many"),
+                               default=["serial", "many"])
+    p_perf_replay.add_argument("--workers", type=int,
+                               help="thread-pool size for the 'many' mode")
+    p_perf_replay.add_argument("--atol", type=float, default=1e-9,
+                               help="distance tolerance (default: 1e-9)")
+    p_perf_replay.set_defaults(func=_cmd_perf_replay)
 
     p_assess = sub.add_parser("assess",
                               help="grade a hum against its intended melody")

@@ -53,6 +53,7 @@ of this package.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import math
 import os
@@ -348,6 +349,21 @@ class CascadeStats:
         return "\n".join(lines)
 
 
+def _query_id(q: np.ndarray, kind: str, param, band: int) -> str:
+    """Stable 16-hex id of one (query, kind, parameter, band) request.
+
+    A content digest, not a sequence number: replaying the same query
+    with the same parameters yields the same id, which is what lets
+    ``repro perf replay`` line a workload record up with the trace
+    spans of both the recorded and the replayed run.  The DTW backend
+    is deliberately excluded — backends must agree on the answer, so
+    they share the id.
+    """
+    digest = hashlib.sha1(q.tobytes())
+    digest.update(f"|{kind}|{param!r}|{band}".encode())
+    return digest.hexdigest()[:16]
+
+
 def _query_span_attrs(stats: CascadeStats) -> dict:
     """Root-span attributes, taken verbatim from the finished stats.
 
@@ -583,6 +599,25 @@ class QueryEngine:
             )
         return q
 
+    def _workload(self, qid, query, params: dict, results) -> dict | None:
+        """Replayable capture of one served query, or ``None``.
+
+        Built only when the facade has a workload sink attached
+        (:attr:`Observability.wants_workload`).  The *raw* query is
+        recorded — pre-normalisation — so ``repro perf replay`` walks
+        the identical public entry path, normal form included.
+        """
+        if not self.obs.wants_workload:
+            return None
+        return {
+            "query_id": qid,
+            "params": params,
+            "backend": self.dtw_backend,
+            "band": self.band,
+            "query": np.asarray(query, dtype=np.float64).ravel(),
+            "results": results,
+        }
+
     def _stage_bounds(
         self, name: str, ctx: _QueryContext, rows: np.ndarray
     ) -> np.ndarray:
@@ -658,9 +693,11 @@ class QueryEngine:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
         ctx = _QueryContext(self, self._normalise_query(query))
         m = len(self)
+        qid = (_query_id(ctx.q, "range", float(epsilon), self.band)
+               if self.obs.enabled else None)
         with self.obs.span(
             "query", kind="range", epsilon=float(epsilon),
-            backend=self.dtw_backend, band=self.band,
+            backend=self.dtw_backend, band=self.band, query_id=qid,
         ) as qspan:
             started = monotonic_s()
             stats = CascadeStats(corpus_size=m)
@@ -714,7 +751,11 @@ class QueryEngine:
             stats.total_time_s = now - started
             stats.cpu_time_s = stats.total_time_s
             qspan.set(**_query_span_attrs(stats))
-        self.obs.record_cascade_query("range", stats, ctx.kernel_stats)
+        self.obs.record_cascade_query(
+            "range", stats, ctx.kernel_stats,
+            workload=self._workload(qid, query, {"epsilon": float(epsilon)},
+                                    results),
+        )
         return results, stats
 
     def knn(
@@ -733,9 +774,11 @@ class QueryEngine:
             raise ValueError(f"k must be >= 1, got {k}")
         ctx = _QueryContext(self, self._normalise_query(query))
         m = len(self)
+        qid = (_query_id(ctx.q, "knn", int(k), self.band)
+               if self.obs.enabled else None)
         with self.obs.span(
             "query", kind="knn", k=int(k),
-            backend=self.dtw_backend, band=self.band,
+            backend=self.dtw_backend, band=self.band, query_id=qid,
         ) as qspan:
             started = monotonic_s()
             stats = CascadeStats(corpus_size=m)
@@ -855,7 +898,10 @@ class QueryEngine:
             stats.total_time_s = now - started
             stats.cpu_time_s = stats.total_time_s
             qspan.set(**_query_span_attrs(stats))
-        self.obs.record_cascade_query("knn", stats, ctx.kernel_stats)
+        self.obs.record_cascade_query(
+            "knn", stats, ctx.kernel_stats,
+            workload=self._workload(qid, query, {"k": int(k)}, results),
+        )
         return results, stats
 
     # ------------------------------------------------------------------

@@ -10,7 +10,11 @@ The unified telemetry layer for the whole query path.  One
   histograms whose per-thread shards merge exactly under the engine's
   ``ThreadPoolExecutor`` serving paths, and
 * a slow-query log (records + gated per-query trace capture) behind a
-  latency threshold.
+  latency threshold, and
+* trace analytics (:mod:`repro.obs.analysis`): a streaming,
+  corrupt-line-tolerant JSONL reader plus aggregation into per-stage
+  latency percentiles, pruning-power tables, critical paths, and
+  folded-stack (flamegraph) exports — ``repro obs report``.
 
 Everything accepts the shared :data:`OBS_DISABLED` facade — the
 default — whose hooks return immediately, so instrumentation costs
@@ -23,6 +27,13 @@ and the metric-name contract, and ``docs/TUTORIAL.md`` for a
 walkthrough reading the exported JSONL.
 """
 
+from .analysis import (
+    TraceReadStats,
+    TraceReport,
+    analyze_traces,
+    percentile_from_histogram,
+    read_traces,
+)
 from .clock import monotonic_s, wall_s
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_S,
@@ -59,4 +70,9 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS_S",
     "monotonic_s",
     "wall_s",
+    "read_traces",
+    "analyze_traces",
+    "TraceReport",
+    "TraceReadStats",
+    "percentile_from_histogram",
 ]

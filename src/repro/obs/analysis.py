@@ -1,0 +1,462 @@
+"""Trace analytics: turn exported span JSONL into answers.
+
+The tracing layer (:mod:`repro.obs.tracing`) writes one span per line;
+this module is the consumer that aggregates those lines back into the
+questions an operator actually asks of a query-by-humming deployment:
+
+* **Latency** — per-span-name duration distributions (``query``,
+  ``stage:<name>``, ``refine``, ``kernel``) folded through the same
+  cumulative-``le`` :class:`~repro.obs.metrics.Histogram` the metrics
+  registry uses, with p50/p95/p99 read off the cumulative buckets.
+* **Pruning power** — the cascade's candidate accounting summed over
+  every traced query: candidates in/out per stage, prune rates, and
+  bound-tightness ratios (each stage's mean bound relative to the
+  tightest stage's — how close the cheap bounds get to the expensive
+  ones, the quantity Theorem 1 trades index geometry for).
+* **Critical path** — per trace, the root-to-leaf chain of child
+  spans with the largest duration; aggregated over all traces this
+  names the spans where the latency actually lives.
+* **Folded stacks** — ``parent;child;... <self-time-us>`` lines, the
+  flamegraph interchange format, so any stack-collapse viewer can
+  render where traced time went.
+
+Reading is *streaming* and *tolerant*: span lines are consumed one at
+a time (a multi-gigabyte trace log never loads at once), lines that
+are truncated or not JSON are counted and skipped rather than fatal
+— a live exporter may be mid-write when the reader arrives — and
+traces whose root never closed are reported as incomplete instead of
+poisoning the aggregate.  Concurrent ``*_many`` serving interleaves
+*traces* in the file (each trace's spans stay contiguous because the
+sink runs under a lock, but trace order follows completion order);
+grouping here is by ``trace_id``, so interleaving is harmless.
+
+``repro obs report --trace FILE [--format table|json|folded]`` is the
+CLI surface over :func:`read_traces` + :func:`analyze_traces`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from .metrics import Histogram
+
+__all__ = [
+    "SPAN_LATENCY_BUCKETS_S",
+    "TraceReadStats",
+    "iter_span_lines",
+    "read_traces",
+    "percentile_from_histogram",
+    "StageAggregate",
+    "SpanLatency",
+    "TraceReport",
+    "analyze_traces",
+]
+
+#: Histogram edges for span durations.  Finer-grained at the bottom
+#: than the serving-latency buckets: stage spans on in-memory corpora
+#: run tens of microseconds, and the percentile resolution is the
+#: bucket edge.
+SPAN_LATENCY_BUCKETS_S = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Span-dict keys every valid trace line must carry (the JSONL schema
+#: of :meth:`repro.obs.tracing.Span.to_dict`).
+_SPAN_KEYS = frozenset(
+    {"name", "trace_id", "span_id", "parent_id", "start_s",
+     "duration_s", "attrs"}
+)
+
+
+@dataclass
+class TraceReadStats:
+    """What the streaming reader saw, including what it had to skip."""
+
+    lines: int = 0
+    spans: int = 0
+    bad_lines: int = 0
+    traces: int = 0
+    incomplete_traces: int = 0
+
+    def to_dict(self) -> dict:
+        """The read accounting as a JSON-ready dict."""
+        return {
+            "lines": self.lines,
+            "spans": self.spans,
+            "bad_lines": self.bad_lines,
+            "traces": self.traces,
+            "incomplete_traces": self.incomplete_traces,
+        }
+
+
+def iter_span_lines(
+    lines: Iterable[str], stats: TraceReadStats | None = None
+) -> Iterator[dict]:
+    """Yield span dicts from JSONL *lines*, skipping damaged ones.
+
+    A line is damaged when it is not valid JSON (e.g. truncated by a
+    crash mid-write), not an object, or missing span-schema keys; each
+    is counted in ``stats.bad_lines`` and skipped.  Blank lines are
+    ignored silently.
+    """
+    if stats is None:
+        stats = TraceReadStats()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        stats.lines += 1
+        try:
+            span = json.loads(line)
+        except json.JSONDecodeError:
+            stats.bad_lines += 1
+            continue
+        if not isinstance(span, dict) or not _SPAN_KEYS <= span.keys():
+            stats.bad_lines += 1
+            continue
+        stats.spans += 1
+        yield span
+
+
+def read_traces(
+    source, stats: TraceReadStats | None = None
+) -> Iterator[list[dict]]:
+    """Stream complete traces (span-dict lists, root last) from *source*.
+
+    *source* is a path or an iterable of JSONL lines.  Spans are
+    grouped by ``trace_id``; a trace is emitted the moment its root
+    span (``parent_id`` null) arrives — the exporter writes the root
+    last, so that is the trace-complete signal.  Root-less groups left
+    at end of input (an exporter killed mid-trace) are dropped and
+    counted in ``stats.incomplete_traces``.
+    """
+    if stats is None:
+        stats = TraceReadStats()
+
+    def _generate(lines) -> Iterator[list[dict]]:
+        open_traces: dict[object, list[dict]] = {}
+        for span in iter_span_lines(lines, stats):
+            group = open_traces.setdefault(span["trace_id"], [])
+            group.append(span)
+            if span["parent_id"] is None:
+                del open_traces[span["trace_id"]]
+                stats.traces += 1
+                yield group
+        stats.incomplete_traces += len(open_traces)
+
+    if hasattr(source, "__fspath__") or isinstance(source, str):
+        def _from_file() -> Iterator[list[dict]]:
+            with open(source, encoding="utf-8") as handle:
+                yield from _generate(handle)
+        return _from_file()
+    return _generate(source)
+
+
+def percentile_from_histogram(merged: dict, q: float) -> float | None:
+    """Read the *q*-quantile (0..1) off a cumulative-``le`` snapshot.
+
+    *merged* is :meth:`Histogram.merged` output.  Returns the upper
+    edge of the first bucket whose cumulative count reaches
+    ``q * count`` — the histogram's resolution-limited upper bound on
+    the true percentile — using the observed ``max`` for the +Inf
+    bucket and ``None`` when the histogram is empty.
+    """
+    total = merged["count"]
+    if not total:
+        return None
+    target = q * total
+    for bucket in merged["buckets"]:
+        if bucket["count"] >= target:
+            if bucket["le"] == "+Inf":
+                return float(merged["max"])
+            return min(float(bucket["le"]), float(merged["max"]))
+    return float(merged["max"])  # pragma: no cover - +Inf always reaches
+
+
+@dataclass
+class SpanLatency:
+    """Duration distribution of one span name across all traces."""
+
+    name: str
+    count: int
+    total_s: float
+    min_s: float
+    max_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+
+    @property
+    def mean_s(self) -> float:
+        """Average duration in seconds."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """The latency row as a JSON-ready dict."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+        }
+
+
+@dataclass
+class StageAggregate:
+    """Pruning power of one cascade stage summed over all traces."""
+
+    name: str
+    candidates_in: int = 0
+    pruned: int = 0
+    bound_mean_weighted: float = 0.0  # sum of bound_mean * candidates_in
+    tightness: float | None = None    # set once all stages are known
+
+    @property
+    def survivors(self) -> int:
+        """Candidates handed to the next stage."""
+        return self.candidates_in - self.pruned
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of incoming candidates removed."""
+        if not self.candidates_in:
+            return 0.0
+        return self.pruned / self.candidates_in
+
+    @property
+    def mean_bound(self) -> float:
+        """Candidate-weighted mean of the stage's raw bound."""
+        if not self.candidates_in:
+            return 0.0
+        return self.bound_mean_weighted / self.candidates_in
+
+    def to_dict(self) -> dict:
+        """The pruning-table row as a JSON-ready dict."""
+        return {
+            "name": self.name,
+            "candidates_in": self.candidates_in,
+            "pruned": self.pruned,
+            "survivors": self.survivors,
+            "prune_rate": self.prune_rate,
+            "mean_bound": self.mean_bound,
+            "tightness": self.tightness,
+        }
+
+
+@dataclass
+class TraceReport:
+    """Everything :func:`analyze_traces` extracts from a trace log."""
+
+    read: TraceReadStats
+    latencies: list[SpanLatency] = field(default_factory=list)
+    stages: list[StageAggregate] = field(default_factory=list)
+    critical_paths: list[dict] = field(default_factory=list)
+    folded: dict[str, int] = field(default_factory=dict)
+    queries: int = 0
+    results: int = 0
+    dtw_computations: int = 0
+    dtw_abandoned: int = 0
+    corpus_candidates: int = 0
+
+    def to_dict(self) -> dict:
+        """The full report as one JSON-ready document."""
+        return {
+            "read": self.read.to_dict(),
+            "queries": self.queries,
+            "results": self.results,
+            "dtw_computations": self.dtw_computations,
+            "dtw_abandoned": self.dtw_abandoned,
+            "corpus_candidates": self.corpus_candidates,
+            "latencies": [row.to_dict() for row in self.latencies],
+            "pruning": [row.to_dict() for row in self.stages],
+            "critical_paths": list(self.critical_paths),
+        }
+
+    def format_folded(self) -> str:
+        """Folded-stack lines (``a;b;c <self-us>``), flamegraph-ready."""
+        lines = [
+            f"{path} {value}"
+            for path, value in sorted(self.folded.items())
+        ]
+        return "\n".join(lines)
+
+    def format_table(self) -> str:
+        """A fixed-width terminal report (latency, pruning, paths)."""
+        out = [
+            f"traces: {self.queries} queries "
+            f"({self.read.spans} spans, {self.read.bad_lines} bad lines, "
+            f"{self.read.incomplete_traces} incomplete)",
+            f"totals: {self.corpus_candidates} candidates -> "
+            f"{self.dtw_computations} refined "
+            f"({self.dtw_abandoned} abandoned) -> {self.results} results",
+            "",
+            f"{'span':<18}{'count':>7}{'mean ms':>9}{'p50 ms':>9}"
+            f"{'p95 ms':>9}{'p99 ms':>9}{'max ms':>9}",
+        ]
+        for row in self.latencies:
+            out.append(
+                f"{row.name:<18}{row.count:>7}"
+                f"{row.mean_s * 1e3:>9.3f}{row.p50_s * 1e3:>9.3f}"
+                f"{row.p95_s * 1e3:>9.3f}{row.p99_s * 1e3:>9.3f}"
+                f"{row.max_s * 1e3:>9.3f}"
+            )
+        out += [
+            "",
+            f"{'stage':<12}{'in':>10}{'pruned':>10}{'left':>10}"
+            f"{'rate':>8}{'tightness':>11}",
+        ]
+        for stage in self.stages:
+            tightness = (f"{stage.tightness:>11.3f}"
+                         if stage.tightness is not None else f"{'-':>11}")
+            out.append(
+                f"{stage.name:<12}{stage.candidates_in:>10}"
+                f"{stage.pruned:>10}{stage.survivors:>10}"
+                f"{stage.prune_rate:>8.1%}{tightness}"
+            )
+        if self.critical_paths:
+            out += ["", "critical paths (per-trace dominant chain):"]
+            for entry in self.critical_paths:
+                out.append(
+                    f"  {entry['path']:<40} x{entry['count']:<5} "
+                    f"mean {entry['mean_s'] * 1e3:.3f} ms"
+                )
+        return "\n".join(out)
+
+
+def _children_index(trace: list[dict]) -> dict:
+    children: dict[object, list[dict]] = {}
+    for span in trace:
+        children.setdefault(span["parent_id"], []).append(span)
+    return children
+
+
+def _critical_path(trace: list[dict], children: dict) -> list[dict]:
+    """Root-to-leaf chain following the longest-duration child."""
+    (root,) = children.get(None, [None])
+    if root is None:  # pragma: no cover - read_traces guarantees a root
+        return []
+    path = [root]
+    node = root
+    while True:
+        kids = children.get(node["span_id"])
+        if not kids:
+            return path
+        node = max(kids, key=lambda s: s["duration_s"])
+        path.append(node)
+
+
+def _fold_trace(trace: list[dict], children: dict,
+                folded: dict[str, int]) -> None:
+    """Accumulate per-stack self time (µs) for the folded export."""
+    (root,) = children.get(None, [None])
+    if root is None:  # pragma: no cover - read_traces guarantees a root
+        return
+    stack = [(root, root["name"])]
+    while stack:
+        span, path = stack.pop()
+        kids = children.get(span["span_id"], [])
+        child_s = sum(kid["duration_s"] for kid in kids)
+        self_us = int(round(max(span["duration_s"] - child_s, 0.0) * 1e6))
+        folded[path] = folded.get(path, 0) + self_us
+        for kid in kids:
+            stack.append((kid, f"{path};{kid['name']}"))
+
+
+def analyze_traces(
+    traces: Iterable[list[dict]], read_stats: TraceReadStats | None = None
+) -> TraceReport:
+    """Aggregate complete traces into one :class:`TraceReport`.
+
+    *traces* is what :func:`read_traces` yields (span-dict lists); pass
+    the same *read_stats* object given to the reader so the report can
+    carry the skip accounting.  The pruning table's candidate counts
+    are exact sums of the stage spans' ``candidates_in``/``pruned``
+    attributes — the same numbers ``--stats-json`` reports, because the
+    engine sets both from one ``StageStats`` object.
+    """
+    report = TraceReport(read=read_stats or TraceReadStats())
+    hists: dict[str, Histogram] = {}
+    stages: dict[str, StageAggregate] = {}
+    stage_order: list[str] = []
+    paths: dict[str, dict] = {}
+
+    for trace in traces:
+        children = _children_index(trace)
+        for span in trace:
+            hist = hists.get(span["name"])
+            if hist is None:
+                hist = hists[span["name"]] = Histogram(
+                    span["name"], {}, SPAN_LATENCY_BUCKETS_S
+                )
+            hist.observe(span["duration_s"])
+            attrs = span["attrs"]
+            if span["name"] == "query" and span["parent_id"] is None:
+                report.queries += 1
+                report.results += attrs.get("results", 0)
+                report.dtw_computations += attrs.get("dtw_computations", 0)
+                report.dtw_abandoned += attrs.get("dtw_abandoned", 0)
+                report.corpus_candidates += attrs.get("corpus_size", 0)
+            elif span["name"].startswith("stage:"):
+                name = attrs.get("name", span["name"][len("stage:"):])
+                agg = stages.get(name)
+                if agg is None:
+                    agg = stages[name] = StageAggregate(name=name)
+                    stage_order.append(name)
+                agg.candidates_in += attrs.get("candidates_in", 0)
+                agg.pruned += attrs.get("pruned", 0)
+                agg.bound_mean_weighted += (
+                    attrs.get("bound_mean", 0.0)
+                    * attrs.get("candidates_in", 0)
+                )
+        chain = _critical_path(trace, children)
+        key = ";".join(span["name"] for span in chain)
+        entry = paths.setdefault(key, {"path": key, "count": 0,
+                                       "total_s": 0.0})
+        entry["count"] += 1
+        entry["total_s"] += chain[0]["duration_s"] if chain else 0.0
+        _fold_trace(trace, children, report.folded)
+
+    # Tightness: each stage's candidate-weighted mean bound relative to
+    # the tightest (last-configured) stage's.  Stage order in a trace
+    # follows the cascade, so the last name seen is the tightest bound.
+    if stage_order:
+        reference = stages[stage_order[-1]].mean_bound
+        for name in stage_order:
+            agg = stages[name]
+            agg.tightness = (
+                agg.mean_bound / reference if reference > 0 else None
+            )
+    report.stages = [stages[name] for name in stage_order]
+
+    for name in sorted(hists):
+        merged = hists[name].merged()
+        if not merged["count"]:
+            continue  # pragma: no cover - observed names always count
+        report.latencies.append(SpanLatency(
+            name=name,
+            count=merged["count"],
+            total_s=merged["sum"],
+            min_s=merged["min"],
+            max_s=merged["max"],
+            p50_s=percentile_from_histogram(merged, 0.50),
+            p95_s=percentile_from_histogram(merged, 0.95),
+            p99_s=percentile_from_histogram(merged, 0.99),
+        ))
+    report.critical_paths = sorted(
+        (
+            {"path": entry["path"], "count": entry["count"],
+             "mean_s": entry["total_s"] / entry["count"]}
+            for entry in paths.values()
+        ),
+        key=lambda entry: -entry["count"],
+    )
+    return report

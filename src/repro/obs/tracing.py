@@ -231,11 +231,21 @@ class InMemorySink:
 
 
 class JsonlSpanExporter:
-    """Appends every span of every finished trace to a JSONL file."""
+    """Writes every span of every finished trace to a JSONL file.
 
-    def __init__(self, path) -> None:
+    *append* controls the open mode explicitly: ``True`` extends an
+    existing log (accumulating a slow-query corpus across runs),
+    ``False`` truncates — there is no implicit mode.  Under the
+    engine's ``*_many`` thread pools, whole traces stay contiguous
+    (sinks run under the tracer's lock) but trace *order* follows
+    completion order, so concurrent queries interleave their trace
+    roots in the file; readers must group by ``trace_id`` (see
+    :mod:`repro.obs.analysis`).
+    """
+
+    def __init__(self, path, append: bool = True) -> None:
         self.path = path
-        self._handle = open(path, "a", encoding="utf-8")
+        self._handle = open(path, "a" if append else "w", encoding="utf-8")
 
     def __call__(self, spans: Sequence[Span]) -> None:
         for span in spans:

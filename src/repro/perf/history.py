@@ -1,0 +1,212 @@
+"""Benchmark history: an append-only JSONL trajectory of runs.
+
+The ``BENCH_*.json`` files the benchmark suite writes are one-shot
+snapshots — useful artifacts, useless trajectories.  This module gives
+every run a durable record in ``BENCH_history.jsonl``::
+
+    {"schema": 1, "bench": "cascade", "timestamp_s": ...,
+     "git_sha": "...", "machine": {"fingerprint": "...", ...},
+     "timings_ms": {"cascade": 9.4, "scalar_loop": 337.3, ...},
+     "context": {"db_size": 10000, "length": 128, "delta": 0.1}}
+
+Design points:
+
+* **Append-only JSONL** — one entry per line, written atomically per
+  line, so concurrent benchmark processes and crashed runs cannot
+  corrupt earlier history; damaged lines are skipped (and counted) on
+  read, mirroring the trace reader's tolerance.
+* **Machine fingerprint** — timings are only comparable on comparable
+  hardware; each entry carries a short digest of platform, CPU count,
+  and Python build, and the regression gate keys on it.
+* **Workload context** — a bench at smoke scale is a different
+  experiment than at full scale; entries carry the workload parameters
+  and the gate only compares equal contexts.
+
+``tools/check_bench_schema.py`` validates the file in CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass
+
+from ..obs.clock import wall_s
+
+__all__ = [
+    "BENCH_HISTORY_SCHEMA",
+    "machine_fingerprint",
+    "git_sha",
+    "make_entry",
+    "BenchHistory",
+]
+
+#: Version tag of the history-entry schema.
+BENCH_HISTORY_SCHEMA = 1
+
+#: Keys every history entry must carry (the check_bench_schema contract).
+REQUIRED_KEYS = ("schema", "bench", "timestamp_s", "git_sha", "machine",
+                 "timings_ms", "context")
+
+
+def machine_fingerprint() -> dict:
+    """Identify the benchmarking machine, with a short stable digest.
+
+    The fingerprint hashes what makes timings comparable — platform,
+    machine architecture, CPU count, and the Python implementation —
+    not what doesn't (hostname, time).  The regression gate refuses to
+    compare runs across different fingerprints unless explicitly told
+    to.
+    """
+    desc = {
+        "platform": platform.system(),
+        "arch": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": "%s %d.%d" % (
+            platform.python_implementation(),
+            sys.version_info.major, sys.version_info.minor,
+        ),
+    }
+    digest = hashlib.sha1(
+        json.dumps(desc, sort_keys=True).encode()
+    ).hexdigest()[:12]
+    return {"fingerprint": digest, **desc}
+
+
+def git_sha(root=None) -> str:
+    """The current commit hash, or ``"unknown"`` outside a checkout.
+
+    ``REPRO_GIT_SHA`` overrides (CI containers without a ``.git``
+    directory set it from their own metadata).
+    """
+    env = os.environ.get("REPRO_GIT_SHA")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def make_entry(
+    bench: str,
+    timings_ms: dict,
+    context: dict | None = None,
+    *,
+    machine: dict | None = None,
+    sha: str | None = None,
+    timestamp_s: float | None = None,
+) -> dict:
+    """Build one schema-valid history entry for a benchmark run.
+
+    *timings_ms* maps metric names to milliseconds (non-negative
+    numbers); *context* carries the workload parameters that make two
+    runs comparable.  Machine, git SHA, and timestamp are filled from
+    the environment unless given.
+    """
+    clean = {}
+    for name, value in dict(timings_ms).items():
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(
+                f"timing {name!r} must be a non-negative number, "
+                f"got {value!r}"
+            )
+        clean[str(name)] = float(value)
+    if not clean:
+        raise ValueError("timings_ms must not be empty")
+    return {
+        "schema": BENCH_HISTORY_SCHEMA,
+        "bench": str(bench),
+        "timestamp_s": float(timestamp_s if timestamp_s is not None
+                             else wall_s()),
+        "git_sha": sha if sha is not None else git_sha(),
+        "machine": dict(machine) if machine is not None
+        else machine_fingerprint(),
+        "timings_ms": clean,
+        "context": dict(context or {}),
+    }
+
+
+@dataclass
+class HistoryReadStats:
+    """Accounting of one history read (how many lines were skipped)."""
+
+    lines: int = 0
+    entries: int = 0
+    bad_lines: int = 0
+
+
+class BenchHistory:
+    """The ``BENCH_history.jsonl`` store: append runs, read them back."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self.read_stats = HistoryReadStats()
+
+    def append(self, entry: dict) -> dict:
+        """Append one entry (validated minimally) and return it."""
+        missing = [key for key in REQUIRED_KEYS if key not in entry]
+        if missing:
+            raise ValueError(f"history entry missing keys {missing}")
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        return entry
+
+    def record(self, bench: str, timings_ms: dict,
+               context: dict | None = None, **kwargs) -> dict:
+        """:func:`make_entry` + :meth:`append` in one call."""
+        return self.append(make_entry(bench, timings_ms, context, **kwargs))
+
+    def entries(self) -> list[dict]:
+        """Every parseable entry, in file order; damaged lines skipped.
+
+        Skip counts land in :attr:`read_stats` (reset per call).  A
+        missing file reads as empty history.
+        """
+        stats = HistoryReadStats()
+        self.read_stats = stats
+        out = []
+        try:
+            handle = open(self.path, encoding="utf-8")
+        except FileNotFoundError:
+            return out
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                stats.lines += 1
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    stats.bad_lines += 1
+                    continue
+                if (not isinstance(entry, dict)
+                        or any(key not in entry for key in REQUIRED_KEYS)):
+                    stats.bad_lines += 1
+                    continue
+                stats.entries += 1
+                out.append(entry)
+        return out
+
+    def for_bench(self, bench: str) -> list[dict]:
+        """Entries of one benchmark, in file (i.e. time) order."""
+        return [entry for entry in self.entries()
+                if entry["bench"] == bench]
+
+    def benches(self) -> list[str]:
+        """Distinct bench names present, in first-seen order."""
+        seen: list[str] = []
+        for entry in self.entries():
+            if entry["bench"] not in seen:
+                seen.append(entry["bench"])
+        return seen

@@ -1,0 +1,241 @@
+"""The statistical performance-regression gate.
+
+A slowdown in the filter cascade is a silent correctness problem for
+the paper's contribution — Theorem 1's no-false-negative guarantee is
+only worth having if pruning stays fast — so the gate's job is to turn
+``BENCH_history.jsonl`` into a pass/fail answer a CI job can enforce.
+
+The comparison, per bench and per timing metric:
+
+* **Candidate** — the newest run of the bench (optionally the median
+  of the newest *k* runs, damping a single noisy repeat).
+* **Baseline** — the median over every *comparable* earlier run:
+  same bench, same workload ``context``, and same machine fingerprint
+  (unless ``match_machine=False``; cross-machine timings are not
+  comparable and are skipped by default).  The median-of-k baseline
+  means one historic outlier cannot shift the reference.
+* **Verdict** — a regression needs BOTH ``candidate >
+  baseline * (1 + rel_tolerance)`` AND ``candidate - baseline >=
+  min_effect_ms``.  The relative test catches real slowdowns; the
+  absolute floor keeps sub-millisecond jitter on tiny benches from
+  flaking the gate.
+
+A candidate with no comparable baseline is reported ``no-baseline``
+and passes (day one, new machines, and scale changes must not block).
+``inject_slowdown`` multiplies the candidate's timings before the
+comparison — the gate's own self-test: CI feeds a synthetic 25%
+slowdown and asserts a non-zero exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+
+from .history import BenchHistory
+
+__all__ = ["GateConfig", "GateFinding", "GateReport", "check_history"]
+
+
+@dataclass
+class GateConfig:
+    """Thresholds and matching policy of the regression gate.
+
+    ``rel_tolerance=0.2`` fails >20% slowdowns; ``min_effect_ms``
+    is the absolute floor below which a relative excess is treated as
+    noise; ``candidate_runs`` medians the newest *k* runs into the
+    candidate; ``match_machine=False`` also compares runs from
+    different machine fingerprints (off by default for good reason).
+    """
+
+    rel_tolerance: float = 0.20
+    min_effect_ms: float = 1.0
+    candidate_runs: int = 1
+    match_machine: bool = True
+    inject_slowdown: float = 1.0
+    metrics: tuple[str, ...] | None = None
+    benches: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.rel_tolerance < 0:
+            raise ValueError(
+                f"rel_tolerance must be >= 0, got {self.rel_tolerance}"
+            )
+        if self.min_effect_ms < 0:
+            raise ValueError(
+                f"min_effect_ms must be >= 0, got {self.min_effect_ms}"
+            )
+        if self.candidate_runs < 1:
+            raise ValueError(
+                f"candidate_runs must be >= 1, got {self.candidate_runs}"
+            )
+        if self.inject_slowdown <= 0:
+            raise ValueError(
+                f"inject_slowdown must be > 0, got {self.inject_slowdown}"
+            )
+
+
+@dataclass
+class GateFinding:
+    """One (bench, metric) comparison and its verdict."""
+
+    bench: str
+    metric: str
+    status: str                     # "ok" | "regression" | "no-baseline"
+    candidate_ms: float
+    baseline_ms: float | None = None
+    baseline_runs: int = 0
+    ratio: float | None = None
+
+    def to_dict(self) -> dict:
+        """The finding as a JSON-ready dict."""
+        return {
+            "bench": self.bench,
+            "metric": self.metric,
+            "status": self.status,
+            "candidate_ms": self.candidate_ms,
+            "baseline_ms": self.baseline_ms,
+            "baseline_runs": self.baseline_runs,
+            "ratio": self.ratio,
+        }
+
+
+@dataclass
+class GateReport:
+    """Every finding of one gate run, plus the overall verdict."""
+
+    config: GateConfig
+    findings: list[GateFinding] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[GateFinding]:
+        """The findings that failed the gate."""
+        return [f for f in self.findings if f.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no metric regressed."""
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        """The report as one JSON-ready document."""
+        return {
+            "ok": self.ok,
+            "rel_tolerance": self.config.rel_tolerance,
+            "min_effect_ms": self.config.min_effect_ms,
+            "inject_slowdown": self.config.inject_slowdown,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def summary(self) -> str:
+        """A fixed-width per-metric verdict table for terminals."""
+        lines = [
+            f"{'bench':<14}{'metric':<26}{'baseline':>10}{'candidate':>11}"
+            f"{'ratio':>8}  verdict",
+        ]
+        for f in self.findings:
+            baseline = (f"{f.baseline_ms:>10.2f}" if f.baseline_ms is not None
+                        else f"{'-':>10}")
+            ratio = f"{f.ratio:>8.2f}" if f.ratio is not None else f"{'-':>8}"
+            lines.append(
+                f"{f.bench:<14}{f.metric:<26}{baseline}"
+                f"{f.candidate_ms:>11.2f}{ratio}  {f.status}"
+            )
+        verdict = "PASS" if self.ok else (
+            f"FAIL ({len(self.regressions)} regression"
+            f"{'s' if len(self.regressions) != 1 else ''} "
+            f"> {self.config.rel_tolerance:.0%} "
+            f"and >= {self.config.min_effect_ms:g} ms)"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _comparable(entry: dict, candidate: dict, match_machine: bool) -> bool:
+    if entry["context"] != candidate["context"]:
+        return False
+    if match_machine:
+        return (entry["machine"].get("fingerprint")
+                == candidate["machine"].get("fingerprint"))
+    return True
+
+
+def check_history(
+    history: BenchHistory | list[dict],
+    config: GateConfig | None = None,
+) -> GateReport:
+    """Gate the newest run of every bench against its history.
+
+    *history* is a :class:`BenchHistory` or a raw entry list (file
+    order = time order).  Per bench: the newest ``candidate_runs``
+    comparable entries form the candidate (median per metric); every
+    comparable entry before them forms the baseline (median per
+    metric); verdicts follow the module docstring.  Benches and
+    metrics may be restricted through the config.
+    """
+    config = config or GateConfig()
+    entries = (history.entries() if isinstance(history, BenchHistory)
+               else list(history))
+    report = GateReport(config=config)
+    benches: list[str] = []
+    for entry in entries:
+        if entry["bench"] not in benches:
+            benches.append(entry["bench"])
+    if config.benches is not None:
+        benches = [bench for bench in benches if bench in config.benches]
+
+    for bench in benches:
+        runs = [entry for entry in entries if entry["bench"] == bench]
+        newest = runs[-1]
+        comparable = [entry for entry in runs
+                      if _comparable(entry, newest, config.match_machine)]
+        cand_runs = comparable[-config.candidate_runs:]
+        base_runs = comparable[:-len(cand_runs)] if cand_runs else []
+        metrics = list(newest["timings_ms"])
+        if config.metrics is not None:
+            metrics = [name for name in metrics if name in config.metrics]
+        for metric in metrics:
+            cand_values = [run["timings_ms"][metric] for run in cand_runs
+                           if metric in run["timings_ms"]]
+            candidate_ms = (median(cand_values) * config.inject_slowdown
+                            if cand_values else None)
+            if candidate_ms is None:  # pragma: no cover - newest has metric
+                continue
+            base_values = [run["timings_ms"][metric] for run in base_runs
+                           if metric in run["timings_ms"]]
+            if not base_values:
+                report.findings.append(GateFinding(
+                    bench=bench, metric=metric, status="no-baseline",
+                    candidate_ms=candidate_ms,
+                    ratio=config.inject_slowdown if config.inject_slowdown
+                    != 1.0 else None,
+                ))
+                # The injected-slowdown self-test must bite even on a
+                # single-entry history: compare the scaled candidate
+                # against its own unscaled reading.
+                if config.inject_slowdown != 1.0:
+                    report.findings[-1] = _verdict(
+                        bench, metric, candidate_ms,
+                        median(cand_values), len(cand_runs), config,
+                    )
+                continue
+            report.findings.append(_verdict(
+                bench, metric, candidate_ms, median(base_values),
+                len(base_values), config,
+            ))
+    return report
+
+
+def _verdict(bench: str, metric: str, candidate_ms: float,
+             baseline_ms: float, baseline_runs: int,
+             config: GateConfig) -> GateFinding:
+    ratio = candidate_ms / baseline_ms if baseline_ms > 0 else float("inf")
+    excess_ms = candidate_ms - baseline_ms
+    regressed = (candidate_ms > baseline_ms * (1.0 + config.rel_tolerance)
+                 and excess_ms >= config.min_effect_ms)
+    return GateFinding(
+        bench=bench, metric=metric,
+        status="regression" if regressed else "ok",
+        candidate_ms=candidate_ms, baseline_ms=baseline_ms,
+        baseline_runs=baseline_runs, ratio=ratio,
+    )

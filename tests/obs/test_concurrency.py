@@ -100,6 +100,51 @@ def test_metrics_exact_across_range_many_workers(corpus, queries):
     assert m.counter("engine.results_total").value == merged.results
 
 
+@pytest.mark.parametrize("kind", ["knn", "range"])
+def test_merged_stats_equal_sum_of_serial_stats(corpus, queries, kind):
+    """``*_many`` merged counters == the sum over per-query serial runs.
+
+    The merge is ``CascadeStats.__add__`` over the pool's per-query
+    stats; queries are deterministic, so a separate serial pass must
+    produce counter-identical stats.  Timers follow the documented
+    split: ``cpu_time_s`` is additive (per-query times summed) while
+    ``total_time_s`` reports the batch wall clock, which under a pool
+    is at most the summed per-query time (plus scheduling slack).
+    """
+    engine = QueryEngine(corpus, band=4)
+    if kind == "knn":
+        _, merged = engine.knn_many(queries, 5, workers=WORKERS)
+        serial = [engine.knn(query, 5)[1] for query in queries]
+    else:
+        _, merged = engine.range_search_many(queries, 4.0, workers=WORKERS)
+        serial = [engine.range_search(query, 4.0)[1] for query in queries]
+
+    summed = serial[0]
+    for stats in serial[1:]:
+        summed = summed + stats
+
+    assert merged.corpus_size == summed.corpus_size
+    assert merged.dtw_computations == summed.dtw_computations
+    assert merged.dtw_abandoned == summed.dtw_abandoned
+    assert merged.exact_skipped == summed.exact_skipped
+    assert merged.results == summed.results
+    assert merged.pruned_total == summed.pruned_total
+    assert [s.name for s in merged.stages] == [s.name for s in summed.stages]
+    for got, want in zip(merged.stages, summed.stages):
+        assert got.candidates_in == want.candidates_in
+        assert got.pruned == want.pruned
+        assert got.bound_min == pytest.approx(want.bound_min)
+        assert got.bound_mean == pytest.approx(want.bound_mean)
+        assert got.bound_max == pytest.approx(want.bound_max)
+
+    # Timer consistency: cpu additive, wall bounded by the cpu sum.
+    assert summed.cpu_time_s == pytest.approx(
+        sum(stats.cpu_time_s for stats in serial)
+    )
+    assert merged.cpu_time_s > 0
+    assert merged.total_time_s <= merged.cpu_time_s + 0.25
+
+
 def test_parallel_results_identical_and_cpu_vs_wall_time(corpus, queries):
     obs = Observability()
     instrumented = QueryEngine(corpus, band=4, obs=obs)

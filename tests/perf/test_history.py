@@ -1,0 +1,82 @@
+"""Bench history: entry construction, append-only storage, tolerance."""
+
+import json
+
+import pytest
+
+from repro.perf import BenchHistory, machine_fingerprint, make_entry
+from repro.perf.history import BENCH_HISTORY_SCHEMA, git_sha
+
+
+def test_make_entry_fills_environment_fields():
+    entry = make_entry("cascade", {"cascade": 9.4, "scalar": 300},
+                       {"db_size": 100})
+    assert entry["schema"] == BENCH_HISTORY_SCHEMA
+    assert entry["bench"] == "cascade"
+    assert entry["timings_ms"] == {"cascade": 9.4, "scalar": 300.0}
+    assert entry["context"] == {"db_size": 100}
+    assert entry["machine"]["fingerprint"]
+    assert entry["timestamp_s"] > 0
+    assert entry["git_sha"]
+
+
+def test_make_entry_rejects_bad_timings():
+    with pytest.raises(ValueError):
+        make_entry("b", {})
+    with pytest.raises(ValueError):
+        make_entry("b", {"t": -1.0})
+    with pytest.raises(ValueError):
+        make_entry("b", {"t": "fast"})
+
+
+def test_machine_fingerprint_is_stable():
+    a, b = machine_fingerprint(), machine_fingerprint()
+    assert a == b
+    assert len(a["fingerprint"]) == 12
+    assert a["cpu_count"] >= 1
+
+
+def test_git_sha_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_GIT_SHA", "deadbeef")
+    assert git_sha() == "deadbeef"
+
+
+def test_history_append_and_read_back(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    history = BenchHistory(path)
+    assert history.entries() == []        # missing file = empty history
+
+    history.record("cascade", {"cascade": 10.0}, {"db": 100})
+    history.record("cascade", {"cascade": 11.0}, {"db": 100})
+    history.record("kernel", {"batch": 5.0}, {"n": 256})
+
+    entries = history.entries()
+    assert len(entries) == 3
+    assert history.benches() == ["cascade", "kernel"]
+    cascade = history.for_bench("cascade")
+    assert [e["timings_ms"]["cascade"] for e in cascade] == [10.0, 11.0]
+    # File order is time order.
+    stamps = [e["timestamp_s"] for e in entries]
+    assert stamps == sorted(stamps)
+
+
+def test_history_append_validates_entries(tmp_path):
+    history = BenchHistory(tmp_path / "hist.jsonl")
+    with pytest.raises(ValueError, match="missing keys"):
+        history.append({"bench": "x"})
+
+
+def test_history_read_skips_damaged_lines(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    history = BenchHistory(path)
+    good = history.record("cascade", {"cascade": 10.0})
+    with open(path, "a") as handle:
+        handle.write("truncated {\n")
+        handle.write(json.dumps({"bench": "no-schema"}) + "\n")
+        handle.write(json.dumps(good, sort_keys=True) + "\n")
+
+    entries = history.entries()
+    assert len(entries) == 2
+    assert history.read_stats.lines == 4
+    assert history.read_stats.bad_lines == 2
+    assert history.read_stats.entries == 2

@@ -1,0 +1,121 @@
+"""The regression gate: verdict logic, matching policy, self-test."""
+
+import pytest
+
+from repro.perf import BenchHistory, GateConfig, check_history
+
+
+def entry(bench="cascade", ms=10.0, metric="cascade", context=None,
+          fingerprint="aaa", timestamp=1.0):
+    return {
+        "schema": 1,
+        "bench": bench,
+        "timestamp_s": timestamp,
+        "git_sha": "sha",
+        "machine": {"fingerprint": fingerprint},
+        "timings_ms": {metric: ms},
+        "context": context if context is not None else {"db": 100},
+    }
+
+
+def test_clean_history_passes():
+    report = check_history([entry(ms=10.0), entry(ms=10.5), entry(ms=9.8)])
+    assert report.ok
+    (finding,) = report.findings
+    assert finding.status == "ok"
+    assert finding.baseline_ms == pytest.approx(10.25)
+    assert finding.baseline_runs == 2
+
+
+def test_slowdown_beyond_tolerance_fails():
+    report = check_history([entry(ms=10.0), entry(ms=13.0)])
+    assert not report.ok
+    (finding,) = report.findings
+    assert finding.status == "regression"
+    assert finding.ratio == pytest.approx(1.3)
+    assert "FAIL" in report.summary()
+
+
+def test_min_effect_floor_suppresses_tiny_absolute_slowdowns():
+    # 50% slower but only 0.15 ms: below the 1 ms floor, so jitter.
+    report = check_history([entry(ms=0.3), entry(ms=0.45)])
+    assert report.ok
+    # Lowering the floor lets the relative test bite.
+    report = check_history(
+        [entry(ms=0.3), entry(ms=0.45)],
+        GateConfig(min_effect_ms=0.1),
+    )
+    assert not report.ok
+
+
+def test_median_baseline_resists_one_outlier():
+    runs = [entry(ms=m) for m in (10.0, 10.2, 120.0, 9.9, 10.1)]
+    report = check_history(runs)
+    assert report.ok
+    (finding,) = report.findings
+    assert finding.baseline_ms == pytest.approx(10.1)
+
+
+def test_candidate_runs_median_damps_one_noisy_repeat():
+    runs = [entry(ms=m) for m in (10.0, 10.0, 10.0, 10.1, 10.2, 25.0)]
+    assert not check_history(runs).ok  # newest single run regressed...
+    report = check_history(runs, GateConfig(candidate_runs=3))
+    assert report.ok                   # ...but the median of 3 did not
+
+
+def test_context_and_machine_matching():
+    # A scale change is a different experiment: no baseline, passes.
+    runs = [entry(ms=10.0, context={"db": 100}),
+            entry(ms=50.0, context={"db": 1000})]
+    report = check_history(runs)
+    (finding,) = report.findings
+    assert finding.status == "no-baseline"
+    assert report.ok
+
+    # Same context, different machine: skipped unless told otherwise.
+    runs = [entry(ms=10.0, fingerprint="aaa"),
+            entry(ms=30.0, fingerprint="bbb")]
+    assert check_history(runs).ok
+    report = check_history(runs, GateConfig(match_machine=False))
+    assert not report.ok
+
+
+def test_inject_slowdown_bites_even_without_baseline():
+    """The CI self-test must fail on a single-entry (seeded) history."""
+    report = check_history([entry(ms=10.0)])
+    assert report.ok
+    report = check_history([entry(ms=10.0)],
+                           GateConfig(inject_slowdown=1.25))
+    assert not report.ok
+    (finding,) = report.findings
+    assert finding.candidate_ms == pytest.approx(12.5)
+    assert finding.ratio == pytest.approx(1.25)
+
+
+def test_bench_and_metric_filters():
+    runs = [entry(bench="a", ms=10.0), entry(bench="a", ms=30.0),
+            entry(bench="b", ms=10.0), entry(bench="b", ms=10.0)]
+    assert not check_history(runs).ok
+    assert check_history(runs, GateConfig(benches=("b",))).ok
+    assert check_history(runs, GateConfig(metrics=("other",))).ok
+
+
+def test_gate_reads_benchhistory_object(tmp_path):
+    history = BenchHistory(tmp_path / "hist.jsonl")
+    history.record("cascade", {"cascade": 10.0}, {"db": 100})
+    history.record("cascade", {"cascade": 10.4}, {"db": 100})
+    report = check_history(history)
+    assert report.ok
+    doc = report.to_dict()
+    assert doc["ok"] and doc["findings"]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GateConfig(rel_tolerance=-0.1)
+    with pytest.raises(ValueError):
+        GateConfig(min_effect_ms=-1)
+    with pytest.raises(ValueError):
+        GateConfig(candidate_runs=0)
+    with pytest.raises(ValueError):
+        GateConfig(inject_slowdown=0)

@@ -277,3 +277,153 @@ class TestObservabilityFlags:
         assert set(payload["results"]) == {hum_file}
         assert payload["cascade"]["corpus_size"] == 2 * 15
         assert "hums=2" in captured.err
+
+
+class TestTelemetryCommands:
+    """``repro obs report`` and the ``repro perf`` group."""
+
+    @pytest.fixture()
+    def pipeline(self, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        index_file = str(tmp_path / "index.npz")
+        hum_file = str(tmp_path / "hum.npy")
+        main(["corpus", "--songs", "3", "--per-song", "5", "--out", corpus_dir])
+        main(["index", "--corpus", corpus_dir, "--out", index_file])
+        main(["hum", "--corpus", corpus_dir, "--melody", "2",
+              "--out", hum_file])
+        return index_file, hum_file
+
+    def test_obs_report_matches_stats_json(self, pipeline, tmp_path, capsys):
+        import json
+
+        index_file, hum_file = pipeline
+        trace_file = str(tmp_path / "trace.jsonl")
+        stats_file = str(tmp_path / "stats.json")
+        assert main(["query", "--index", index_file,
+                     "--hum", hum_file, hum_file, "-k", "3",
+                     "--trace-out", trace_file, "--workers", "2",
+                     "--stats-json", stats_file]) == 0
+        capsys.readouterr()
+
+        assert main(["obs", "report", "--trace", trace_file]) == 0
+        table = capsys.readouterr().out
+        assert "traces: 2 queries" in table
+        assert "tightness" in table
+
+        report_file = str(tmp_path / "report.json")
+        assert main(["obs", "report", "--trace", trace_file,
+                     "--format", "json", "--out", report_file]) == 0
+        with open(report_file) as handle:
+            report = json.load(handle)
+        with open(stats_file) as handle:
+            stats = json.load(handle)["cascade"]
+        # The report's pruning table reproduces --stats-json exactly:
+        # both are projections of the same StageStats objects.
+        assert report["queries"] == 2
+        assert report["corpus_candidates"] == stats["corpus_size"]
+        assert report["dtw_computations"] == stats["dtw_computations"]
+        assert report["results"] == stats["results"]
+        by_name = {row["name"]: row for row in report["pruning"]}
+        for stage in stats["stages"]:
+            assert by_name[stage["name"]]["candidates_in"] == \
+                stage["candidates_in"]
+            assert by_name[stage["name"]]["pruned"] == stage["pruned"]
+
+        capsys.readouterr()
+        assert main(["obs", "report", "--trace", trace_file,
+                     "--format", "folded"]) == 0
+        folded = capsys.readouterr().out
+        for line in folded.strip().splitlines():
+            stack, value = line.rsplit(" ", 1)
+            assert stack.startswith("query")
+            assert int(value) >= 0
+
+    def test_obs_report_fails_without_complete_traces(self, tmp_path,
+                                                      capsys):
+        trace_file = tmp_path / "empty.jsonl"
+        trace_file.write_text("garbage {\n")
+        assert main(["obs", "report", "--trace", str(trace_file)]) == 1
+        assert "no complete traces" in capsys.readouterr().err
+
+    def test_trace_append_accumulates_across_runs(self, pipeline, tmp_path):
+        import json
+
+        index_file, hum_file = pipeline
+        trace_file = str(tmp_path / "trace.jsonl")
+        base = ["query", "--index", index_file, "--hum", hum_file,
+                "-k", "2", "--trace-out", trace_file]
+        assert main(base) == 0
+        once = sum(1 for _ in open(trace_file))
+        assert main(base + ["--trace-append"]) == 0
+        assert sum(1 for _ in open(trace_file)) == 2 * once
+        # Default (no flag) truncates back to one run's spans.
+        assert main(base) == 0
+        assert sum(1 for _ in open(trace_file)) == once
+        roots = [json.loads(line) for line in open(trace_file)]
+        assert sum(1 for s in roots if s["parent_id"] is None) == 1
+
+    def test_workload_capture_and_replay_roundtrip(self, pipeline, tmp_path,
+                                                   capsys):
+        import json
+
+        index_file, hum_file = pipeline
+        workload_file = str(tmp_path / "workload.jsonl")
+        assert main(["query", "--index", index_file, "--hum", hum_file,
+                     "-k", "3", "--workload-out", workload_file]) == 0
+        assert f"wrote workload records to {workload_file}" in \
+            capsys.readouterr().out
+
+        assert main(["perf", "replay", "--workload", workload_file,
+                     "--index", index_file]) == 0
+        assert "replay PARITY OK" in capsys.readouterr().out
+
+        # Tamper with a recorded distance: replay must fail.
+        records = [json.loads(line) for line in open(workload_file)]
+        records[0]["results"][0][1] += 5.0
+        with open(workload_file, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        assert main(["perf", "replay", "--workload", workload_file,
+                     "--index", index_file,
+                     "--backends", "vectorized",
+                     "--modes", "serial"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_perf_record_and_check_gate(self, tmp_path, capsys):
+        import json
+
+        bench_file = str(tmp_path / "BENCH_x.json")
+        history_file = str(tmp_path / "history.jsonl")
+        with open(bench_file, "w") as handle:
+            json.dump({"workload": {"db": 10},
+                       "timings_ms": {"cascade": 10.0}}, handle)
+        assert main(["perf", "record", "--bench", "cascade",
+                     "--json", bench_file, "--history", history_file]) == 0
+
+        # Seeded single-entry history: plain check passes...
+        assert main(["perf", "check", "--history", history_file]) == 0
+        assert "PASS" in capsys.readouterr().out
+        # ...and the synthetic 25% slowdown self-test fails.
+        assert main(["perf", "check", "--history", history_file,
+                     "--inject-slowdown", "1.25",
+                     "--min-effect-ms", "0.5"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+        # A genuinely regressed second run fails the real gate.
+        with open(bench_file, "w") as handle:
+            json.dump({"workload": {"db": 10},
+                       "timings_ms": {"cascade": 14.0}}, handle)
+        assert main(["perf", "record", "--bench", "cascade",
+                     "--json", bench_file, "--history", history_file]) == 0
+        gate_file = str(tmp_path / "gate.json")
+        assert main(["perf", "check", "--history", history_file,
+                     "--json-out", gate_file]) == 1
+        with open(gate_file) as handle:
+            gate = json.load(handle)
+        assert not gate["ok"]
+        assert gate["findings"][0]["status"] == "regression"
+
+    def test_perf_check_empty_history_is_an_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "none.jsonl")
+        assert main(["perf", "check", "--history", missing]) == 2
+        assert "no readable history entries" in capsys.readouterr().err

@@ -24,6 +24,11 @@ MODULES = [
     "repro.obs.tracing",
     "repro.obs.metrics",
     "repro.obs.observability",
+    "repro.obs.analysis",
+    "repro.perf",
+    "repro.perf.history",
+    "repro.perf.regress",
+    "repro.perf.replay",
 ]
 
 

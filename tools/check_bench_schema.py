@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Validate the benchmark-history file against its schema.
+
+CI runs the gate's data path end to end and then::
+
+    python tools/check_bench_schema.py --history BENCH_history.jsonl
+
+Checks (each is part of the documented history contract — see
+``src/repro/perf/history.py`` and ``docs/ARCHITECTURE.md``,
+"Telemetry analysis & perf gates"):
+
+One JSON object per line with keys ``schema`` / ``bench`` /
+``timestamp_s`` / ``git_sha`` / ``machine`` / ``timings_ms`` /
+``context``; the schema tag is a known version; timings are non-empty
+maps of non-negative numbers; the machine record carries a
+``fingerprint``; timestamps are positive and non-decreasing per bench
+(the gate treats file order as time order); contexts are JSON objects.
+
+Exit status 0 = valid, 1 = any violation (printed one per line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Schema versions this checker understands.
+KNOWN_SCHEMAS = (1,)
+
+ENTRY_KEYS = {"schema", "bench", "timestamp_s", "git_sha", "machine",
+              "timings_ms", "context"}
+
+
+def check_history(path: str, errors: list[str]) -> int:
+    """Validate a history JSONL file; returns the number of entries."""
+    last_timestamp: dict[str, float] = {}
+    entries = 0
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{path}:{lineno}: not JSON ({exc})")
+                continue
+            if not isinstance(entry, dict):
+                errors.append(f"{path}:{lineno}: entry is not an object")
+                continue
+            missing = ENTRY_KEYS - entry.keys()
+            if missing:
+                errors.append(
+                    f"{path}:{lineno}: entry missing keys {sorted(missing)}"
+                )
+                continue
+            entries += 1
+            if entry["schema"] not in KNOWN_SCHEMAS:
+                errors.append(
+                    f"{path}:{lineno}: unknown schema {entry['schema']!r} "
+                    f"(known: {list(KNOWN_SCHEMAS)})"
+                )
+            if not isinstance(entry["bench"], str) or not entry["bench"]:
+                errors.append(f"{path}:{lineno}: bench must be a non-empty "
+                              f"string, got {entry['bench']!r}")
+                continue
+            timings = entry["timings_ms"]
+            if not isinstance(timings, dict) or not timings:
+                errors.append(
+                    f"{path}:{lineno}: timings_ms must be a non-empty object"
+                )
+            else:
+                for name, value in timings.items():
+                    if not isinstance(value, (int, float)) or value < 0:
+                        errors.append(
+                            f"{path}:{lineno}: timing {name!r} has bad "
+                            f"value {value!r}"
+                        )
+            machine = entry["machine"]
+            if (not isinstance(machine, dict)
+                    or not machine.get("fingerprint")):
+                errors.append(
+                    f"{path}:{lineno}: machine record lacks a fingerprint"
+                )
+            if not isinstance(entry["context"], dict):
+                errors.append(
+                    f"{path}:{lineno}: context must be a JSON object"
+                )
+            timestamp = entry["timestamp_s"]
+            if not isinstance(timestamp, (int, float)) or timestamp <= 0:
+                errors.append(
+                    f"{path}:{lineno}: bad timestamp_s {timestamp!r}"
+                )
+            else:
+                bench = entry["bench"]
+                if timestamp < last_timestamp.get(bench, 0.0):
+                    errors.append(
+                        f"{path}:{lineno}: {bench} timestamps go backwards "
+                        f"({timestamp} < {last_timestamp[bench]}) — file "
+                        f"order must be time order"
+                    )
+                last_timestamp[bench] = timestamp
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="history JSONL to validate")
+    args = parser.parse_args(argv)
+    errors: list[str] = []
+    count = check_history(args.history, errors)
+    print(f"{args.history}: {count} entries")
+    for error in errors:
+        print(f"SCHEMA ERROR: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    print("bench-history schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Forbid raw stdlib timers in the engine package.
+"""Forbid raw stdlib timers in the engine and perf packages.
 
-All engine timing must go through :mod:`repro.obs.clock` — the single
-timing source that traces, metrics, and ``CascadeStats`` share.  A raw
+All engine and perf-subsystem timing must go through
+:mod:`repro.obs.clock` — the single timing source that traces, metrics,
+``CascadeStats``, and the benchmark history share.  A raw
 ``time.perf_counter()`` (or ``time.time()`` / ``time.monotonic()``)
-call sneaking into ``src/repro/engine/`` would produce timings that can
+call sneaking into a linted package would produce timings that can
 drift from what the observability layer reports, so this grep-style
 lint fails CI when one appears outside a comment or docstring.
 
@@ -25,7 +26,7 @@ import sys
 import tokenize
 
 #: Packages in which raw timers are forbidden.
-LINTED_DIRS = ("src/repro/engine",)
+LINTED_DIRS = ("src/repro/engine", "src/repro/perf")
 
 #: The allowed home of the timer wrappers.
 ALLOWED_FILES = ("src/repro/obs/clock.py",)
