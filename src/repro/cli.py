@@ -17,6 +17,11 @@ The telemetry loop closes through two more groups::
     repro perf record  --bench cascade --json BENCH_cascade.json
     repro perf check                                # regression gate
     repro perf replay  --workload wl.jsonl --index index.npz
+
+And the serving layer::
+
+    repro serve        --index index.npz --hum hum.npy --clients 8
+    repro bench-serve  --quick                      # batching vs direct
 """
 
 from __future__ import annotations
@@ -202,6 +207,157 @@ def _cmd_query(args) -> int:
             if args.workload_out:
                 print(f"wrote workload records to {args.workload_out}",
                       file=info)
+
+
+def _cmd_serve(args) -> int:
+    """Serve hums concurrently through the micro-batching service."""
+    from .persistence import load_index
+    from .serve import AdmissionPolicy, QBHService, RetryPolicy
+    from .serve.loadgen import RequestSpec, run_load, service_dispatch
+
+    obs = None
+    if args.trace_out or args.metrics_out:
+        from .obs import Observability
+
+        obs = Observability.to_files(
+            trace_out=args.trace_out, metrics_out=args.metrics_out,
+        )
+    try:
+        index = load_index(args.index)
+        if obs is not None:
+            index.set_observability(obs)
+        hums = [_load_hum(path) for path in args.hum]
+        admission = AdmissionPolicy(
+            max_queue_depth=args.max_queue_depth,
+            default_deadline_s=(args.deadline_ms / 1e3
+                                if args.deadline_ms is not None else None),
+        )
+        service = QBHService.from_index(
+            index,
+            max_batch=args.max_batch,
+            linger_ms=args.linger_ms,
+            admission=admission,
+            retry=RetryPolicy(),
+            cache_size=args.cache_size,
+            cache_ttl_s=args.ttl_s,
+            workers=args.workers,
+        )
+        # Each hum is requested --repeat times; interleaving the hums
+        # round-robin gives the scheduler real concurrent variety.
+        specs = [RequestSpec(kind="knn", param=args.k, query_index=i)
+                 for _ in range(args.repeat) for i in range(len(hums))]
+        try:
+            report = run_load(
+                service_dispatch(service), specs, hums,
+                clients=args.clients, mode="service",
+            )
+            report.saturation = service.saturation()
+            # Answer rows: one (cached) authoritative lookup per hum.
+            for path, hum in zip(args.hum, hums):
+                outcome = service.knn(hum, args.k)
+                print(f"\n{path}:")
+                if outcome.ok:
+                    _print_hits(outcome.results)
+                else:
+                    print(f"  <{outcome.status}>")
+        finally:
+            service.close()
+        by_status = ", ".join(f"{status}={count}" for status, count
+                              in sorted(report.by_status.items()))
+        lat = report.latency_percentiles()
+        print(f"\nserved {report.completed} requests "
+              f"({by_status}) from {args.clients} clients "
+              f"in {report.wall_s:.3f}s  ({report.qps:.1f} qps)")
+        print(f"latency ms: p50={lat['p50'] * 1e3:.2f}  "
+              f"p95={lat['p95'] * 1e3:.2f}  p99={lat['p99'] * 1e3:.2f}")
+        if args.stats:
+            saturation = report.saturation
+            print("\nsaturation:")
+            for key in ("submitted", "completed", "ok", "shed",
+                        "deadline_exceeded", "error", "cache_hits",
+                        "executed"):
+                print(f"  {key:<18} {saturation[key]}")
+            print(f"  {'shed_rate':<18} {saturation['shed_rate']:.1%}")
+            print(f"  {'deadline_miss_rate':<18} "
+                  f"{saturation['deadline_miss_rate']:.1%}")
+            print(f"  {'cache_hit_rate':<18} "
+                  f"{saturation['cache_hit_rate']:.1%}")
+        return 0
+    finally:
+        if obs is not None:
+            obs.close()
+            if args.trace_out:
+                print(f"wrote trace spans to {args.trace_out}")
+            if args.metrics_out:
+                print(f"wrote metrics snapshot to {args.metrics_out}")
+
+
+def _cmd_bench_serve(args) -> int:
+    """Closed-loop serving benchmark: micro-batching vs direct dispatch."""
+    import json
+
+    from .datasets.generators import random_walks
+    from .engine import QueryEngine
+    from .serve import QBHService
+    from .serve.loadgen import (
+        direct_dispatch,
+        parity_mismatches,
+        run_load,
+        service_dispatch,
+        zipf_workload,
+    )
+
+    if args.quick:
+        corpus_size, length = 200, 64
+        total, pool = 64, 16
+    else:
+        corpus_size, length = args.corpus_size, args.length
+        total, pool = args.requests, args.pool
+    corpus = random_walks(corpus_size, length, seed=5)
+    engine = QueryEngine(list(corpus), delta=0.1)
+    rng = np.random.default_rng(6)
+    queries = [corpus[i % corpus_size] + 0.15 * rng.normal(size=length)
+               for i in range(pool)]
+    specs = zipf_workload(total, pool, s=args.zipf_s, seed=7,
+                          kinds=("knn", "range"), knn_k=args.k,
+                          epsilon=args.epsilon)
+
+    direct = run_load(direct_dispatch(engine), specs, queries,
+                      clients=args.clients, mode="direct")
+    service = QBHService.from_engine(
+        engine, max_batch=args.max_batch, linger_ms=args.linger_ms,
+        cache_size=args.cache_size,
+    )
+    try:
+        served = run_load(service_dispatch(service), specs, queries,
+                          clients=args.clients, mode="service")
+        served.saturation = service.saturation()
+    finally:
+        service.close()
+
+    mismatches = parity_mismatches(direct, served)
+    speedup = served.qps / direct.qps if direct.qps else float("inf")
+    print(f"workload: {total} requests over {pool} queries "
+          f"(zipf s={args.zipf_s}), corpus {corpus_size}x{length}, "
+          f"{args.clients} clients")
+    for report in (direct, served):
+        lat = report.latency_percentiles()
+        print(f"{report.mode:<8} {report.qps:8.1f} qps   "
+              f"p50 {lat['p50'] * 1e3:7.2f} ms   "
+              f"p95 {lat['p95'] * 1e3:7.2f} ms")
+    print(f"speedup {speedup:.2f}x   parity mismatches {mismatches}")
+    if args.json:
+        payload = {
+            "direct": direct.to_dict(),
+            "service": served.to_dict(),
+            "speedup": speedup,
+            "parity_mismatches": mismatches,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote report to {args.json}")
+    return 0 if mismatches == 0 else 1
 
 
 def _cmd_obs_report(args) -> int:
@@ -572,6 +728,77 @@ def build_parser() -> argparse.ArgumentParser:
                               "parameters, exact results) as replayable "
                               "JSONL for 'repro perf replay'")
     p_query.set_defaults(func=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve hums concurrently with micro-batching, deadlines, "
+             "and a result cache",
+    )
+    p_serve.add_argument("--index", required=True)
+    p_serve.add_argument("--hum", required=True, nargs="+",
+                         help=".npy pitch series or .mid melody; the "
+                              "request mix cycles over all of them")
+    p_serve.add_argument("-k", type=int, default=10)
+    p_serve.add_argument("--clients", type=int, default=8,
+                         help="concurrent closed-loop clients (default: 8)")
+    p_serve.add_argument("--repeat", type=int, default=4,
+                         help="requests per hum (default: 4)")
+    p_serve.add_argument("--max-batch", type=int, default=8,
+                         help="micro-batch size cap (default: 8)")
+    p_serve.add_argument("--linger-ms", type=float, default=2.0,
+                         help="batching window in ms (default: 2)")
+    p_serve.add_argument("--deadline-ms", type=float,
+                         help="per-request deadline; lapsed requests "
+                              "return deadline_exceeded, never results")
+    p_serve.add_argument("--max-queue-depth", type=int, default=64,
+                         help="admission bound: arrivals past this are "
+                              "shed with a retry hint (default: 64)")
+    p_serve.add_argument("--cache-size", type=int, default=1024,
+                         help="result-cache entries, 0 disables "
+                              "(default: 1024)")
+    p_serve.add_argument("--ttl-s", type=float,
+                         help="result-cache time-to-live in seconds")
+    p_serve.add_argument("--workers", type=int,
+                         help="threads executing distinct queries of one "
+                              "batch (default: serial)")
+    p_serve.add_argument("--stats", action="store_true",
+                         help="print the saturation counters after the run")
+    p_serve.add_argument("--trace-out", metavar="FILE",
+                         help="export serve:request/serve:batch and engine "
+                              "spans as JSONL (feeds 'repro obs report')")
+    p_serve.add_argument("--metrics-out", metavar="FILE",
+                         help="write a metrics-registry snapshot (JSON) "
+                              "after serving")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_bench_serve = sub.add_parser(
+        "bench-serve",
+        help="closed-loop load benchmark: micro-batching service vs "
+             "direct per-query dispatch (exits 1 on parity mismatch)",
+    )
+    p_bench_serve.add_argument("--quick", action="store_true",
+                               help="small smoke-sized workload")
+    p_bench_serve.add_argument("--requests", type=int, default=160,
+                               help="total requests (default: 160)")
+    p_bench_serve.add_argument("--pool", type=int, default=32,
+                               help="distinct queries drawn from "
+                                    "(default: 32)")
+    p_bench_serve.add_argument("--corpus-size", type=int, default=800,
+                               help="in-memory corpus rows (default: 800)")
+    p_bench_serve.add_argument("--length", type=int, default=128,
+                               help="series length (default: 128)")
+    p_bench_serve.add_argument("--zipf-s", type=float, default=1.3,
+                               help="popularity skew exponent "
+                                    "(default: 1.3)")
+    p_bench_serve.add_argument("--clients", type=int, default=8)
+    p_bench_serve.add_argument("-k", type=int, default=5)
+    p_bench_serve.add_argument("--epsilon", type=float, default=4.0)
+    p_bench_serve.add_argument("--max-batch", type=int, default=8)
+    p_bench_serve.add_argument("--linger-ms", type=float, default=2.0)
+    p_bench_serve.add_argument("--cache-size", type=int, default=1024)
+    p_bench_serve.add_argument("--json", metavar="FILE",
+                               help="also write the comparison as JSON")
+    p_bench_serve.set_defaults(func=_cmd_bench_serve)
 
     p_obs = sub.add_parser(
         "obs", help="analyze exported observability data"

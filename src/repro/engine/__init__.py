@@ -16,6 +16,7 @@ from .cascade import (
     QueryEngine,
     StageStats,
 )
+from .errors import QueryAborted
 from .stages import (
     batch_gap_distance,
     lb_envelope_batch,
@@ -25,6 +26,7 @@ from .stages import (
 
 __all__ = [
     "QueryEngine",
+    "QueryAborted",
     "CascadeStats",
     "StageStats",
     "STAGE_ORDER",

@@ -74,10 +74,11 @@ from ..dtw.kernels import DEFAULT_BACKEND, KernelStats, get_kernel
 from ..index.stats import QueryStats
 from ..obs import OBS_DISABLED, Observability
 from ..obs.clock import monotonic_s
+from .errors import QueryAborted
 from .stages import lb_envelope_batch, lb_first_last_batch, lb_lemire_batch
 
 __all__ = ["QueryEngine", "CascadeStats", "StageStats", "STAGE_ORDER",
-           "DEFAULT_STAGES"]
+           "DEFAULT_STAGES", "QueryAborted"]
 
 #: All known stage names, cheapest first.
 STAGE_ORDER = ("first_last", "keogh_paa", "new_paa", "lb_keogh", "lemire")
@@ -383,6 +384,19 @@ def _query_span_attrs(stats: CascadeStats) -> dict:
     }
 
 
+def _maybe_abort(should_abort, phase: str) -> None:
+    """Cooperative-cancellation checkpoint: poll the callback, if any.
+
+    Raises :class:`~repro.engine.errors.QueryAborted` tagged with
+    *phase* the moment the callback returns true.  Checkpoints sit
+    before every cascade stage and between refine chunks, so an abort
+    (e.g. a missed serving deadline) cuts work short without ever
+    producing a partial — and therefore possibly wrong — answer.
+    """
+    if should_abort is not None and should_abort():
+        raise QueryAborted(phase=phase)
+
+
 def _kernel_snapshot(ks: KernelStats | None):
     """Counter snapshot for span attribution (``None`` when untracked)."""
     if ks is None:
@@ -680,7 +694,7 @@ class QueryEngine:
     # ------------------------------------------------------------------
 
     def range_search(
-        self, query, epsilon: float
+        self, query, epsilon: float, *, should_abort=None
     ) -> tuple[list[tuple[object, float]], CascadeStats]:
         """All series within DTW distance *epsilon*, with stage stats.
 
@@ -688,6 +702,11 @@ class QueryEngine:
         stage is a lower bound, and survivors are refined with the
         exact banded DTW.  Results are ``(id, distance)`` pairs sorted
         by distance.
+
+        *should_abort*, when given, is a zero-argument callable polled
+        before every stage and between refine chunks; the query raises
+        :class:`QueryAborted` as soon as it returns true (cooperative
+        cancellation — the serving layer's deadline mechanism).
         """
         if epsilon < 0:
             raise ValueError(f"epsilon must be >= 0, got {epsilon}")
@@ -704,11 +723,13 @@ class QueryEngine:
             alive = np.arange(m)
             bounds = np.zeros(m)
             for name in self.stages:
+                _maybe_abort(should_abort, "stage:" + name)
                 alive, stage, _ = self._run_stage(
                     name, ctx, alive, bounds, float(epsilon)
                 )
                 stats.stages.append(stage)
 
+            _maybe_abort(should_abort, "refine")
             exact_started = monotonic_s()
             # Best-first order: candidates most likely to be answers
             # first, so a consumer streaming the results sees hits early.
@@ -736,6 +757,7 @@ class QueryEngine:
                     else:
                         refine = ctx.refine
                         for row in alive:
+                            _maybe_abort(should_abort, "refine")
                             dist = refine(self._data[row], epsilon)
                             stats.dtw_computations += 1
                             if math.isinf(dist):
@@ -759,7 +781,7 @@ class QueryEngine:
         return results, stats
 
     def knn(
-        self, query, k: int
+        self, query, k: int, *, should_abort=None
     ) -> tuple[list[tuple[object, float]], CascadeStats]:
         """The *k* nearest series under the banded DTW, with stage stats.
 
@@ -769,6 +791,10 @@ class QueryEngine:
         candidates are refined best-first with early-abandoning DTW —
         the optimal multi-step stop (no unexamined candidate's lower
         bound is below the final k-th distance).
+
+        *should_abort* works as in :meth:`range_search`: polled before
+        every stage and before each refine chunk, raising
+        :class:`QueryAborted` on the first true return.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -811,6 +837,7 @@ class QueryEngine:
                 earlier radius dominates, so it can never be abandoned.
                 """
                 nonlocal exact_time
+                _maybe_abort(should_abort, "refine")
                 refined[rows] = True
                 cutoff = radius()
                 with self.obs.span("refine", rows=int(rows.size)):
@@ -845,6 +872,7 @@ class QueryEngine:
                     exact_time += monotonic_s() - refine_started
 
             for position, name in enumerate(self.stages):
+                _maybe_abort(should_abort, "stage:" + name)
                 alive, stage, sspan = self._run_stage(
                     name, ctx, alive, bounds, radius()
                 )
@@ -942,7 +970,8 @@ class QueryEngine:
         return all_results, merged
 
     def range_search_many(
-        self, queries, epsilon: float, *, workers: int | None = None
+        self, queries, epsilon: float, *, workers: int | None = None,
+        should_abort=None,
     ) -> tuple[list[list[tuple[object, float]]], CascadeStats]:
         """Serve a batch of ε-range queries, sharded across threads.
 
@@ -950,21 +979,35 @@ class QueryEngine:
         query order and identical to one :meth:`range_search` call per
         query; the :class:`CascadeStats` is the per-stage sum over the
         batch with ``total_time_s`` measuring the batch wall clock.
+
+        *should_abort* is shared by every query in the batch: the first
+        true return aborts the whole call with :class:`QueryAborted`
+        (per-request deadlines belong one level up, in
+        :mod:`repro.serve`, where each request owns its own future).
         """
         return self._search_many(
-            queries, lambda query: self.range_search(query, epsilon), workers
+            queries,
+            lambda query: self.range_search(
+                query, epsilon, should_abort=should_abort
+            ),
+            workers,
         )
 
     def knn_many(
-        self, queries, k: int, *, workers: int | None = None
+        self, queries, k: int, *, workers: int | None = None,
+        should_abort=None,
     ) -> tuple[list[list[tuple[object, float]]], CascadeStats]:
         """Serve a batch of k-NN queries, sharded across threads.
 
         Returns ``(per_query_results, merged_stats)`` in query order;
         answers are identical to sequential :meth:`knn` calls.
+        *should_abort* is shared batch-wide, as in
+        :meth:`range_search_many`.
         """
         return self._search_many(
-            queries, lambda query: self.knn(query, k), workers
+            queries,
+            lambda query: self.knn(query, k, should_abort=should_abort),
+            workers,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,40 @@
+"""Typed engine errors.
+
+:class:`QueryAborted` is the cooperative-cancellation signal of the
+query path: when a caller passes ``should_abort=`` to
+:meth:`~repro.engine.QueryEngine.range_search` /
+:meth:`~repro.engine.QueryEngine.knn`, the engine polls the callback
+at its natural checkpoints — before every cascade stage and between
+refine chunks — and raises this exception the moment it returns true.
+An aborted query therefore never produces a *wrong* answer, only no
+answer: the serving layer (:mod:`repro.serve`) maps the exception to a
+``deadline_exceeded`` outcome, and standalone callers can use it to
+bound per-query work (a watchdog, a user hitting cancel, a cooperative
+scheduler's time slice).
+"""
+
+from __future__ import annotations
+
+__all__ = ["QueryAborted"]
+
+
+class QueryAborted(RuntimeError):
+    """A query was cancelled by its ``should_abort`` callback.
+
+    Attributes
+    ----------
+    phase:
+        Where the engine was when the callback fired — ``"stage:<name>"``
+        for a checkpoint before a filter stage, ``"refine"`` for a
+        checkpoint between exact-refinement chunks.  Useful to assert
+        that cancellation is actually cooperative (the phases seen
+        under load cover the whole cascade) and to debug deadlines
+        that only ever fire in one place.
+    """
+
+    def __init__(self, message: str = "query aborted", *,
+                 phase: str | None = None) -> None:
+        if phase is not None:
+            message = f"{message} (phase: {phase})"
+        super().__init__(message)
+        self.phase = phase

@@ -77,6 +77,12 @@ class WarpingIndex:
         ``"scalar"``.  A pure serving knob — results are identical —
         and reassignable after construction (``index.dtw_backend =
         "scalar"``).
+    workers:
+        Default thread-pool size handed to cached cascade engines for
+        ``*_many`` batch calls.  ``None`` (default) lets the engine
+        pick (``os.cpu_count()``).  Another pure serving knob, and
+        round-tripped by :mod:`repro.persistence` so a restarted
+        service behaves identically.
     obs:
         An :class:`~repro.obs.Observability` facade.  Attaches to the
         R*-tree/grid query paths (``index.*`` metrics, ``query`` spans)
@@ -97,6 +103,7 @@ class WarpingIndex:
         ids: Sequence | None = None,
         metric: str = "euclidean",
         dtw_backend: str | None = None,
+        workers: int | None = None,
         obs: Observability | None = None,
     ) -> None:
         self.obs = OBS_DISABLED if obs is None else obs
@@ -113,6 +120,14 @@ class WarpingIndex:
         backend = DEFAULT_BACKEND if dtw_backend is None else dtw_backend
         get_kernel(backend)  # validate the name now, not at query time
         self.dtw_backend = backend
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        #: Monotonic mutation counter: bumped by every ``insert`` /
+        #: ``remove``.  The serving layer's result cache keys entries by
+        #: this version, so any index mutation invalidates stale answers
+        #: without the cache having to subscribe to anything.
+        self.mutations = 0
         self.normal_form = normal_form or NormalForm()
         if self.normal_form.length is None:
             raise ValueError("WarpingIndex requires a fixed normal-form length")
@@ -191,6 +206,7 @@ class WarpingIndex:
         self._features = np.vstack([self._features, features])
         self.ids.append(item_id)
         self._engines.clear()
+        self.mutations += 1
 
     def remove(self, item_id) -> None:
         """Remove one series from the index.
@@ -208,6 +224,7 @@ class WarpingIndex:
         self.ids.pop(row)
         self._id_to_row = {iid: r for r, iid in enumerate(self.ids)}
         self._engines.clear()
+        self.mutations += 1
 
     def _query_rectangle(
         self, query
@@ -388,6 +405,7 @@ class WarpingIndex:
                 ids=list(self.ids),
                 metric=self.metric,
                 dtw_backend=backend,
+                workers=self.workers,
                 obs=self.obs,
             )
         return self._engines[key]

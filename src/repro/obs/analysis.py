@@ -44,11 +44,13 @@ from .metrics import Histogram
 
 __all__ = [
     "SPAN_LATENCY_BUCKETS_S",
+    "SERVE_OCCUPANCY_BUCKETS",
     "TraceReadStats",
     "iter_span_lines",
     "read_traces",
     "percentile_from_histogram",
     "StageAggregate",
+    "ServeAggregate",
     "SpanLatency",
     "TraceReport",
     "analyze_traces",
@@ -63,6 +65,11 @@ SPAN_LATENCY_BUCKETS_S = (
     1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05,
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
+
+#: Histogram edges for micro-batch occupancy (batch size over
+#: ``max_batch``, a fraction in (0, 1]).  Sixteenths: fine enough to
+#: resolve every occupancy level of the default ``max_batch`` range.
+SERVE_OCCUPANCY_BUCKETS = tuple(i / 16 for i in range(1, 17))
 
 #: Span-dict keys every valid trace line must carry (the JSONL schema
 #: of :meth:`repro.obs.tracing.Span.to_dict`).
@@ -253,6 +260,102 @@ class StageAggregate:
 
 
 @dataclass
+class ServeAggregate:
+    """Serving-layer accounting from ``serve:request``/``serve:batch``.
+
+    The serving layer (:mod:`repro.serve`) emits *instant* root spans
+    whose attributes carry the real timings — queue wait and service
+    time for requests, size/occupancy for dispatched micro-batches —
+    so the analysis reads attributes, never span durations, and the
+    engine's ``query`` root spans stay untouched underneath.
+    """
+
+    requests: int = 0
+    by_status: dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    coalesced: int = 0
+    queue_wait: Histogram = field(default_factory=lambda: Histogram(
+        "serve.queue_wait_seconds", {}, SPAN_LATENCY_BUCKETS_S
+    ))
+    service_time: Histogram = field(default_factory=lambda: Histogram(
+        "serve.request_seconds", {}, SPAN_LATENCY_BUCKETS_S
+    ))
+    occupancy: Histogram = field(default_factory=lambda: Histogram(
+        "serve.batch_occupancy", {}, SERVE_OCCUPANCY_BUCKETS
+    ))
+
+    def add_request(self, attrs: dict) -> None:
+        """Fold one ``serve:request`` span's attributes in."""
+        self.requests += 1
+        status = attrs.get("status", "ok")
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+        if attrs.get("from_cache"):
+            self.cache_hits += 1
+        self.queue_wait.observe(float(attrs.get("queue_wait_s", 0.0)))
+        self.service_time.observe(float(attrs.get("service_time_s", 0.0)))
+
+    def add_batch(self, attrs: dict) -> None:
+        """Fold one ``serve:batch`` span's attributes in."""
+        self.batches += 1
+        size = int(attrs.get("size", 0))
+        self.batched_requests += size
+        self.coalesced += size - int(attrs.get("distinct", size))
+        max_batch = int(attrs.get("max_batch", 0))
+        if max_batch > 0:
+            self.occupancy.observe(min(1.0, size / max_batch))
+
+    def _rate(self, status: str) -> float:
+        if not self.requests:
+            return 0.0
+        return self.by_status.get(status, 0) / self.requests
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of requests refused by admission control."""
+        return self._rate("shed")
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of requests that ran out of deadline."""
+        return self._rate("deadline_exceeded")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requests answered from the result cache."""
+        if not self.requests:
+            return 0.0
+        return self.cache_hits / self.requests
+
+    def _percentiles(self, hist: Histogram) -> dict:
+        merged = hist.merged()
+        return {
+            "count": merged["count"],
+            "p50": percentile_from_histogram(merged, 0.50),
+            "p95": percentile_from_histogram(merged, 0.95),
+            "p99": percentile_from_histogram(merged, 0.99),
+            "max": merged["max"] if merged["count"] else None,
+        }
+
+    def to_dict(self) -> dict:
+        """The serving section as one JSON-ready document."""
+        return {
+            "requests": self.requests,
+            "by_status": dict(self.by_status),
+            "shed_rate": self.shed_rate,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "cache_hit_rate": self.cache_hit_rate,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "coalesced": self.coalesced,
+            "queue_wait_s": self._percentiles(self.queue_wait),
+            "service_time_s": self._percentiles(self.service_time),
+            "batch_occupancy": self._percentiles(self.occupancy),
+        }
+
+
+@dataclass
 class TraceReport:
     """Everything :func:`analyze_traces` extracts from a trace log."""
 
@@ -266,6 +369,7 @@ class TraceReport:
     dtw_computations: int = 0
     dtw_abandoned: int = 0
     corpus_candidates: int = 0
+    serve: ServeAggregate | None = None
 
     def to_dict(self) -> dict:
         """The full report as one JSON-ready document."""
@@ -279,6 +383,7 @@ class TraceReport:
             "latencies": [row.to_dict() for row in self.latencies],
             "pruning": [row.to_dict() for row in self.stages],
             "critical_paths": list(self.critical_paths),
+            "serve": self.serve.to_dict() if self.serve else None,
         }
 
     def format_folded(self) -> str:
@@ -328,6 +433,45 @@ class TraceReport:
                 out.append(
                     f"  {entry['path']:<40} x{entry['count']:<5} "
                     f"mean {entry['mean_s'] * 1e3:.3f} ms"
+                )
+        if self.serve is not None:
+            serve = self.serve
+            statuses = ", ".join(
+                f"{status} {count}"
+                for status, count in sorted(serve.by_status.items())
+            )
+            out += [
+                "",
+                f"serving: {serve.requests} requests ({statuses})",
+                f"  shed {serve.shed_rate:.1%}  "
+                f"deadline-miss {serve.deadline_miss_rate:.1%}  "
+                f"cache-hit {serve.cache_hit_rate:.1%}",
+            ]
+
+            def _row(label: str, pct: dict, unit_ms: bool) -> str:
+                if not pct["count"]:
+                    return f"  {label:<16}{'-':>9}"
+                scale = 1e3 if unit_ms else 100.0
+                return (
+                    f"  {label:<16}"
+                    f"{pct['p50'] * scale:>9.3f}{pct['p95'] * scale:>9.3f}"
+                    f"{pct['p99'] * scale:>9.3f}{pct['max'] * scale:>9.3f}"
+                )
+
+            out.append(
+                f"  {'':<16}{'p50':>9}{'p95':>9}{'p99':>9}{'max':>9}"
+            )
+            out.append(_row("queue wait ms",
+                            serve._percentiles(serve.queue_wait), True))
+            out.append(_row("service ms",
+                            serve._percentiles(serve.service_time), True))
+            if serve.batches:
+                out.append(_row("occupancy %",
+                                serve._percentiles(serve.occupancy), False))
+                out.append(
+                    f"  batches: {serve.batches} "
+                    f"({serve.batched_requests} requests, "
+                    f"{serve.coalesced} coalesced)"
                 )
         return "\n".join(out)
 
@@ -390,6 +534,19 @@ def analyze_traces(
     paths: dict[str, dict] = {}
 
     for trace in traces:
+        # Serving-layer spans are instant roots whose attributes carry
+        # the real timings; fold them into the serve section and keep
+        # them out of the duration histograms / critical paths, where
+        # their ~0 s durations would only mislead.
+        if len(trace) == 1 and trace[0]["name"].startswith("serve:"):
+            span = trace[0]
+            if report.serve is None:
+                report.serve = ServeAggregate()
+            if span["name"] == "serve:request":
+                report.serve.add_request(span["attrs"])
+            elif span["name"] == "serve:batch":
+                report.serve.add_batch(span["attrs"])
+            continue
         children = _children_index(trace)
         for span in trace:
             hist = hists.get(span["name"])

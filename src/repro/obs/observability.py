@@ -279,6 +279,73 @@ class Observability:
         m.counter("index.dtw_computations_total").inc(stats.dtw_computations)
         m.counter("index.results_total").inc(stats.results)
 
+    def record_serve_request(self, kind: str, status: str,
+                             queue_wait_s: float, service_time_s: float,
+                             *, from_cache: bool = False) -> None:
+        """Fold one finished serving-layer request into metrics + spans.
+
+        *kind* is ``"range"`` or ``"knn"``; *status* one of the
+        :class:`~repro.serve.scheduler.ServeOutcome` statuses (``ok``,
+        ``shed``, ``deadline_exceeded``, ``error``, ``shutdown``).
+        Emits an *instant* root span ``serve:request`` whose attributes
+        carry the real timings — deliberately not a span *around* the
+        engine call, which would re-parent the engine's ``query`` root
+        spans and break every trace consumer that counts roots.
+        """
+        m = self.metrics
+        m.counter("serve.requests_total", kind=kind, status=status).inc()
+        m.histogram("serve.queue_wait_seconds", kind=kind).observe(
+            queue_wait_s
+        )
+        m.histogram("serve.request_seconds", kind=kind).observe(
+            service_time_s
+        )
+        if from_cache:
+            m.counter("serve.cache_hits_total", kind=kind).inc()
+        if status == "deadline_exceeded":
+            m.counter("serve.deadline_miss_total", kind=kind).inc()
+        elif status == "shed":
+            m.counter("serve.shed_total", kind=kind).inc()
+        with self.span(
+            "serve:request", kind=kind, status=status,
+            queue_wait_s=queue_wait_s, service_time_s=service_time_s,
+            from_cache=bool(from_cache),
+        ):
+            pass
+
+    def record_serve_batch(self, kind: str, size: int, distinct: int,
+                           max_batch: int, service_time_s: float,
+                           queue_depth: int) -> None:
+        """Fold one dispatched micro-batch into metrics + spans.
+
+        *size* counts coalesced requests, *distinct* the deduplicated
+        queries actually executed (``size - distinct`` answers came
+        from request coalescing).  Occupancy — ``size / max_batch`` —
+        lands in a ratio histogram so the analysis layer can report
+        percentiles.  Emits an instant root span ``serve:batch`` (see
+        :meth:`record_serve_request` for why not a wrapping span).
+        """
+        m = self.metrics
+        m.counter("serve.batches_total", kind=kind).inc()
+        m.counter("serve.batched_requests_total", kind=kind).inc(size)
+        m.counter("serve.coalesced_total", kind=kind).inc(size - distinct)
+        if max_batch > 0:
+            m.histogram("serve.batch_occupancy", edges=_RATIO_EDGES).observe(
+                min(1.0, size / max_batch)
+            )
+        m.histogram("serve.batch_seconds", kind=kind).observe(service_time_s)
+        m.gauge("serve.queue_depth").set(queue_depth)
+        with self.span(
+            "serve:batch", kind=kind, size=int(size), distinct=int(distinct),
+            max_batch=int(max_batch), service_time_s=service_time_s,
+            queue_depth=int(queue_depth),
+        ):
+            pass
+
+    def record_serve_cache(self, event: str) -> None:
+        """Count one result-cache probe: ``hit`` / ``miss`` / ``stale``."""
+        self.metrics.counter("serve.cache_probes_total", event=event).inc()
+
     def _check_slow(self, kind: str, stats) -> None:
         if (self.slow_query_s is None
                 or stats.total_time_s < self.slow_query_s):
@@ -320,6 +387,17 @@ class _DisabledObservability(Observability):
         """Do nothing (observability is disabled)."""
 
     def record_index_query(self, kind, stats, duration_s) -> None:
+        """Do nothing (observability is disabled)."""
+
+    def record_serve_request(self, kind, status, queue_wait_s,
+                             service_time_s, *, from_cache=False) -> None:
+        """Do nothing (observability is disabled)."""
+
+    def record_serve_batch(self, kind, size, distinct, max_batch,
+                           service_time_s, queue_depth) -> None:
+        """Do nothing (observability is disabled)."""
+
+    def record_serve_cache(self, event) -> None:
         """Do nothing (observability is disabled)."""
 
 

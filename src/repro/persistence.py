@@ -95,6 +95,11 @@ def save_index(index: WarpingIndex, path: str | os.PathLike) -> None:
         "index_kind": index.index_kind,
         "env_transform": spec,
         "ids": list(index.ids),
+        # Serving knobs: pure performance configuration (results are
+        # identical either way), but a restarted service must behave
+        # identically to the one that saved the file.
+        "dtw_backend": index.dtw_backend,
+        "workers": index.workers,
     }
     arrays = {
         "data": index._data,
@@ -126,6 +131,10 @@ def load_index(path: str | os.PathLike) -> WarpingIndex:
         ),
         index_kind=config["index_kind"],
         ids=ids,
+        # Older files (same format version) predate the serving knobs;
+        # .get keeps them loadable with the constructor defaults.
+        dtw_backend=config.get("dtw_backend"),
+        workers=config.get("workers"),
     )
 
 

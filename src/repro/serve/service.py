@@ -1,0 +1,384 @@
+""":class:`QBHService` — the concurrent query-serving facade.
+
+Sits above :class:`~repro.engine.QueryEngine` /
+:class:`~repro.index.gemini.WarpingIndex` /
+:class:`~repro.qbh.QueryByHummingSystem` and below the CLI, wiring the
+serving pieces together:
+
+* submissions pass **admission control**
+  (:class:`~repro.serve.admission.AdmissionPolicy`) — full queues shed
+  with a retry hint instead of waiting forever;
+* a **result cache** (:class:`~repro.serve.cache.ResultCache`) answers
+  byte-identical repeats instantly, with versioned invalidation keyed
+  to the index mutation counter;
+* admitted requests flow through the **micro-batching scheduler**
+  (:class:`~repro.serve.scheduler.MicroBatchScheduler`), which
+  coalesces concurrent duplicates and batches compatible queries;
+* execution runs on the engine with **cooperative deadlines**: the
+  engine's ``should_abort`` checkpoints turn a lapsed deadline into a
+  ``deadline_exceeded`` outcome, never a partial answer;
+* everything is accounted: ``serve:request``/``serve:batch`` spans and
+  ``serve.*`` metrics through :mod:`repro.obs`, plus a
+  :meth:`QBHService.saturation` snapshot for load tests.
+
+Answers are exact and identical to direct engine calls — the serving
+layer only changes *when* and *how often* the engine runs, never what
+it computes.  Synchronous (:meth:`range_search` / :meth:`knn`) and
+asynchronous (:meth:`submit` returning a
+:class:`~repro.serve.scheduler.ServeFuture`) submission share one path.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..engine.errors import QueryAborted
+from ..obs import OBS_DISABLED
+from ..obs.clock import monotonic_s
+from .admission import AdmissionPolicy, RetryPolicy, submit_with_retry
+from .cache import ResultCache, request_fingerprint
+from .scheduler import (
+    MicroBatchScheduler,
+    ServeFuture,
+    ServeOutcome,
+    ServeRequest,
+)
+
+__all__ = ["QBHService"]
+
+
+class QBHService:
+    """Concurrent serving over one query engine.
+
+    Parameters
+    ----------
+    engine_fn:
+        Zero-argument callable returning the engine to execute on.
+        Called per batch, so an index that rebuilds its engine after a
+        mutation is always served with the fresh one.
+    version_fn:
+        Zero-argument callable returning the index version (a
+        monotonic mutation counter).  Cache entries are keyed by it;
+        ``None`` pins version 0 (an immutable corpus).
+    normalize:
+        Optional per-query transform applied at *execution* time (the
+        index's normal form).  Fingerprints are taken over the raw
+        query bytes, before this runs.
+    max_batch / linger_ms / dispatchers:
+        Micro-batching dials (see
+        :class:`~repro.serve.scheduler.MicroBatchScheduler`).
+    admission:
+        An :class:`~repro.serve.admission.AdmissionPolicy`; ``None``
+        uses the defaults (queue bound 64, no implicit deadline).
+    retry:
+        A :class:`~repro.serve.admission.RetryPolicy` applied by the
+        *synchronous* methods when a submission is shed; ``None``
+        disables client-side retry (the shed outcome is returned).
+    cache_size / cache_ttl_s:
+        Result-cache dials; ``cache_size=0`` disables caching.
+    workers:
+        Thread-pool size for executing distinct queries of one batch
+        concurrently.  ``None`` or 1 executes serially — the right
+        default on a single-core host, where threads cannot overlap
+        NumPy work.
+    obs:
+        Observability facade (default disabled).
+
+    Prefer the classmethod constructors:
+    :meth:`from_engine`, :meth:`from_index`, :meth:`from_system`.
+    """
+
+    def __init__(self, engine_fn, *, version_fn=None, normalize=None,
+                 max_batch: int = 8,
+                 linger_ms: float = 2.0, dispatchers: int = 1,
+                 admission: AdmissionPolicy | None = None,
+                 retry: RetryPolicy | None = None,
+                 cache_size: int = 1024, cache_ttl_s: float | None = None,
+                 workers: int | None = None, obs=None) -> None:
+        self._engine_fn = engine_fn
+        self._version_fn = version_fn if version_fn is not None else lambda: 0
+        self._normalize = normalize
+        self.obs = OBS_DISABLED if obs is None else obs
+        self.admission = admission if admission is not None else (
+            AdmissionPolicy()
+        )
+        self.retry = retry
+        self.cache = (ResultCache(cache_size, cache_ttl_s)
+                      if cache_size > 0 else None)
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._pool = (ThreadPoolExecutor(max_workers=workers,
+                                         thread_name_prefix="serve-exec")
+                      if workers is not None and workers > 1 else None)
+        self._counters_lock = threading.Lock()
+        self._counters = {
+            "submitted": 0, "completed": 0, "ok": 0, "shed": 0,
+            "deadline_exceeded": 0, "error": 0, "shutdown": 0,
+            "cache_hits": 0, "executed": 0,
+        }
+        self._closed = False
+        self.scheduler = MicroBatchScheduler(
+            self._execute_batch,
+            max_batch=max_batch,
+            linger_s=linger_ms / 1e3,
+            dispatchers=dispatchers,
+            max_queue_depth=self.admission.max_queue_depth,
+            on_complete=self._on_complete,
+            obs=self.obs,
+        )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_engine(cls, engine, **kwargs) -> "QBHService":
+        """Serve one fixed :class:`~repro.engine.QueryEngine`.
+
+        The engine's corpus is immutable from the service's point of
+        view, so the cache version is pinned.
+        """
+        return cls(lambda: engine, **kwargs)
+
+    @classmethod
+    def from_index(cls, index, **kwargs) -> "QBHService":
+        """Serve a :class:`~repro.index.gemini.WarpingIndex`.
+
+        Queries run through the index's cascade engine; the cache is
+        versioned by ``index.mutations``, so every ``insert`` /
+        ``remove`` invalidates stale results automatically.  Requests
+        carry the *raw* query (that is what gets fingerprinted); the
+        index's normal form is applied at execution time, exactly as
+        ``index.cascade_*_query`` would.
+        """
+        kwargs.setdefault("obs", index.obs)
+        return cls(
+            lambda: index.engine(),
+            version_fn=lambda: index.mutations,
+            normalize=index.normal_form.apply,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_system(cls, system, **kwargs) -> "QBHService":
+        """Serve a :class:`~repro.qbh.QueryByHummingSystem`'s index."""
+        return cls.from_index(system.index, **kwargs)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(self, kind: str, query, param, *,
+               deadline_s: float | None = None) -> ServeFuture:
+        """Submit one request; returns a future resolving to its outcome.
+
+        *kind* is ``"range"`` (param = epsilon) or ``"knn"`` (param =
+        k); *deadline_s* is relative seconds from now (``None`` uses
+        the admission policy's default).  The future resolves to a
+        :class:`~repro.serve.scheduler.ServeOutcome` — immediately for
+        cache hits and shed requests, after dispatch otherwise.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        query = np.ascontiguousarray(query, dtype=np.float64)
+        fingerprint = request_fingerprint(query, kind, param)
+        request = ServeRequest(
+            kind=kind, query=query, param=param, fingerprint=fingerprint,
+            deadline_s=self.admission.resolve_deadline(deadline_s),
+        )
+        with self._counters_lock:
+            self._counters["submitted"] += 1
+
+        if self.cache is not None:
+            cached = self.cache.get(fingerprint, self._version_fn())
+            if cached is not None:
+                self.obs.record_serve_cache("hit")
+                self._finish_inline(request, ServeOutcome(
+                    status="ok", results=cached, from_cache=True,
+                ))
+                return request.future
+            self.obs.record_serve_cache("miss")
+
+        if not self.admission.admits(self.scheduler.depth,
+                                     self.scheduler.inflight):
+            self._finish_inline(request, ServeOutcome(
+                status="shed",
+                retry_after_s=self.admission.retry_after_s,
+            ))
+            return request.future
+        if not self.scheduler.submit(request):
+            self._finish_inline(request, ServeOutcome(
+                status="shed",
+                retry_after_s=self.admission.retry_after_s,
+            ))
+        return request.future
+
+    def range_search(self, query, epsilon: float, *,
+                     deadline_s: float | None = None,
+                     timeout: float | None = None) -> ServeOutcome:
+        """Synchronous ε-range request (retrying sheds per policy)."""
+        return self._sync("range", query, float(epsilon),
+                          deadline_s=deadline_s, timeout=timeout)
+
+    def knn(self, query, k: int, *, deadline_s: float | None = None,
+            timeout: float | None = None) -> ServeOutcome:
+        """Synchronous k-NN request (retrying sheds per policy)."""
+        return self._sync("knn", query, int(k),
+                          deadline_s=deadline_s, timeout=timeout)
+
+    def _sync(self, kind, query, param, *, deadline_s, timeout):
+        def once():
+            return self.submit(
+                kind, query, param, deadline_s=deadline_s
+            ).result(timeout)
+
+        if self.retry is None:
+            return once()
+        return submit_with_retry(once, self.retry)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Finish every queued request, then stop dispatching."""
+        self._closed = True
+        self.scheduler.close(drain=True)
+
+    def close(self, *, drain: bool = True) -> None:
+        """Shut the service down (``drain=False`` sheds the queue)."""
+        self._closed = True
+        self.scheduler.close(drain=drain)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QBHService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _finish_inline(self, request: ServeRequest,
+                       outcome: ServeOutcome) -> None:
+        """Resolve a request that never reached the scheduler."""
+        request.future.resolve(outcome)
+        self._on_complete(request, outcome)
+
+    def _on_complete(self, request: ServeRequest,
+                     outcome: ServeOutcome) -> None:
+        with self._counters_lock:
+            self._counters["completed"] += 1
+            self._counters[outcome.status] = (
+                self._counters.get(outcome.status, 0) + 1
+            )
+            if outcome.from_cache:
+                self._counters["cache_hits"] += 1
+        self.obs.record_serve_request(
+            request.kind, outcome.status,
+            outcome.queue_wait_s, outcome.service_time_s,
+            from_cache=outcome.from_cache,
+        )
+
+    def _execute_batch(self, kind, param, requests):
+        """Run one deduplicated batch on the engine (scheduler hook).
+
+        The cache is re-probed here — a duplicate may have populated
+        it while this request waited in the queue — and every computed
+        answer is stored under the version captured *before* the
+        engine ran, so a concurrent index mutation can only waste the
+        entry, never let it serve a stale answer.
+        """
+        engine = self._engine_fn()
+        version = self._version_fn()
+        outcomes: dict[str, ServeOutcome] = {}
+        pending = []
+        for request in requests:
+            cached = (self.cache.get(request.fingerprint, version)
+                      if self.cache is not None else None)
+            if cached is not None:
+                self.obs.record_serve_cache("hit")
+                outcomes[request.fingerprint] = ServeOutcome(
+                    status="ok", results=cached, from_cache=True,
+                )
+            else:
+                pending.append(request)
+
+        def run_one(request: ServeRequest):
+            deadline = request.group_deadline_s
+            should_abort = (
+                None if deadline is None
+                else (lambda: monotonic_s() > deadline)
+            )
+            query = (request.query if self._normalize is None
+                     else self._normalize(request.query))
+            try:
+                if kind == "range":
+                    results, _ = engine.range_search(
+                        query, param, should_abort=should_abort
+                    )
+                else:
+                    results, _ = engine.knn(
+                        query, param, should_abort=should_abort
+                    )
+            except QueryAborted:
+                return request.fingerprint, ServeOutcome(
+                    status="deadline_exceeded"
+                )
+            except Exception as exc:
+                return request.fingerprint, ServeOutcome(
+                    status="error", error=f"{type(exc).__name__}: {exc}",
+                )
+            results = tuple((item, float(dist)) for item, dist in results)
+            if self.cache is not None:
+                self.cache.put(request.fingerprint, version, results)
+            return request.fingerprint, ServeOutcome(
+                status="ok", results=results
+            )
+
+        if self._pool is not None and len(pending) > 1:
+            computed = list(self._pool.map(run_one, pending))
+        else:
+            computed = [run_one(request) for request in pending]
+        with self._counters_lock:
+            self._counters["executed"] += len(pending)
+        outcomes.update(computed)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def saturation(self) -> dict:
+        """A point-in-time snapshot of the service's load counters.
+
+        Includes current queue depth and in-flight count, cumulative
+        outcome counts, shed/deadline-miss rates, batch occupancy, and
+        the cache's own accounting — the numbers an operator watches
+        to decide whether the service is keeping up.
+        """
+        with self._counters_lock:
+            counters = dict(self._counters)
+        completed = counters["completed"]
+        snapshot = {
+            "queue_depth": self.scheduler.depth,
+            "inflight": self.scheduler.inflight,
+            **counters,
+            "shed_rate": counters["shed"] / completed if completed else 0.0,
+            "deadline_miss_rate": (
+                counters["deadline_exceeded"] / completed
+                if completed else 0.0
+            ),
+            "cache_hit_rate": (
+                counters["cache_hits"] / completed if completed else 0.0
+            ),
+        }
+        if self.cache is not None:
+            snapshot["cache"] = self.cache.stats.to_dict()
+        return snapshot

@@ -262,3 +262,76 @@ def test_from_trace_round_trip_tolerates_corrupt_lines(traced_run, tmp_path):
               if s.corpus_size == stats_list[0].corpus_size
               and len(s.stages) == len(stats_list[0].stages)]
     assert len(intact) >= len(stats_list) - 1
+
+
+# ----------------------------------------------------------------------
+# serving-layer rows
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def served_run(tmp_path_factory):
+    """A traced service run: serve spans interleaved with engine spans."""
+    from repro.serve import QBHService
+
+    corpus = random_walks(80, 64, seed=23)
+    rng = np.random.default_rng(24)
+    path = tmp_path_factory.mktemp("serve_trace") / "trace.jsonl"
+    obs = Observability.to_files(trace_out=path)
+    engine = QueryEngine(corpus, band=4, obs=obs)
+    service = QBHService.from_engine(engine, linger_ms=0.0, max_batch=4,
+                                     cache_size=16, obs=obs)
+    try:
+        repeat = corpus[0] + 0.1 * rng.normal(size=64)
+        for _ in range(2):            # second one is a cache hit
+            assert service.knn(repeat, 3).ok
+        for i in range(1, 4):
+            query = corpus[i] + 0.1 * rng.normal(size=64)
+            assert service.range_search(query, 3.0).ok
+    finally:
+        service.close()
+        obs.close()
+    return path
+
+
+def test_report_serve_rows(served_run):
+    """serve:* spans fold into the serving section; engine analysis is
+    untouched by their presence."""
+    report = analyze_traces(read_traces(served_run))
+    serve = report.serve
+    assert serve is not None
+    assert serve.requests == 5
+    assert serve.by_status == {"ok": 5}
+    assert serve.cache_hits == 1
+    assert serve.cache_hit_rate == pytest.approx(0.2)
+    assert serve.batches == 4          # 5 requests, one answered by cache
+    assert serve.batched_requests == 4
+    # occupancy observed for every batch, in (0, 1]
+    occupancy = serve._percentiles(serve.occupancy)
+    assert occupancy["count"] == 4
+    assert 0.0 < occupancy["max"] <= 1.0
+    # the engine's own query spans still aggregate as before
+    assert report.queries == 4
+    # serve spans are instant roots: they must not leak into latencies
+    assert not any(lat.name.startswith("serve:")
+                   for lat in report.latencies)
+
+
+def test_report_serve_rows_render_and_roundtrip(served_run):
+    report = analyze_traces(read_traces(served_run))
+    table = report.format_table()
+    assert "serving:" in table
+    assert "cache-hit" in table
+    assert "queue wait" in table or "queue_wait" in table
+    doc = report.to_dict()
+    assert doc["serve"]["requests"] == 5
+    assert doc["serve"]["by_status"] == {"ok": 5}
+    json.dumps(doc)  # JSON-ready end to end
+
+
+def test_report_without_serve_spans_has_no_serve_section(traced_run):
+    path, _ = traced_run
+    report = analyze_traces(read_traces(path))
+    assert report.serve is None
+    assert report.to_dict()["serve"] is None
+    assert "serving:" not in report.format_table()

@@ -70,6 +70,44 @@ class TestIndexRoundtrip:
         save_index(index, path)
         assert load_index(path).ids == ids
 
+    def test_serving_knobs_roundtrip(self, walks, tmp_path):
+        """dtw_backend and workers survive save/load (regression).
+
+        A restarted service must behave identically to the one that
+        saved the file: same refine kernel, same batch pool size.
+        """
+        index = WarpingIndex(
+            walks, delta=0.1, normal_form=NormalForm(length=64),
+            dtw_backend="scalar", workers=4,
+        )
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.dtw_backend == "scalar"
+        assert loaded.workers == 4
+        assert loaded.engine().dtw_backend == "scalar"
+        assert loaded.engine().workers == 4
+
+    def test_serving_knobs_default_when_absent(self, walks, tmp_path):
+        """Files written before the serving knobs still load."""
+        import json
+
+        index = WarpingIndex(walks[:5], delta=0.1,
+                             normal_form=NormalForm(length=64))
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        data = dict(np.load(path))
+        config = json.loads(bytes(data["config"]).decode())
+        del config["dtw_backend"]
+        del config["workers"]
+        data["config"] = np.frombuffer(
+            json.dumps(config).encode(), dtype=np.uint8
+        )
+        np.savez(path, **data)
+        loaded = load_index(path)
+        assert loaded.dtw_backend == index.dtw_backend
+        assert loaded.workers is None
+
     def test_bad_version_rejected(self, walks, tmp_path):
         import json
 

@@ -29,6 +29,12 @@ MODULES = [
     "repro.perf.history",
     "repro.perf.regress",
     "repro.perf.replay",
+    "repro.serve",
+    "repro.serve.scheduler",
+    "repro.serve.admission",
+    "repro.serve.cache",
+    "repro.serve.service",
+    "repro.serve.loadgen",
 ]
 
 

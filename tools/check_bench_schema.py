@@ -104,14 +104,51 @@ def check_history(path: str, errors: list[str]) -> int:
     return entries
 
 
+def check_snapshot(path: str, errors: list[str]) -> None:
+    """Validate one ``BENCH_*.json`` snapshot file.
+
+    A snapshot is the document a benchmark writes before it is
+    ingested into the history: it must be a JSON object whose
+    ``timings_ms`` is a non-empty map of non-negative numbers and
+    whose ``workload`` (the comparability context) is a JSON object.
+    """
+    try:
+        with open(path) as handle:
+            snapshot = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        errors.append(f"{path}: unreadable snapshot ({exc})")
+        return
+    if not isinstance(snapshot, dict):
+        errors.append(f"{path}: snapshot is not a JSON object")
+        return
+    timings = snapshot.get("timings_ms")
+    if not isinstance(timings, dict) or not timings:
+        errors.append(f"{path}: timings_ms must be a non-empty object")
+    else:
+        for name, value in timings.items():
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(
+                    f"{path}: timing {name!r} has bad value {value!r}"
+                )
+    if not isinstance(snapshot.get("workload"), dict):
+        errors.append(f"{path}: workload must be a JSON object")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--history", default="BENCH_history.jsonl",
                         help="history JSONL to validate")
+    parser.add_argument("--snapshot", action="append", default=[],
+                        metavar="FILE",
+                        help="also validate a BENCH_*.json snapshot "
+                             "(repeatable)")
     args = parser.parse_args(argv)
     errors: list[str] = []
     count = check_history(args.history, errors)
     print(f"{args.history}: {count} entries")
+    for snapshot in args.snapshot:
+        check_snapshot(snapshot, errors)
+        print(f"{snapshot}: snapshot checked")
     for error in errors:
         print(f"SCHEMA ERROR: {error}", file=sys.stderr)
     if errors:
