@@ -130,6 +130,7 @@ def _cmd_query(args) -> int:
     # JSON document itself with ``-``); diagnostics move to stderr.
     stats_json = args.stats_json
     info = sys.stderr if stats_json is not None else sys.stdout
+    router = None
     try:
         index = load_index(args.index)
         if obs is not None:
@@ -137,16 +138,33 @@ def _cmd_query(args) -> int:
         if args.dtw_backend:
             index.dtw_backend = args.dtw_backend
         hums = [_load_hum(path) for path in args.hum]
+        shards = args.shards if args.shards is not None else index.shards
+        if shards is not None and shards > 1:
+            # Multi-process serving: the corpus is partitioned across
+            # worker processes and every query fans out; answers (and
+            # merged cascade stats) are identical to the in-process
+            # path, but the kernel work escapes the GIL.
+            from .shard import ShardRouter
+
+            router = ShardRouter.from_index(index, shards=shards)
         # The cascade engine is the instrumented path: stats flags need
-        # its counters, and observability needs its span tree.
-        want_cascade = args.stats or stats_json is not None or obs is not None
+        # its counters, and observability needs its span tree.  The
+        # shard router only speaks cascade.
+        want_cascade = (args.stats or stats_json is not None
+                        or obs is not None or router is not None)
         if len(hums) > 1:
-            # Batch serving: shard the hums across a thread pool and
-            # answer each through the filter cascade (identical to
-            # one-at-a-time).
-            per_hum, cascade = index.cascade_knn_query_many(
-                hums, args.k, workers=args.workers
-            )
+            # Batch serving: shard the hums across a thread pool (or
+            # the worker processes) and answer each through the filter
+            # cascade (identical to one-at-a-time).
+            if router is not None:
+                per_hum, cascade = router.knn_many(
+                    [index.normal_form.apply(hum) for hum in hums],
+                    args.k,
+                )
+            else:
+                per_hum, cascade = index.cascade_knn_query_many(
+                    hums, args.k, workers=args.workers
+                )
             print(f"db={len(index)}  hums={len(hums)}", file=info)
             if stats_json != "-":
                 for path, results in zip(args.hum, per_hum):
@@ -170,7 +188,12 @@ def _cmd_query(args) -> int:
             return 0
         hum = hums[0]
         if want_cascade:
-            results, cascade = index.cascade_knn_query(hum, args.k)
+            if router is not None:
+                results, cascade = router.knn(
+                    index.normal_form.apply(hum), args.k
+                )
+            else:
+                results, cascade = index.cascade_knn_query(hum, args.k)
             if args.stats:
                 print(f"db={len(index)}  filter cascade:", file=info)
                 print(cascade.summary(), file=info)
@@ -197,6 +220,8 @@ def _cmd_query(args) -> int:
             _emit_stats_json(payload, stats_json, info)
         return 0
     finally:
+        if router is not None:
+            router.close()
         if obs is not None:
             obs.close()
             if args.trace_out:
@@ -234,6 +259,7 @@ def _cmd_serve(args) -> int:
         )
         service = QBHService.from_index(
             index,
+            shards=args.shards,
             max_batch=args.max_batch,
             linger_ms=args.linger_ms,
             admission=admission,
@@ -325,8 +351,8 @@ def _cmd_bench_serve(args) -> int:
     direct = run_load(direct_dispatch(engine), specs, queries,
                       clients=args.clients, mode="direct")
     service = QBHService.from_engine(
-        engine, max_batch=args.max_batch, linger_ms=args.linger_ms,
-        cache_size=args.cache_size,
+        engine, shards=args.shards, max_batch=args.max_batch,
+        linger_ms=args.linger_ms, cache_size=args.cache_size,
     )
     try:
         served = run_load(service_dispatch(service), specs, queries,
@@ -337,9 +363,11 @@ def _cmd_bench_serve(args) -> int:
 
     mismatches = parity_mismatches(direct, served)
     speedup = served.qps / direct.qps if direct.qps else float("inf")
+    sharding = (f", {args.shards} shards"
+                if args.shards and args.shards > 1 else "")
     print(f"workload: {total} requests over {pool} queries "
           f"(zipf s={args.zipf_s}), corpus {corpus_size}x{length}, "
-          f"{args.clients} clients")
+          f"{args.clients} clients{sharding}")
     for report in (direct, served):
         lat = report.latency_percentiles()
         print(f"{report.mode:<8} {report.qps:8.1f} qps   "
@@ -352,6 +380,7 @@ def _cmd_bench_serve(args) -> int:
             "service": served.to_dict(),
             "speedup": speedup,
             "parity_mismatches": mismatches,
+            "shards": args.shards or 1,
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -705,6 +734,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--workers", type=int,
                          help="thread-pool size for multi-hum batches "
                               "(default: one per CPU core)")
+    p_query.add_argument("--shards", type=int,
+                         help="answer through N worker processes instead "
+                              "of in-process threads (default: the "
+                              "index's saved shard count, or unsharded)")
     p_query.add_argument("--stats-json", nargs="?", const="-", metavar="FILE",
                          help="emit results + cascade stats as one JSON "
                               "document to FILE (or stdout with no FILE; "
@@ -761,6 +794,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int,
                          help="threads executing distinct queries of one "
                               "batch (default: serial)")
+    p_serve.add_argument("--shards", type=int,
+                         help="partition the index across N worker "
+                              "processes (default: the index's saved "
+                              "shard count, or unsharded)")
     p_serve.add_argument("--stats", action="store_true",
                          help="print the saturation counters after the run")
     p_serve.add_argument("--trace-out", metavar="FILE",
@@ -796,6 +833,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_serve.add_argument("--max-batch", type=int, default=8)
     p_bench_serve.add_argument("--linger-ms", type=float, default=2.0)
     p_bench_serve.add_argument("--cache-size", type=int, default=1024)
+    p_bench_serve.add_argument("--shards", type=int,
+                               help="serve through N shard processes "
+                                    "(default: single-process)")
     p_bench_serve.add_argument("--json", metavar="FILE",
                                help="also write the comparison as JSON")
     p_bench_serve.set_defaults(func=_cmd_bench_serve)

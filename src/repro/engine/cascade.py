@@ -137,6 +137,25 @@ class StageStats:
             "bound_max": self.bound_max,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StageStats":
+        """Rebuild a stage record from its :meth:`to_dict` form.
+
+        Derived fields (``survivors``, ``prune_rate``) are recomputed,
+        so ``StageStats.from_dict(s.to_dict()) == s`` for the stored
+        fields — the round trip the shard tier uses to re-merge
+        worker-process stats.
+        """
+        return cls(
+            name=payload["name"],
+            candidates_in=payload["candidates_in"],
+            pruned=payload["pruned"],
+            wall_time_s=payload["wall_time_s"],
+            bound_min=payload["bound_min"],
+            bound_mean=payload["bound_mean"],
+            bound_max=payload["bound_max"],
+        )
+
     def __add__(self, other: "StageStats") -> "StageStats":
         if not isinstance(other, StageStats):
             return NotImplemented
@@ -248,6 +267,28 @@ class CascadeStats:
             "total_time_s": self.total_time_s,
             "cpu_time_s": self.cpu_time_s,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CascadeStats":
+        """Rebuild a stats record from its :meth:`to_dict` form.
+
+        Lossless for every stored field (the derived
+        ``exact_candidates`` / ``pruned_total`` keys are recomputed
+        from the stages), so dicts shipped across a process boundary
+        re-merge with ``+`` exactly as live objects would — how the
+        shard router keeps ``--stats`` faithful.
+        """
+        return cls(
+            corpus_size=payload["corpus_size"],
+            stages=[StageStats.from_dict(s) for s in payload["stages"]],
+            dtw_computations=payload["dtw_computations"],
+            dtw_abandoned=payload["dtw_abandoned"],
+            exact_skipped=payload["exact_skipped"],
+            results=payload["results"],
+            exact_time_s=payload["exact_time_s"],
+            total_time_s=payload["total_time_s"],
+            cpu_time_s=payload["cpu_time_s"],
+        )
 
     @classmethod
     def from_trace(cls, spans) -> "CascadeStats":

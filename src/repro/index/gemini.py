@@ -83,6 +83,15 @@ class WarpingIndex:
         pick (``os.cpu_count()``).  Another pure serving knob, and
         round-tripped by :mod:`repro.persistence` so a restarted
         service behaves identically.
+    shards:
+        Default worker-**process** count for the sharded serving tier:
+        :meth:`repro.serve.QBHService.from_index` reads it when its own
+        ``shards=`` is not given, partitioning the corpus across that
+        many processes (:class:`~repro.shard.ShardRouter`).  ``None``
+        or ``1`` serves in-process.  A pure serving knob — answers are
+        byte-identical either way — and round-tripped by
+        :mod:`repro.persistence`, so a saved sharded deployment comes
+        back sharded.
     obs:
         An :class:`~repro.obs.Observability` facade.  Attaches to the
         R*-tree/grid query paths (``index.*`` metrics, ``query`` spans)
@@ -104,6 +113,7 @@ class WarpingIndex:
         metric: str = "euclidean",
         dtw_backend: str | None = None,
         workers: int | None = None,
+        shards: int | None = None,
         obs: Observability | None = None,
     ) -> None:
         self.obs = OBS_DISABLED if obs is None else obs
@@ -123,6 +133,9 @@ class WarpingIndex:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
         #: Monotonic mutation counter: bumped by every ``insert`` /
         #: ``remove``.  The serving layer's result cache keys entries by
         #: this version, so any index mutation invalidates stale answers

@@ -346,6 +346,50 @@ class Observability:
         """Count one result-cache probe: ``hit`` / ``miss`` / ``stale``."""
         self.metrics.counter("serve.cache_probes_total", event=event).inc()
 
+    def record_shard_fanout(self, kind: str, shards: int, wall_s: float,
+                            per_shard_cpu_s) -> None:
+        """Fold one shard-router fan-out into metrics + spans.
+
+        *per_shard_cpu_s* is each worker's summed per-query time for
+        the request.  Two derived health numbers land in metrics:
+        **occupancy** — total worker time over ``shards × wall``, the
+        fraction of the pool that was actually busy (low = fan-out
+        overhead or skew dominates) — and **imbalance** — busiest
+        worker over the mean, 1.0 when the partition splits work
+        evenly.  Emits an instant root span ``shard:fanout`` (see
+        :meth:`record_serve_request` for why not a wrapping span).
+        """
+        m = self.metrics
+        m.counter("shard.fanouts_total", kind=kind).inc()
+        m.gauge("shard.count").set(shards)
+        m.histogram("shard.fanout_seconds", kind=kind).observe(wall_s)
+        busiest = max(per_shard_cpu_s, default=0.0)
+        total = sum(per_shard_cpu_s)
+        imbalance = busiest * shards / total if total > 0 else 1.0
+        if wall_s > 0 and shards > 0:
+            m.histogram("shard.occupancy", edges=_RATIO_EDGES).observe(
+                min(1.0, total / (shards * wall_s))
+            )
+        m.gauge("shard.imbalance").set(imbalance)
+        with self.span(
+            "shard:fanout", kind=kind, shards=int(shards),
+            wall_s=wall_s, total_cpu_s=total, busiest_cpu_s=busiest,
+            imbalance=imbalance,
+        ):
+            pass
+
+    def record_shard_lifecycle(self, event: str, shard: int) -> None:
+        """Count one worker-process lifecycle event.
+
+        *event* is ``spawn`` (initial start), ``crash`` (pipe hit EOF),
+        ``respawn`` (replacement started), or ``shutdown`` (poison-pill
+        drain) — the numbers that distinguish a healthy pool from one
+        churning through workers.
+        """
+        self.metrics.counter("shard.lifecycle_total", event=event).inc()
+        with self.span("shard:lifecycle", event=event, shard=int(shard)):
+            pass
+
     def _check_slow(self, kind: str, stats) -> None:
         if (self.slow_query_s is None
                 or stats.total_time_s < self.slow_query_s):
@@ -398,6 +442,13 @@ class _DisabledObservability(Observability):
         """Do nothing (observability is disabled)."""
 
     def record_serve_cache(self, event) -> None:
+        """Do nothing (observability is disabled)."""
+
+    def record_shard_fanout(self, kind, shards, wall_s,
+                            per_shard_cpu_s) -> None:
+        """Do nothing (observability is disabled)."""
+
+    def record_shard_lifecycle(self, event, shard) -> None:
         """Do nothing (observability is disabled)."""
 
 

@@ -100,6 +100,7 @@ def save_index(index: WarpingIndex, path: str | os.PathLike) -> None:
         # identically to the one that saved the file.
         "dtw_backend": index.dtw_backend,
         "workers": index.workers,
+        "shards": index.shards,
     }
     arrays = {
         "data": index._data,
@@ -135,6 +136,7 @@ def load_index(path: str | os.PathLike) -> WarpingIndex:
         # .get keeps them loadable with the constructor defaults.
         dtw_backend=config.get("dtw_backend"),
         workers=config.get("workers"),
+        shards=config.get("shards"),
     )
 
 

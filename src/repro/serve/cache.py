@@ -14,12 +14,19 @@ closes that loop while keeping the engine's exactness contract intact:
   floating-point quirk of re-normalisation can alias two different
   requests onto one entry.
 * **Versioned invalidation** — every entry stores the index *version*
-  (:attr:`repro.index.gemini.WarpingIndex.mutations`) captured
-  **before** the result was computed, and :meth:`ResultCache.get`
-  refuses entries whose version differs from the caller's current one.
-  An ``insert``/``remove`` racing with an in-flight query can
-  therefore only waste a cache slot, never serve a stale answer: the
-  stale entry's version no longer matches and the next probe recomputes.
+  captured **before** the result was computed, and
+  :meth:`ResultCache.get` refuses entries whose version differs from
+  the caller's current one.  An ``insert``/``remove`` racing with an
+  in-flight query can therefore only waste a cache slot, never serve
+  a stale answer: the stale entry's version no longer matches and the
+  next probe recomputes.  The version is any equatable value, not
+  necessarily an int: a plain engine pins ``0``, an index supplies
+  :attr:`~repro.index.gemini.WarpingIndex.mutations`, and the sharded
+  tier supplies the composite ``(mutations, router epoch)`` so a
+  shard rebuild *or* a worker respawn
+  (:attr:`repro.shard.ShardRouter.epoch`) also invalidates — the
+  property test in ``tests/shard/`` interleaves mutations, forced
+  respawns, and queries to pin that down.
 * **Bounding** — least-recently-used eviction above *max_entries* and
   an optional TTL so an idle service eventually drops cold results.
 
@@ -95,7 +102,7 @@ class CacheStats:
 @dataclass
 class _Entry:
     results: tuple
-    version: int
+    version: object  # any equatable value, e.g. int or (int, int)
     stored_s: float
 
 
@@ -136,7 +143,7 @@ class ResultCache:
         with self._lock:
             return len(self._entries)
 
-    def get(self, key: str, version: int) -> tuple | None:
+    def get(self, key: str, version) -> tuple | None:
         """The cached results for *key* at *version*, or ``None``.
 
         A present entry misses when its stored version differs from
@@ -163,7 +170,7 @@ class ResultCache:
             self.stats.hits += 1
             return entry.results
 
-    def put(self, key: str, version: int, results) -> None:
+    def put(self, key: str, version, results) -> None:
         """Store *results* computed under index *version*.
 
         Results are frozen to a tuple — cached answers are shared

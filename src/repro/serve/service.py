@@ -120,6 +120,9 @@ class QBHService:
             "cache_hits": 0, "executed": 0,
         }
         self._closed = False
+        # A shard router/manager built *for* this service by a
+        # classmethod constructor; closed with it (poison-pill drain).
+        self._owned_shards = None
         self.scheduler = MicroBatchScheduler(
             self._execute_batch,
             max_batch=max_batch,
@@ -135,16 +138,34 @@ class QBHService:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_engine(cls, engine, **kwargs) -> "QBHService":
+    def from_engine(cls, engine, *, shards: int | None = None,
+                    mp_context=None, **kwargs) -> "QBHService":
         """Serve one fixed :class:`~repro.engine.QueryEngine`.
 
         The engine's corpus is immutable from the service's point of
-        view, so the cache version is pinned.
+        view, so the cache version is pinned — except for the shard
+        epoch when *shards* > 1 puts a
+        :class:`~repro.shard.ShardRouter` (owned by the service, closed
+        with it) in front: worker respawns bump the epoch, which keys
+        the cache so no cached answer can outlive the worker set that
+        computed it.
         """
+        if shards is not None and shards > 1:
+            from ..shard import ShardRouter
+
+            router = ShardRouter.from_engine(
+                engine, shards=shards, mp_context=mp_context,
+                obs=kwargs.get("obs"),
+            )
+            service = cls(lambda: router,
+                          version_fn=lambda: (0, router.epoch), **kwargs)
+            service._owned_shards = router
+            return service
         return cls(lambda: engine, **kwargs)
 
     @classmethod
-    def from_index(cls, index, **kwargs) -> "QBHService":
+    def from_index(cls, index, *, shards: int | None = None,
+                   mp_context=None, **kwargs) -> "QBHService":
         """Serve a :class:`~repro.index.gemini.WarpingIndex`.
 
         Queries run through the index's cascade engine; the cache is
@@ -153,8 +174,33 @@ class QBHService:
         carry the *raw* query (that is what gets fingerprinted); the
         index's normal form is applied at execution time, exactly as
         ``index.cascade_*_query`` would.
+
+        With *shards* > 1 (default: the index's own ``shards`` knob,
+        round-tripped by :mod:`repro.persistence`), batches run on a
+        corpus partitioned across worker processes behind an
+        :class:`~repro.shard.IndexShardManager`: mutations rebuild the
+        shard set, and the cache version becomes the composite
+        ``(mutations, epoch)`` so neither a mutation nor a worker
+        respawn can serve a stale cached answer.
         """
         kwargs.setdefault("obs", index.obs)
+        if shards is None:
+            shards = getattr(index, "shards", None)
+        if shards is not None and shards > 1:
+            from ..shard import IndexShardManager
+
+            manager = IndexShardManager(
+                index, shards=shards, mp_context=mp_context,
+                obs=kwargs.get("obs"),
+            )
+            service = cls(
+                manager.router,
+                version_fn=manager.version,
+                normalize=index.normal_form.apply,
+                **kwargs,
+            )
+            service._owned_shards = manager
+            return service
         return cls(
             lambda: index.engine(),
             version_fn=lambda: index.mutations,
@@ -164,7 +210,9 @@ class QBHService:
 
     @classmethod
     def from_system(cls, system, **kwargs) -> "QBHService":
-        """Serve a :class:`~repro.qbh.QueryByHummingSystem`'s index."""
+        """Serve a :class:`~repro.qbh.QueryByHummingSystem`'s index
+        (``shards=`` and every other knob pass through to
+        :meth:`from_index`)."""
         return cls.from_index(system.index, **kwargs)
 
     # ------------------------------------------------------------------
@@ -249,11 +297,18 @@ class QBHService:
         self.scheduler.close(drain=True)
 
     def close(self, *, drain: bool = True) -> None:
-        """Shut the service down (``drain=False`` sheds the queue)."""
+        """Shut the service down (``drain=False`` sheds the queue).
+
+        A shard router/manager built by :meth:`from_engine` /
+        :meth:`from_index` is closed here too — poison-pill + drain,
+        after the scheduler stops feeding it.
+        """
         self._closed = True
         self.scheduler.close(drain=drain)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        if self._owned_shards is not None:
+            self._owned_shards.close()
 
     def __enter__(self) -> "QBHService":
         return self
@@ -310,23 +365,26 @@ class QBHService:
             else:
                 pending.append(request)
 
+        # A shard router takes the deadline itself (a closure cannot
+        # cross a process boundary; the router re-anchors it in every
+        # worker and still polls it parent-side between replies).
+        sharded = getattr(engine, "is_sharded", False)
+
         def run_one(request: ServeRequest):
             deadline = request.group_deadline_s
             should_abort = (
-                None if deadline is None
+                None if deadline is None or sharded
                 else (lambda: monotonic_s() > deadline)
             )
             query = (request.query if self._normalize is None
                      else self._normalize(request.query))
+            kwargs = ({"deadline_s": deadline} if sharded
+                      else {"should_abort": should_abort})
             try:
                 if kind == "range":
-                    results, _ = engine.range_search(
-                        query, param, should_abort=should_abort
-                    )
+                    results, _ = engine.range_search(query, param, **kwargs)
                 else:
-                    results, _ = engine.knn(
-                        query, param, should_abort=should_abort
-                    )
+                    results, _ = engine.knn(query, param, **kwargs)
             except QueryAborted:
                 return request.fingerprint, ServeOutcome(
                     status="deadline_exceeded"

@@ -1,0 +1,564 @@
+""":class:`ShardRouter` — fan out exact queries to worker processes.
+
+The GIL caps a single Python process at roughly one core of kernel
+time no matter how many threads serve it.  The router escapes that by
+partitioning the corpus into N contiguous row blocks, giving each
+block to a persistent **worker process** (see
+:mod:`~repro.shard.worker`), and fanning every query out to all
+shards at once.  Merging is exact by construction:
+
+* **range**: each shard returns every block member within ε — the
+  union over shards *is* the global answer (lower-bound filtering
+  admits no false dismissals per shard, Zhu & Shasha 2003), so the
+  merge is concatenate + stable sort by distance;
+* **k-NN**: each shard returns its local top-k, a superset of that
+  block's contribution to the global top-k (the Seidl–Kriegel
+  multi-step invariant restricted to the block), so merging the
+  per-shard heaps and keeping the k best is the exact global answer.
+
+Per-shard :class:`~repro.engine.CascadeStats` re-merge through
+``CascadeStats.from_dict`` + ``__add__`` — the same path the threaded
+``*_many`` batching uses — so ``--stats`` and ``obs report`` stay
+lossless; per-request kernel counters ship back as deltas and fold
+into the parent's ``dtw.*`` metrics.
+
+Failure semantics: a worker crash (its pipe hits EOF) triggers an
+automatic respawn from the shard's pickled
+:class:`~repro.shard.spec.EngineSpec` and a single retry of the
+in-flight request; a second crash on the same request raises a typed
+:class:`ShardError`.  Every respawn (and every explicit rebuild via
+:class:`IndexShardManager`) bumps :attr:`ShardRouter.epoch`, which the
+serving layer folds into its cache version so no stale answer can
+outlive the shards that computed it.  Shutdown is poison-pill + drain:
+each worker receives ``None``, finishes its in-flight work, and exits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import shutil
+import tempfile
+from multiprocessing.connection import wait as _wait_ready
+
+import numpy as np
+
+from ..dtw.kernels import DEFAULT_BACKEND, KernelStats, get_kernel
+from ..engine.cascade import DEFAULT_STAGES, CascadeStats
+from ..engine.errors import QueryAborted
+from ..obs import OBS_DISABLED
+from ..obs.clock import monotonic_s
+from .spec import EngineSpec
+from .worker import worker_main
+
+__all__ = ["ShardRouter", "ShardError", "IndexShardManager",
+           "resolve_mp_context"]
+
+#: How long one gather poll blocks before re-checking aborts (seconds).
+_POLL_S = 0.02
+
+
+class ShardError(RuntimeError):
+    """A shard request failed permanently (worker crashed twice, or the
+    router is closed).  The serving layer maps this to a typed
+    ``error`` outcome — never a silent partial answer."""
+
+
+def resolve_mp_context(context=None):
+    """A usable multiprocessing context: ``fork`` where available
+    (cheapest — the corpus file is already written, nothing re-imports),
+    ``spawn`` otherwise.  Accepts a context object, a start-method
+    name, or ``None``."""
+    if context is None:
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+    if isinstance(context, str):
+        return multiprocessing.get_context(context)
+    return context
+
+
+class _Shard:
+    """One worker process plus its parent-side pipe end."""
+
+    __slots__ = ("spec", "process", "conn")
+
+    def __init__(self, spec, process, conn) -> None:
+        self.spec = spec
+        self.process = process
+        self.conn = conn
+
+
+class ShardRouter:
+    """Exact range/k-NN search over a corpus partitioned across
+    worker processes.
+
+    Parameters
+    ----------
+    data:
+        The full corpus as a 2-D float array (already normalised —
+        rows are comparable as-is).
+    shards:
+        Worker-process count (clamped to the row count).
+    band / stages / n_features / metric / batch_refine_threshold /
+    dtw_backend / refine_chunk:
+        Engine configuration, forwarded verbatim to every shard so a
+        1-shard router and a plain :class:`~repro.engine.QueryEngine`
+        are byte-identical (the cross-shard parity suite's premise).
+    normal_form:
+        Optional normalisation applied to each query *once*, router
+        side, before fan-out (shard engines are built without one).
+    ids:
+        Identifiers, default ``range(len(data))``; partitioned with
+        the rows.
+    mp_context:
+        Start method (``"fork"``/``"spawn"``), a context object, or
+        ``None`` for the platform default.
+    obs:
+        Observability facade; fan-outs emit ``shard.*`` metrics and a
+        ``shard:fanout`` span, worker lifecycle events are counted,
+        and per-request kernel deltas fold into ``dtw.*``.
+    epoch_start:
+        First value of :attr:`epoch` (an :class:`IndexShardManager`
+        threads it through rebuilds so the epoch never goes backward).
+
+    The public query API mirrors :class:`~repro.engine.QueryEngine`
+    (``range_search``/``knn``/``*_many`` with ``should_abort=``) plus a
+    ``deadline_s=`` alternative that ships to the workers as remaining
+    time — the serving layer uses it because a closure cannot cross a
+    process boundary.  ``workers=`` on the ``*_many`` methods is
+    accepted for interface compatibility (``repro perf replay`` passes
+    it) and ignored: the shard pool *is* the parallelism.
+    """
+
+    #: Duck-typing flag for the serving layer (deadline propagation).
+    is_sharded = True
+
+    def __init__(self, data, *, shards, band,
+                 stages=DEFAULT_STAGES, n_features: int = 8,
+                 normal_form=None, ids=None, metric: str = "euclidean",
+                 batch_refine_threshold: int = 64,
+                 dtw_backend: str | None = None,
+                 refine_chunk: int | None = None,
+                 mp_context=None, obs=None, epoch_start: int = 0) -> None:
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError("data must be a non-empty 2-D array")
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        m, n = data.shape
+        shards = min(shards, m)
+        self.obs = OBS_DISABLED if obs is None else obs
+        backend = DEFAULT_BACKEND if dtw_backend is None else dtw_backend
+        get_kernel(backend)  # validate now, not in the workers
+        self.dtw_backend = backend
+        self.band = int(band)
+        self.metric = metric
+        self.stages = tuple(stages)
+        self.normal_form = normal_form
+        if ids is None:
+            ids = list(range(m))
+        else:
+            ids = list(ids)
+            if len(ids) != m:
+                raise ValueError(f"{m} series but {len(ids)} ids")
+        self.ids = ids
+        self.n_shards = shards
+        #: Bumped on every worker respawn; an :class:`IndexShardManager`
+        #: also bumps it across rebuilds.  The serving cache folds it
+        #: into its version, so shard turnover invalidates stale entries.
+        self.epoch = int(epoch_start)
+        self._rows = m
+        self._series_length = n
+        self._mp = resolve_mp_context(mp_context)
+        self._req_ids = itertools.count()
+        self._closed = False
+        self._tmpdir = tempfile.mkdtemp(prefix="repro-shard-")
+        data_path = os.path.join(self._tmpdir, "corpus.f64")
+        # The one-time feature shipment: the whole normalised corpus as
+        # a flat file every worker maps read-only.  Native float64 —
+        # the digests of a sharded and an unsharded run must be
+        # byte-identical, which a float32 round-trip would break.
+        data.tofile(data_path)
+        bounds = np.linspace(0, m, shards + 1).astype(int)
+        self._shards: list[_Shard] = []
+        for i in range(shards):
+            start, stop = int(bounds[i]), int(bounds[i + 1])
+            spec = EngineSpec(
+                data_path=data_path, dtype="float64", rows=m, cols=n,
+                row_start=start, row_stop=stop, shard=i,
+                band=self.band, stages=self.stages,
+                n_features=n_features, ids=tuple(ids[start:stop]),
+                metric=metric,
+                batch_refine_threshold=batch_refine_threshold,
+                dtw_backend=backend, refine_chunk=refine_chunk,
+            )
+            self._shards.append(self._spawn(spec, event="spawn"))
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_engine(cls, engine, *, shards, mp_context=None, obs=None,
+                    epoch_start: int = 0) -> "ShardRouter":
+        """Shard an existing :class:`~repro.engine.QueryEngine`.
+
+        The router carries the engine's normal form (queries enter raw,
+        exactly as they would the engine), so it is a drop-in
+        replacement wherever the engine is called — including the
+        ``repro perf replay`` harness.
+        """
+        return cls(
+            engine._data, shards=shards, band=engine.band,
+            stages=engine.stages,
+            n_features=engine._features.shape[1],
+            normal_form=engine.normal_form, ids=list(engine.ids),
+            metric=engine.metric,
+            batch_refine_threshold=engine.batch_refine_threshold,
+            dtw_backend=engine.dtw_backend,
+            refine_chunk=engine.refine_chunk,
+            mp_context=mp_context,
+            obs=engine.obs if obs is None and engine.obs.enabled else obs,
+            epoch_start=epoch_start,
+        )
+
+    @classmethod
+    def from_index(cls, index, *, shards, mp_context=None, obs=None,
+                   epoch_start: int = 0) -> "ShardRouter":
+        """Shard a :class:`~repro.index.gemini.WarpingIndex`'s corpus.
+
+        Mirrors :meth:`WarpingIndex.engine`: queries are expected
+        **pre-normalised** (the caller applies
+        ``index.normal_form.apply``), which is how the serving layer
+        and the CLI feed it.
+        """
+        return cls(
+            index._data, shards=shards, band=index.band,
+            n_features=index.feature_dim, ids=list(index.ids),
+            metric=index.metric, dtw_backend=index.dtw_backend,
+            mp_context=mp_context,
+            obs=index.obs if obs is None and index.obs.enabled else obs,
+            epoch_start=epoch_start,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self, spec: EngineSpec, *, event: str) -> _Shard:
+        parent_end, child_end = self._mp.Pipe()
+        process = self._mp.Process(
+            target=worker_main, args=(spec, child_end),
+            daemon=True, name=f"repro-shard-{spec.shard}",
+        )
+        process.start()
+        child_end.close()  # parent keeps one end only, so EOF means death
+        self.obs.record_shard_lifecycle(event, spec.shard)
+        return _Shard(spec, process, parent_end)
+
+    def close(self) -> None:
+        """Poison-pill every worker, drain, and remove the corpus file."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            try:
+                shard.conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        for shard in self._shards:
+            shard.process.join(timeout=5.0)
+            if shard.process.is_alive():  # pragma: no cover - hung worker
+                shard.process.terminate()
+                shard.process.join(timeout=5.0)
+            shard.conn.close()
+            self.obs.record_shard_lifecycle("shutdown", shard.spec.shard)
+        shutil.rmtree(self._tmpdir, ignore_errors=True)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - gc-order dependent
+        try:
+            self.close()
+        except BaseException:
+            pass
+
+    def __len__(self) -> int:
+        return self._rows
+
+    @property
+    def series_length(self) -> int:
+        return self._series_length
+
+    # ------------------------------------------------------------------
+    # queries (QueryEngine-compatible surface)
+    # ------------------------------------------------------------------
+
+    def range_search(self, query, epsilon: float, *, should_abort=None,
+                     deadline_s: float | None = None):
+        """All series within *epsilon*, merged across shards.
+
+        Same contract as :meth:`QueryEngine.range_search`;
+        *deadline_s* (absolute, :data:`~repro.obs.clock.monotonic_s`
+        time) additionally ships to every worker as remaining time.
+        """
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        results, stats = self._fanout(
+            "range", [self._normalise_query(query)], float(epsilon),
+            should_abort, deadline_s,
+        )
+        return results[0], stats
+
+    def knn(self, query, k: int, *, should_abort=None,
+            deadline_s: float | None = None):
+        """The global *k* nearest, merged from per-shard top-k heaps."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        results, stats = self._fanout(
+            "knn", [self._normalise_query(query)], int(k),
+            should_abort, deadline_s,
+        )
+        return results[0], stats
+
+    def range_search_many(self, queries, epsilon: float, *,
+                          workers: int | None = None, should_abort=None,
+                          deadline_s: float | None = None):
+        """A batch of range queries, one fan-out for the whole batch."""
+        del workers  # interface compatibility; shards are the pool
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        queries = [self._normalise_query(q) for q in queries]
+        if not queries:
+            raise ValueError("queries must not be empty")
+        return self._fanout("range", queries, float(epsilon),
+                            should_abort, deadline_s)
+
+    def knn_many(self, queries, k: int, *, workers: int | None = None,
+                 should_abort=None, deadline_s: float | None = None):
+        """A batch of k-NN queries, one fan-out for the whole batch."""
+        del workers  # interface compatibility; shards are the pool
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        queries = [self._normalise_query(q) for q in queries]
+        if not queries:
+            raise ValueError("queries must not be empty")
+        return self._fanout("knn", queries, int(k), should_abort, deadline_s)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _normalise_query(self, query) -> np.ndarray:
+        if self.normal_form is not None:
+            return self.normal_form.apply(query)
+        q = np.asarray(query, dtype=np.float64)
+        if q.shape != (self._series_length,):
+            raise ValueError(
+                f"query must have length {self._series_length} "
+                "(router built without a normal form)"
+            )
+        return q
+
+    def _fanout(self, kind: str, queries, param, should_abort,
+                deadline_s):
+        """Send one request to every shard, gather, merge exactly."""
+        if self._closed:
+            raise ShardError("router is closed")
+        started = monotonic_s()
+        req_id = next(self._req_ids)
+        collect = self.obs.enabled
+        remaining = None
+        if deadline_s is not None:
+            remaining = deadline_s - started
+            if remaining <= 0:
+                raise QueryAborted(phase="shard:fanout")
+
+        def message():
+            # Rebuilt per send so a retry after a crash ships the
+            # deadline still remaining, not the stale original.
+            left = remaining
+            if deadline_s is not None:
+                left = max(0.0, deadline_s - monotonic_s())
+            return ("req", req_id, kind, queries, param, left, collect)
+
+        retried: set[int] = set()
+        for i in range(self.n_shards):
+            self._send(i, message, retried)
+        replies: dict[int, tuple] = {}
+        while len(replies) < self.n_shards:
+            if should_abort is not None and should_abort():
+                raise QueryAborted(phase="shard:fanout")
+            if deadline_s is not None and monotonic_s() > deadline_s:
+                raise QueryAborted(phase="shard:fanout")
+            pending = {s.conn: s for s in self._shards
+                       if s.spec.shard not in replies}
+            for conn in _wait_ready(list(pending), timeout=_POLL_S):
+                shard = pending[conn]
+                i = shard.spec.shard
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    self._respawn(i)
+                    self._retry(i, message, retried)
+                    continue
+                if reply[0] == "pong" or reply[1] != req_id:
+                    continue  # stale chatter from an abandoned request
+                if reply[0] == "aborted":
+                    raise QueryAborted(phase=reply[2])
+                if reply[0] == "error":
+                    raise ShardError(
+                        f"shard {i} failed: {reply[2]}: {reply[3]}"
+                    )
+                replies[i] = reply
+
+        per_shard = [replies[i] for i in range(self.n_shards)]
+        all_results = self._merge_results(
+            kind, param, [r[2] for r in per_shard], len(queries)
+        )
+        stats = self._merge_stats([r[3] for r in per_shard],
+                                  monotonic_s() - started)
+        if collect:
+            self._record_fanout(kind, per_shard, stats)
+        return all_results, stats
+
+    def _send(self, i: int, message, retried: set) -> None:
+        """Send to shard *i*, respawning once if its pipe is dead."""
+        try:
+            self._shards[i].conn.send(message())
+        except (OSError, BrokenPipeError):
+            self._respawn(i)
+            self._retry(i, message, retried)
+
+    def _retry(self, i: int, message, retried: set) -> None:
+        """Resend after a crash — at most once per shard per request."""
+        if i in retried:
+            raise ShardError(
+                f"shard {i} crashed twice while serving one request"
+            )
+        retried.add(i)
+        try:
+            self._shards[i].conn.send(message())
+        except (OSError, BrokenPipeError):  # pragma: no cover
+            raise ShardError(
+                f"shard {i} crashed twice while serving one request"
+            ) from None
+
+    def _respawn(self, i: int) -> None:
+        """Replace a dead worker and bump the epoch."""
+        shard = self._shards[i]
+        shard.conn.close()
+        shard.process.join(timeout=5.0)
+        self.obs.record_shard_lifecycle("crash", i)
+        self._shards[i] = self._spawn(shard.spec, event="respawn")
+        self.epoch += 1
+
+    @staticmethod
+    def _merge_results(kind, param, per_shard_results, n_queries):
+        """Merge per-shard answers into exact global answers.
+
+        The sort is stable and shards are visited in corpus order, so
+        equal-distance results tie-break by corpus position — the same
+        order a single engine's stable final sort produces.
+        """
+        merged = []
+        for qi in range(n_queries):
+            rows: list = []
+            for results in per_shard_results:
+                rows.extend(results[qi])
+            rows.sort(key=lambda pair: pair[1])
+            if kind == "knn":
+                rows = rows[:param]
+            merged.append(rows)
+        return merged
+
+    def _merge_stats(self, stats_dicts, wall_s: float) -> CascadeStats:
+        """Re-merge per-shard stats exactly as threaded batching does.
+
+        Candidate/pruning counters are additive across a partition, so
+        the merged record reads like the single-engine one; the wall
+        clock is the fan-out's (per-shard times overlap), with the
+        summed per-shard time surviving as ``cpu_time_s``.
+        """
+        merged = CascadeStats.from_dict(stats_dicts[0])
+        for payload in stats_dicts[1:]:
+            merged = merged + CascadeStats.from_dict(payload)
+        merged.total_time_s = wall_s
+        return merged
+
+    def _record_fanout(self, kind, per_shard, stats) -> None:
+        kernel = KernelStats()
+        kernel_seen = False
+        for reply in per_shard:
+            delta = reply[4]
+            if delta is not None:
+                kernel_seen = True
+                kernel.calls += delta[0]
+                kernel.cells += delta[1]
+                kernel.compacted_columns += delta[2]
+        if kernel_seen:
+            self.obs.record_kernel(kernel)
+        self.obs.record_shard_fanout(
+            kind, self.n_shards, stats.total_time_s,
+            [reply[3]["cpu_time_s"] for reply in per_shard],
+        )
+
+
+class IndexShardManager:
+    """Keeps a :class:`ShardRouter` in step with a mutable index.
+
+    The serving layer calls :meth:`router` once per batch (its
+    ``engine_fn``): when the index's mutation counter moved since the
+    last build, the old router is drained and a fresh one is built
+    over the new corpus, with the epoch carried forward past the old
+    router's — so the composite cache version ``(mutations, epoch)``
+    from :meth:`version` can never repeat across a rebuild *or* a
+    respawn.
+    """
+
+    def __init__(self, index, *, shards, mp_context=None,
+                 obs=None) -> None:
+        self._index = index
+        self._shards = int(shards)
+        self._mp_context = mp_context
+        self._obs = obs
+        self._router: ShardRouter | None = None
+        self._built_at: int | None = None
+        self._next_epoch = 0
+
+    def router(self) -> ShardRouter:
+        """The current router, rebuilt if the index mutated."""
+        if self._router is None or self._built_at != self._index.mutations:
+            if self._router is not None:
+                self._next_epoch = self._router.epoch + 1
+                self._router.close()
+            self._router = ShardRouter.from_index(
+                self._index, shards=self._shards,
+                mp_context=self._mp_context, obs=self._obs,
+                epoch_start=self._next_epoch,
+            )
+            self._built_at = self._index.mutations
+        return self._router
+
+    @property
+    def epoch(self) -> int:
+        if self._router is not None:
+            return self._router.epoch
+        return self._next_epoch
+
+    def version(self) -> tuple:
+        """Composite cache version: ``(index mutations, router epoch)``."""
+        return (self._index.mutations, self.epoch)
+
+    def close(self) -> None:
+        if self._router is not None:
+            self._router.close()
+            self._router = None

@@ -1,0 +1,127 @@
+"""The shard worker process: one engine, one pipe, one loop.
+
+``worker_main`` is the target of every :class:`~repro.shard.ShardRouter`
+process.  It rebuilds its engine from a picklable
+:class:`~repro.shard.spec.EngineSpec` (corpus block mapped read-only,
+shipped once — never per query), then serves request messages until a
+poison pill (``None``) or pipe closure ends the loop.
+
+Protocol (tuples over a ``multiprocessing.Pipe``):
+
+====================================================  ====================
+parent → worker                                       worker → parent
+====================================================  ====================
+``("req", id, kind, queries, param, remaining,        ``("ok", id, per-query
+collect)``                                            results, stats dict,
+                                                      kernel counters)``
+                                                      ``("aborted", id,
+                                                      phase)``
+                                                      ``("error", id, type,
+                                                      message)``
+``("ping", id)``                                      ``("pong", id)``
+``("crash", now)``                                    *(process exits)*
+``None`` — poison pill                                *(clean exit)*
+====================================================  ====================
+
+Deadlines ship as *remaining seconds*, not absolute timestamps:
+:data:`repro.obs.clock.monotonic_s` is ``time.perf_counter``, whose
+epoch is per-process, so the worker re-anchors the deadline against
+its own clock on receipt.  The skew this admits is one pipe hop —
+microseconds — versus being unboundedly wrong with absolute values.
+
+``("crash", now)`` exists for the fault-injection tests: with
+``now=True`` the worker dies immediately, otherwise it dies at the
+*next* request — the mid-request crash the respawn-and-retry path
+must survive.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..engine.errors import QueryAborted
+from ..obs import OBS_DISABLED, Observability
+from ..obs.clock import monotonic_s
+
+__all__ = ["worker_main"]
+
+#: The ``dtw.*`` counters a worker diffs around each request so the
+#: router can fold per-request kernel work into the parent's metrics
+#: (``rows`` is not metered by the obs layer, so three counters are a
+#: lossless projection of :meth:`Observability.record_kernel`).
+_KERNEL_COUNTERS = (
+    "dtw.kernel_calls_total",
+    "dtw.cells_total",
+    "dtw.columns_compacted_total",
+)
+
+
+def _kernel_totals(obs: Observability) -> tuple:
+    return tuple(obs.metrics.counter(name).value for name in _KERNEL_COUNTERS)
+
+
+def worker_main(spec, conn) -> None:
+    """Serve one shard until the poison pill (process entry point)."""
+    try:
+        engine = spec.build()
+    except BaseException:
+        # A spec that cannot build (file vanished, bad config) must not
+        # hang the router: closing the pipe surfaces as a crash there.
+        conn.close()
+        raise
+    obs = None
+    crash_next = False
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:  # poison pill: drain-and-exit
+            break
+        command = message[0]
+        if command == "ping":
+            conn.send(("pong", message[1]))
+            continue
+        if command == "crash":
+            if message[1]:
+                os._exit(13)
+            crash_next = True
+            continue
+        _, req_id, kind, queries, param, remaining, collect = message
+        if crash_next:
+            os._exit(13)
+        if collect:
+            if obs is None:
+                # Metrics-only facade: enables the engine's KernelStats
+                # collection and the dtw.* counters the router re-merges;
+                # the no-op tracer keeps spans free.
+                obs = Observability()
+            engine.obs = obs
+            before = _kernel_totals(obs)
+        else:
+            engine.obs = OBS_DISABLED
+        should_abort = None
+        if remaining is not None:
+            deadline = monotonic_s() + remaining
+            should_abort = lambda: monotonic_s() > deadline  # noqa: E731
+        try:
+            if kind == "range":
+                results, stats = engine.range_search_many(
+                    queries, param, workers=1, should_abort=should_abort
+                )
+            else:
+                results, stats = engine.knn_many(
+                    queries, param, workers=1, should_abort=should_abort
+                )
+        except QueryAborted as exc:
+            conn.send(("aborted", req_id, exc.phase))
+            continue
+        except Exception as exc:
+            conn.send(("error", req_id, type(exc).__name__, str(exc)))
+            continue
+        kernel = None
+        if collect:
+            after = _kernel_totals(obs)
+            kernel = tuple(b - a for b, a in zip(after, before))
+        conn.send(("ok", req_id, results, stats.to_dict(), kernel))
+    conn.close()

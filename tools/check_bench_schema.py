@@ -132,6 +132,24 @@ def check_snapshot(path: str, errors: list[str]) -> None:
                 )
     if not isinstance(snapshot.get("workload"), dict):
         errors.append(f"{path}: workload must be a JSON object")
+    if "scaling" in snapshot:
+        # The shard benchmark's extra section: one point per shard
+        # count, each with the shard count and its measured throughput.
+        scaling = snapshot["scaling"]
+        if not isinstance(scaling, list) or not scaling:
+            errors.append(f"{path}: scaling must be a non-empty list")
+        else:
+            for i, point in enumerate(scaling):
+                if not isinstance(point, dict):
+                    errors.append(f"{path}: scaling[{i}] is not an object")
+                    continue
+                for key in ("shards", "qps"):
+                    value = point.get(key)
+                    if not isinstance(value, (int, float)) or value < 0:
+                        errors.append(
+                            f"{path}: scaling[{i}].{key} has bad "
+                            f"value {value!r}"
+                        )
 
 
 def main(argv: list[str] | None = None) -> int:

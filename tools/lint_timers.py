@@ -26,7 +26,8 @@ import sys
 import tokenize
 
 #: Packages in which raw timers are forbidden.
-LINTED_DIRS = ("src/repro/engine", "src/repro/perf", "src/repro/serve")
+LINTED_DIRS = ("src/repro/engine", "src/repro/perf", "src/repro/serve",
+               "src/repro/shard")
 
 #: The allowed home of the timer wrappers.
 ALLOWED_FILES = ("src/repro/obs/clock.py",)
