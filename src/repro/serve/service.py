@@ -83,7 +83,10 @@ class QBHService:
         Thread-pool size for executing distinct queries of one batch
         concurrently.  ``None`` or 1 executes serially — the right
         default on a single-core host, where threads cannot overlap
-        NumPy work.
+        NumPy work.  Ignored when the engine is a shard router, whose
+        fan-outs serialize on an internal lock: the shard processes
+        are the parallelism, so sharded batches run serially
+        parent-side.
     obs:
         Observability facade (default disabled).
 
@@ -193,6 +196,11 @@ class QBHService:
                 index, shards=shards, mp_context=mp_context,
                 obs=kwargs.get("obs"),
             )
+            # Build the fleet now, before the scheduler's threads start:
+            # a defaulted start method can still fork here (cheap),
+            # whereas the first batch would build it on a dispatcher
+            # thread, where only spawn is safe.
+            manager.router()
             service = cls(
                 manager.router,
                 version_fn=manager.version,
@@ -400,7 +408,11 @@ class QBHService:
                 status="ok", results=results
             )
 
-        if self._pool is not None and len(pending) > 1:
+        # A shard router serializes fan-outs on an internal lock (the
+        # shard processes are the parallelism), so spreading a sharded
+        # batch over the thread pool would only queue threads on that
+        # lock — run it serially instead.
+        if self._pool is not None and len(pending) > 1 and not sharded:
             computed = list(self._pool.map(run_one, pending))
         else:
             computed = [run_one(request) for request in pending]

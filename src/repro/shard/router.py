@@ -31,6 +31,22 @@ in-flight request; a second crash on the same request raises a typed
 serving layer folds into its cache version so no stale answer can
 outlive the shards that computed it.  Shutdown is poison-pill + drain:
 each worker receives ``None``, finishes its in-flight work, and exits.
+
+When a fan-out fails early — one shard replies ``aborted`` or
+``error`` — the request is abandoned parent-side, but the *other*
+workers are not interrupted: a worker computes each request to
+completion (its only early exit is the cooperative deadline it was
+shipped), and its now-stale reply is dropped by the ``req_id`` filter
+of the next gather loop.  Callers on a hot failure path should
+therefore always set a deadline, which bounds the work every shard
+spends on a request that no one is waiting for anymore.
+
+Fan-outs are **serialized**: a router-level lock makes
+``range_search``/``knn``/``*_many`` safe to call from concurrent
+threads (the serving layer's dispatcher/executor threads do), at the
+cost of running one fan-out at a time — the shard pool itself is the
+parallelism, so concurrent fan-outs would only interleave pipe
+traffic, not add throughput.
 """
 
 from __future__ import annotations
@@ -40,6 +56,7 @@ import multiprocessing
 import os
 import shutil
 import tempfile
+import threading
 from multiprocessing.connection import wait as _wait_ready
 
 import numpy as np
@@ -66,15 +83,26 @@ class ShardError(RuntimeError):
 
 
 def resolve_mp_context(context=None):
-    """A usable multiprocessing context: ``fork`` where available
-    (cheapest — the corpus file is already written, nothing re-imports),
-    ``spawn`` otherwise.  Accepts a context object, a start-method
-    name, or ``None``."""
+    """A usable multiprocessing context.  Accepts a context object, a
+    start-method name, or ``None`` for the default:
+
+    * ``fork`` where available **and** the calling process is still
+      single-threaded (cheapest — the corpus file is already written,
+      nothing re-imports);
+    * ``spawn`` otherwise.  Forking a multi-threaded Python process
+      can deadlock the child on locks (threading, allocator, BLAS
+      internals) held by other threads at fork time, and a live
+      :class:`~repro.serve.QBHService` always has scheduler and
+      executor threads running — so any spawn that happens with
+      threads alive must not fork.
+
+    An explicit *context* is honored as given; the thread check only
+    shapes the default.
+    """
     if context is None:
         methods = multiprocessing.get_all_start_methods()
-        return multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn"
-        )
+        use_fork = "fork" in methods and threading.active_count() <= 1
+        return multiprocessing.get_context("fork" if use_fork else "spawn")
     if isinstance(context, str):
         return multiprocessing.get_context(context)
     return context
@@ -131,6 +159,10 @@ class ShardRouter:
     process boundary.  ``workers=`` on the ``*_many`` methods is
     accepted for interface compatibility (``repro perf replay`` passes
     it) and ignored: the shard pool *is* the parallelism.
+
+    All query methods (and :meth:`close`) are thread-safe: fan-outs
+    serialize on a router-level lock, so concurrent callers queue
+    rather than interleave pipe traffic.
     """
 
     #: Duck-typing flag for the serving layer (deadline propagation).
@@ -174,7 +206,11 @@ class ShardRouter:
         self._rows = m
         self._series_length = n
         self._mp = resolve_mp_context(mp_context)
+        self._mp_explicit = mp_context is not None
         self._req_ids = itertools.count()
+        # Serializes fan-outs (and close()) so concurrent callers never
+        # interleave sends or steal each other's replies off the pipes.
+        self._lock = threading.Lock()
         self._closed = False
         self._tmpdir = tempfile.mkdtemp(prefix="repro-shard-")
         data_path = os.path.join(self._tmpdir, "corpus.f64")
@@ -249,9 +285,28 @@ class ShardRouter:
     # lifecycle
     # ------------------------------------------------------------------
 
+    def _spawn_context(self):
+        """The context to start the next worker with.
+
+        A defaulted ``fork`` context is only safe while this process is
+        single-threaded; respawns and manager rebuilds run on a live
+        service's dispatcher/executor threads, where forking can
+        deadlock the child on locks another thread held at fork time.
+        So the start method is re-decided per spawn: an explicit
+        *mp_context* is honored as given, a defaulted one falls back to
+        ``spawn`` whenever other threads are alive.  The worker only
+        needs its picklable :class:`EngineSpec`, so either method works.
+        """
+        if (not self._mp_explicit
+                and self._mp.get_start_method() == "fork"
+                and threading.active_count() > 1):
+            return multiprocessing.get_context("spawn")
+        return self._mp
+
     def _spawn(self, spec: EngineSpec, *, event: str) -> _Shard:
-        parent_end, child_end = self._mp.Pipe()
-        process = self._mp.Process(
+        ctx = self._spawn_context()
+        parent_end, child_end = ctx.Pipe()
+        process = ctx.Process(
             target=worker_main, args=(spec, child_end),
             daemon=True, name=f"repro-shard-{spec.shard}",
         )
@@ -262,6 +317,15 @@ class ShardRouter:
 
     def close(self) -> None:
         """Poison-pill every worker, drain, and remove the corpus file."""
+        with self._lock:
+            self._shutdown(drain=True)
+
+    def _shutdown(self, *, drain: bool) -> None:
+        """Tear the fleet down.  ``drain=True`` (explicit close) waits
+        for each worker to finish in-flight work; ``drain=False`` (the
+        ``__del__`` path) terminates without joining so garbage
+        collection of a leaked router can never block the interpreter
+        behind a hung worker."""
         if self._closed:
             return
         self._closed = True
@@ -271,10 +335,12 @@ class ShardRouter:
             except (OSError, BrokenPipeError):
                 pass
         for shard in self._shards:
-            shard.process.join(timeout=5.0)
-            if shard.process.is_alive():  # pragma: no cover - hung worker
-                shard.process.terminate()
+            if drain:
                 shard.process.join(timeout=5.0)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                if drain:  # pragma: no cover - hung worker
+                    shard.process.join(timeout=5.0)
             shard.conn.close()
             self.obs.record_shard_lifecycle("shutdown", shard.spec.shard)
         shutil.rmtree(self._tmpdir, ignore_errors=True)
@@ -286,8 +352,12 @@ class ShardRouter:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - gc-order dependent
+        # No lock and no joins here: __del__ can run at an arbitrary
+        # point (even mid-fan-out on another thread after a leak), so
+        # it must neither block on a hung worker nor deadlock on the
+        # router lock — terminate, close pipes, remove the tmpdir.
         try:
-            self.close()
+            self._shutdown(drain=False)
         except BaseException:
             pass
 
@@ -370,7 +440,22 @@ class ShardRouter:
 
     def _fanout(self, kind: str, queries, param, should_abort,
                 deadline_s):
-        """Send one request to every shard, gather, merge exactly."""
+        """Send one request to every shard, gather, merge exactly.
+
+        Holds the router lock for the whole send/gather/merge: the
+        pipes carry one conversation at a time, so a concurrent caller
+        could otherwise consume this request's replies (dropping them
+        via the ``req_id`` filter) and leave this thread blocked in the
+        gather loop forever.  The serving layer may call this from
+        several dispatcher/executor threads at once; they queue here
+        and the shard pool stays the only real parallelism.
+        """
+        with self._lock:
+            return self._fanout_locked(kind, queries, param,
+                                       should_abort, deadline_s)
+
+    def _fanout_locked(self, kind, queries, param, should_abort,
+                       deadline_s):
         if self._closed:
             raise ShardError("router is closed")
         started = monotonic_s()
@@ -522,6 +607,14 @@ class IndexShardManager:
     router's — so the composite cache version ``(mutations, epoch)``
     from :meth:`version` can never repeat across a rebuild *or* a
     respawn.
+
+    All methods are thread-safe: a manager lock serializes rebuild
+    decisions, so two dispatcher threads observing the same stale
+    ``_built_at`` cannot both rebuild — one builds, the other reuses
+    the fresh fleet — and a rebuild can never close a router out from
+    under a concurrent :meth:`version` read or regress the epoch.
+    (The router handed out is itself thread-safe; a rebuild only
+    happens between batches, when the scheduler calls back in.)
     """
 
     def __init__(self, index, *, shards, mp_context=None,
@@ -530,35 +623,42 @@ class IndexShardManager:
         self._shards = int(shards)
         self._mp_context = mp_context
         self._obs = obs
+        # RLock: version() reads epoch under the same lock.
+        self._lock = threading.RLock()
         self._router: ShardRouter | None = None
         self._built_at: int | None = None
         self._next_epoch = 0
 
     def router(self) -> ShardRouter:
         """The current router, rebuilt if the index mutated."""
-        if self._router is None or self._built_at != self._index.mutations:
-            if self._router is not None:
-                self._next_epoch = self._router.epoch + 1
-                self._router.close()
-            self._router = ShardRouter.from_index(
-                self._index, shards=self._shards,
-                mp_context=self._mp_context, obs=self._obs,
-                epoch_start=self._next_epoch,
-            )
-            self._built_at = self._index.mutations
-        return self._router
+        with self._lock:
+            if (self._router is None
+                    or self._built_at != self._index.mutations):
+                if self._router is not None:
+                    self._next_epoch = self._router.epoch + 1
+                    self._router.close()
+                self._router = ShardRouter.from_index(
+                    self._index, shards=self._shards,
+                    mp_context=self._mp_context, obs=self._obs,
+                    epoch_start=self._next_epoch,
+                )
+                self._built_at = self._index.mutations
+            return self._router
 
     @property
     def epoch(self) -> int:
-        if self._router is not None:
-            return self._router.epoch
-        return self._next_epoch
+        with self._lock:
+            if self._router is not None:
+                return self._router.epoch
+            return self._next_epoch
 
     def version(self) -> tuple:
         """Composite cache version: ``(index mutations, router epoch)``."""
-        return (self._index.mutations, self.epoch)
+        with self._lock:
+            return (self._index.mutations, self.epoch)
 
     def close(self) -> None:
-        if self._router is not None:
-            self._router.close()
-            self._router = None
+        with self._lock:
+            if self._router is not None:
+                self._router.close()
+                self._router = None
