@@ -241,12 +241,20 @@ def _cmd_serve(args) -> int:
     from .serve.loadgen import RequestSpec, run_load, service_dispatch
 
     obs = None
-    if args.trace_out or args.metrics_out:
+    exporter = None
+    if args.trace_out or args.metrics_out or args.metrics_jsonl:
         from .obs import Observability
 
         obs = Observability.to_files(
             trace_out=args.trace_out, metrics_out=args.metrics_out,
         )
+        if args.metrics_jsonl:
+            from .obs import PeriodicSnapshotExporter
+
+            exporter = PeriodicSnapshotExporter(
+                obs.metrics, jsonl_path=args.metrics_jsonl,
+                interval_s=args.metrics_interval_s,
+            ).start()
     try:
         index = load_index(args.index)
         if obs is not None:
@@ -267,6 +275,7 @@ def _cmd_serve(args) -> int:
             cache_size=args.cache_size,
             cache_ttl_s=args.ttl_s,
             workers=args.workers,
+            health_interval_s=args.health_interval_s,
         )
         # Each hum is requested --repeat times; interleaving the hums
         # round-robin gives the scheduler real concurrent variety.
@@ -308,8 +317,21 @@ def _cmd_serve(args) -> int:
                   f"{saturation['deadline_miss_rate']:.1%}")
             print(f"  {'cache_hit_rate':<18} "
                   f"{saturation['cache_hit_rate']:.1%}")
+            for row in saturation.get("shards", ()):
+                state = "up" if row["alive"] else "DOWN"
+                rtt = (f"{row['ping_rtt_s'] * 1e3:.2f}ms"
+                       if row.get("ping_rtt_s") is not None else "-")
+                rss = (f"{row['rss_bytes'] / 1e6:.1f}MB"
+                       if row.get("rss_bytes") is not None else "-")
+                print(f"  shard[{row['shard']}]          {state} "
+                      f"epoch={row['epoch']} respawns={row['respawns']} "
+                      f"requests={row['requests']} rtt={rtt} rss={rss}")
         return 0
     finally:
+        if exporter is not None:
+            exporter.close()
+            print(f"wrote {exporter.samples} metrics snapshots to "
+                  f"{args.metrics_jsonl}")
         if obs is not None:
             obs.close()
             if args.trace_out:
@@ -402,7 +424,13 @@ def _cmd_obs_report(args) -> int:
     elif args.format == "folded":
         text = report.format_folded()
     else:
-        text = report.format_table()
+        text = report.format_table(per_shard=args.per_shard)
+    if stats.bad_lines and args.format != "table":
+        # The table embeds its own WARNING header; the machine formats
+        # keep stdout clean, so the caveat goes to stderr instead.
+        print(f"warning: skipped {stats.bad_lines} undecodable line(s) "
+              f"of {stats.lines} read from {args.trace}",
+              file=sys.stderr)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text + "\n")
@@ -414,6 +442,64 @@ def _cmd_obs_report(args) -> int:
               f"({stats.bad_lines} bad lines, "
               f"{stats.incomplete_traces} incomplete)", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_obs_export(args) -> int:
+    """Convert a metrics snapshot (JSON) into an external format."""
+    import json
+
+    from .obs import append_snapshot, prometheus_text
+
+    with open(args.metrics) as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict) or "counters" not in snapshot:
+        print(f"error: {args.metrics} is not a metrics snapshot "
+              f"(want the JSON written by --metrics-out)", file=sys.stderr)
+        return 2
+    if args.format == "jsonl":
+        if not args.out:
+            print("error: --format jsonl needs --out (the series file "
+                  "to append to)", file=sys.stderr)
+            return 2
+        append_snapshot(args.out, snapshot)
+        print(f"appended snapshot to {args.out}")
+        return 0
+    text = prometheus_text(snapshot)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote prometheus exposition to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_obs_top(args) -> int:
+    """One-shot terminal view of a metrics snapshot or series."""
+    import json
+
+    from .obs import format_top, read_snapshot_series
+
+    if args.series:
+        snapshots, bad = read_snapshot_series(args.series)
+        if bad:
+            print(f"warning: skipped {bad} undecodable line(s) in "
+                  f"{args.series}", file=sys.stderr)
+        if not snapshots:
+            print(f"error: no snapshots in {args.series}", file=sys.stderr)
+            return 1
+        snapshot = snapshots[-1]
+        print(f"series {args.series}: {len(snapshots)} snapshot(s), "
+              f"showing the newest")
+    else:
+        with open(args.metrics) as handle:
+            snapshot = json.load(handle)
+        if not isinstance(snapshot, dict) or "counters" not in snapshot:
+            print(f"error: {args.metrics} is not a metrics snapshot",
+                  file=sys.stderr)
+            return 2
+    sys.stdout.write(format_top(snapshot))
     return 0
 
 
@@ -806,6 +892,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics-out", metavar="FILE",
                          help="write a metrics-registry snapshot (JSON) "
                               "after serving")
+    p_serve.add_argument("--health-interval-s", type=float, metavar="S",
+                         help="with --shards, heartbeat the worker fleet "
+                              "every S seconds (ping RTT, RSS, respawns "
+                              "land in shard.health.* gauges and the "
+                              "saturation report)")
+    p_serve.add_argument("--metrics-jsonl", metavar="FILE",
+                         help="sample the metrics registry into an "
+                              "append-only snapshot series while serving "
+                              "(feeds 'repro obs top --series')")
+    p_serve.add_argument("--metrics-interval-s", type=float, default=1.0,
+                         metavar="S",
+                         help="sampling period for --metrics-jsonl "
+                              "(default: 1.0)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_bench_serve = sub.add_parser(
@@ -859,7 +958,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs_report.add_argument("--out", metavar="FILE",
                               help="write the report to FILE instead of "
                                    "stdout")
+    p_obs_report.add_argument("--per-shard", action="store_true",
+                              help="append the per-shard breakdown table "
+                                   "(latency percentiles, work share, "
+                                   "pruning power per worker process)")
     p_obs_report.set_defaults(func=_cmd_obs_report)
+
+    p_obs_export = obs_sub.add_parser(
+        "export",
+        help="convert a --metrics-out snapshot to Prometheus text "
+             "exposition or append it to a JSONL time series",
+    )
+    p_obs_export.add_argument("--metrics", required=True, metavar="FILE",
+                              help="metrics snapshot JSON written by "
+                                   "--metrics-out")
+    p_obs_export.add_argument("--format",
+                              choices=("prometheus", "jsonl"),
+                              default="prometheus",
+                              help="prometheus text exposition (default) "
+                                   "or one appended JSONL series line")
+    p_obs_export.add_argument("--out", metavar="FILE",
+                              help="output file (default: stdout; "
+                                   "required for --format jsonl)")
+    p_obs_export.set_defaults(func=_cmd_obs_export)
+
+    p_obs_top = obs_sub.add_parser(
+        "top",
+        help="one-shot terminal view: headline counters plus the "
+             "per-shard health table",
+    )
+    top_src = p_obs_top.add_mutually_exclusive_group(required=True)
+    top_src.add_argument("--metrics", metavar="FILE",
+                         help="metrics snapshot JSON written by "
+                              "--metrics-out")
+    top_src.add_argument("--series", metavar="FILE",
+                         help="snapshot JSONL series (shows the newest "
+                              "sample)")
+    p_obs_top.set_defaults(func=_cmd_obs_top)
 
     p_perf = sub.add_parser(
         "perf", help="benchmark history, regression gate, workload replay"

@@ -35,6 +35,13 @@ from .analysis import (
     read_traces,
 )
 from .clock import monotonic_s, wall_s
+from .export import (
+    PeriodicSnapshotExporter,
+    append_snapshot,
+    format_top,
+    prometheus_text,
+    read_snapshot_series,
+)
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_S,
     Counter,
@@ -75,4 +82,9 @@ __all__ = [
     "TraceReport",
     "TraceReadStats",
     "percentile_from_histogram",
+    "prometheus_text",
+    "append_snapshot",
+    "read_snapshot_series",
+    "PeriodicSnapshotExporter",
+    "format_top",
 ]

@@ -30,8 +30,15 @@ poisoning the aggregate.  Concurrent ``*_many`` serving interleaves
 sink runs under a lock, but trace order follows completion order);
 grouping here is by ``trace_id``, so interleaving is harmless.
 
-``repro obs report --trace FILE [--format table|json|folded]`` is the
-CLI surface over :func:`read_traces` + :func:`analyze_traces`.
+* **Per-shard breakdown** — the sharded tier's workers ship their
+  spans home renamed ``shard:query`` and stamped with ``shard`` /
+  ``worker_epoch``; aggregated per shard these give latency
+  percentiles, pruning power, work share, and the fleet's
+  imbalance/skew ratio (``--per-shard``).
+
+``repro obs report --trace FILE [--format table|json|folded]
+[--per-shard]`` is the CLI surface over :func:`read_traces` +
+:func:`analyze_traces`.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ __all__ = [
     "percentile_from_histogram",
     "StageAggregate",
     "ServeAggregate",
+    "ShardAggregate",
     "SpanLatency",
     "TraceReport",
     "analyze_traces",
@@ -356,6 +364,72 @@ class ServeAggregate:
 
 
 @dataclass
+class ShardAggregate:
+    """One shard's share of the work, from its ``shard:query`` spans.
+
+    Worker root spans cross the process boundary renamed
+    ``query`` → ``shard:query`` and stamped with ``shard`` /
+    ``worker_epoch`` attributes (see :mod:`repro.shard.worker`), so a
+    merged trace log carries enough to re-attribute every candidate,
+    refine, and second of latency to the worker that produced it —
+    the measurement ROADMAP's per-shard tuning needs.
+    """
+
+    shard: int
+    queries: int = 0
+    total_s: float = 0.0
+    corpus_candidates: int = 0
+    dtw_computations: int = 0
+    results: int = 0
+    epochs: set = field(default_factory=set)
+    work_share: float = 0.0  # set once every shard's total is known
+    latency: Histogram = field(default_factory=lambda: Histogram(
+        "shard.query_seconds", {}, SPAN_LATENCY_BUCKETS_S
+    ))
+
+    def add(self, span: dict) -> None:
+        """Fold one ``shard:query`` span in."""
+        attrs = span["attrs"]
+        self.queries += 1
+        self.total_s += span["duration_s"]
+        self.corpus_candidates += attrs.get("corpus_size", 0)
+        self.dtw_computations += attrs.get("dtw_computations", 0)
+        self.results += attrs.get("results", 0)
+        if "worker_epoch" in attrs:
+            self.epochs.add(attrs["worker_epoch"])
+        self.latency.observe(span["duration_s"])
+
+    @property
+    def pruning_power(self) -> float:
+        """Fraction of this shard's candidates never exactly refined."""
+        if not self.corpus_candidates:
+            return 0.0
+        return 1.0 - self.dtw_computations / self.corpus_candidates
+
+    def _percentile(self, q: float) -> float | None:
+        return percentile_from_histogram(self.latency.merged(), q)
+
+    def to_dict(self) -> dict:
+        """The per-shard row as a JSON-ready dict."""
+        merged = self.latency.merged()
+        return {
+            "shard": self.shard,
+            "queries": self.queries,
+            "total_s": self.total_s,
+            "mean_s": self.total_s / self.queries if self.queries else 0.0,
+            "p50_s": percentile_from_histogram(merged, 0.50),
+            "p95_s": percentile_from_histogram(merged, 0.95),
+            "p99_s": percentile_from_histogram(merged, 0.99),
+            "corpus_candidates": self.corpus_candidates,
+            "dtw_computations": self.dtw_computations,
+            "results": self.results,
+            "pruning_power": self.pruning_power,
+            "work_share": self.work_share,
+            "epochs": sorted(self.epochs),
+        }
+
+
+@dataclass
 class TraceReport:
     """Everything :func:`analyze_traces` extracts from a trace log."""
 
@@ -370,6 +444,8 @@ class TraceReport:
     dtw_abandoned: int = 0
     corpus_candidates: int = 0
     serve: ServeAggregate | None = None
+    shards: list[ShardAggregate] = field(default_factory=list)
+    shard_imbalance: float | None = None
 
     def to_dict(self) -> dict:
         """The full report as one JSON-ready document."""
@@ -384,6 +460,8 @@ class TraceReport:
             "pruning": [row.to_dict() for row in self.stages],
             "critical_paths": list(self.critical_paths),
             "serve": self.serve.to_dict() if self.serve else None,
+            "shards": [row.to_dict() for row in self.shards],
+            "shard_imbalance": self.shard_imbalance,
         }
 
     def format_folded(self) -> str:
@@ -394,12 +472,28 @@ class TraceReport:
         ]
         return "\n".join(lines)
 
-    def format_table(self) -> str:
-        """A fixed-width terminal report (latency, pruning, paths)."""
+    def format_table(self, *, per_shard: bool = False) -> str:
+        """A fixed-width terminal report (latency, pruning, paths).
+
+        *per_shard* appends the per-shard breakdown table
+        (``repro obs report --per-shard``) when the log carries
+        ``shard:query`` spans.
+        """
         out = [
             f"traces: {self.queries} queries "
             f"({self.read.spans} spans, {self.read.bad_lines} bad lines, "
             f"{self.read.incomplete_traces} incomplete)",
+        ]
+        if self.read.bad_lines:
+            # Corrupt-line tolerance, surfaced: the reader skipped
+            # lines, and a report that silently under-counts is worse
+            # than one that says so.
+            out.append(
+                f"WARNING: skipped {self.read.bad_lines} undecodable "
+                f"line(s) of {self.read.lines} read — counts below are "
+                f"a lower bound"
+            )
+        out += [
             f"totals: {self.corpus_candidates} candidates -> "
             f"{self.dtw_computations} refined "
             f"({self.dtw_abandoned} abandoned) -> {self.results} results",
@@ -473,7 +567,34 @@ class TraceReport:
                     f"({serve.batched_requests} requests, "
                     f"{serve.coalesced} coalesced)"
                 )
+        if per_shard:
+            out += ["", *self._format_shard_table()]
         return "\n".join(out)
+
+    def _format_shard_table(self) -> list[str]:
+        if not self.shards:
+            return ["per-shard: no shard:query spans in this log "
+                    "(run with --shards and tracing enabled)"]
+        imbalance = (f"{self.shard_imbalance:.2f}"
+                     if self.shard_imbalance is not None else "-")
+        lines = [
+            f"per-shard ({len(self.shards)} shards, "
+            f"imbalance {imbalance}):",
+            f"{'shard':<7}{'queries':>8}{'mean ms':>9}{'p50 ms':>9}"
+            f"{'p95 ms':>9}{'p99 ms':>9}{'work':>7}{'pruned':>8}"
+            f"{'refined':>9}  epochs",
+        ]
+        for row in self.shards:
+            d = row.to_dict()
+            epochs = ",".join(str(e) for e in d["epochs"]) or "-"
+            lines.append(
+                f"{row.shard:<7}{row.queries:>8}"
+                f"{d['mean_s'] * 1e3:>9.3f}{d['p50_s'] * 1e3:>9.3f}"
+                f"{d['p95_s'] * 1e3:>9.3f}{d['p99_s'] * 1e3:>9.3f}"
+                f"{row.work_share:>7.1%}{row.pruning_power:>8.1%}"
+                f"{row.dtw_computations:>9}  {epochs}"
+            )
+        return lines
 
 
 def _children_index(trace: list[dict]) -> dict:
@@ -532,6 +653,7 @@ def analyze_traces(
     stages: dict[str, StageAggregate] = {}
     stage_order: list[str] = []
     paths: dict[str, dict] = {}
+    shards: dict[int, ShardAggregate] = {}
 
     for trace in traces:
         # Serving-layer spans are instant roots whose attributes carry
@@ -562,6 +684,12 @@ def analyze_traces(
                 report.dtw_computations += attrs.get("dtw_computations", 0)
                 report.dtw_abandoned += attrs.get("dtw_abandoned", 0)
                 report.corpus_candidates += attrs.get("corpus_size", 0)
+            elif span["name"] == "shard:query":
+                sid = int(attrs.get("shard", -1))
+                agg = shards.get(sid)
+                if agg is None:
+                    agg = shards[sid] = ShardAggregate(shard=sid)
+                agg.add(span)
             elif span["name"].startswith("stage:"):
                 name = attrs.get("name", span["name"][len("stage:"):])
                 agg = stages.get(name)
@@ -593,6 +721,21 @@ def analyze_traces(
                 agg.mean_bound / reference if reference > 0 else None
             )
     report.stages = [stages[name] for name in stage_order]
+
+    # Per-shard work share and the fleet skew ratio (busiest shard's
+    # total over the mean — 1.0 means the partition splits evenly).
+    if shards:
+        fleet_total = sum(agg.total_s for agg in shards.values())
+        for agg in shards.values():
+            agg.work_share = (
+                agg.total_s / fleet_total if fleet_total > 0 else 0.0
+            )
+        mean_total = fleet_total / len(shards)
+        report.shard_imbalance = (
+            max(agg.total_s for agg in shards.values()) / mean_total
+            if mean_total > 0 else 1.0
+        )
+        report.shards = [shards[sid] for sid in sorted(shards)]
 
     for name in sorted(hists):
         merged = hists[name].merged()

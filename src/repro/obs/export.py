@@ -1,0 +1,310 @@
+"""Metrics-snapshot export: Prometheus text, JSONL series, and `top`.
+
+A :meth:`MetricsRegistry.snapshot` is a JSON dict whose metric keys
+are rendered full names — ``shard.health.rss_bytes{shard=2}`` — which
+is compact and diff-friendly but not what external tooling speaks.
+This module converts outward:
+
+* :func:`prometheus_text` — one snapshot as Prometheus text exposition
+  (names sanitised, labels re-expanded, histograms as cumulative
+  ``_bucket``/``_sum``/``_count`` series with ``le`` labels);
+* :func:`append_snapshot` / :func:`read_snapshot_series` — an
+  append-only JSONL time series of snapshots (one line per sample),
+  tolerant of corrupt lines on read, same stance as the trace reader;
+* :class:`PeriodicSnapshotExporter` — a background thread sampling a
+  registry on an interval into either or both formats (a live
+  ``repro serve`` uses it so dashboards see the process without
+  touching it);
+* :func:`format_top` — the one-shot terminal view behind
+  ``repro obs top``: headline serve/engine/shard counters plus a
+  per-shard health table built from the labelled ``shard.health.*``
+  gauges.
+
+Everything here consumes *snapshots* (plain dicts), not live metric
+objects, so the CLI can run it over a file written by a process that
+exited hours ago.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+
+__all__ = [
+    "prometheus_text",
+    "append_snapshot",
+    "read_snapshot_series",
+    "PeriodicSnapshotExporter",
+    "format_top",
+    "parse_full_name",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+#: Prefix for every exported Prometheus series (one namespace per app).
+_PROM_PREFIX = "repro_"
+
+
+def parse_full_name(full_name: str) -> tuple[str, dict]:
+    """Split a rendered metric name back into ``(name, labels)``.
+
+    The inverse of the registry's renderer: ``a.b{k=v,k2=v2}`` →
+    ``("a.b", {"k": "v", "k2": "v2"})``.  Label values never contain
+    ``,`` or ``}`` in practice (shard ids, stage names, statuses); a
+    malformed name comes back with empty labels rather than raising.
+    """
+    if "{" not in full_name or not full_name.endswith("}"):
+        return full_name, {}
+    name, _, inner = full_name.partition("{")
+    labels = {}
+    for part in inner[:-1].split(","):
+        key, eq, value = part.partition("=")
+        if not eq:
+            return full_name, {}
+        labels[key] = value
+    return name, labels
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_PREFIX + _NAME_RE.sub("_", name)
+
+
+def _prom_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_NAME_RE.sub("_", k)}="{v}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _merge_label(labels: dict, extra_key: str, extra_value) -> dict:
+    merged = dict(labels)
+    merged[extra_key] = extra_value
+    return merged
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render one registry snapshot as Prometheus text exposition.
+
+    Dotted names become underscored under a ``repro_`` namespace
+    (``shard.health.rss_bytes{shard=2}`` →
+    ``repro_shard_health_rss_bytes{shard="2"}``); histograms export
+    their cumulative buckets as ``_bucket{le="..."}`` series plus
+    ``_sum`` and ``_count``, which is exactly the shape the registry
+    already stores, so no re-bucketing happens here.  ``# TYPE`` lines
+    are emitted once per metric family.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def emit_type(family: str, kind: str) -> None:
+        if family not in typed:
+            lines.append(f"# TYPE {family} {kind}")
+            typed.add(family)
+
+    for full_name, value in snapshot.get("counters", {}).items():
+        name, labels = parse_full_name(full_name)
+        family = _prom_name(name)
+        emit_type(family, "counter")
+        lines.append(f"{family}{_prom_labels(labels)} {value}")
+    for full_name, value in snapshot.get("gauges", {}).items():
+        name, labels = parse_full_name(full_name)
+        family = _prom_name(name)
+        emit_type(family, "gauge")
+        lines.append(f"{family}{_prom_labels(labels)} {value}")
+    for full_name, hist in snapshot.get("histograms", {}).items():
+        name, labels = parse_full_name(full_name)
+        family = _prom_name(name)
+        emit_type(family, "histogram")
+        for bucket in hist.get("buckets", []):
+            bucket_labels = _prom_labels(
+                _merge_label(labels, "le", bucket["le"])
+            )
+            lines.append(f"{family}_bucket{bucket_labels} {bucket['count']}")
+        lines.append(f"{family}_sum{_prom_labels(labels)} {hist['sum']}")
+        lines.append(f"{family}_count{_prom_labels(labels)} {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def append_snapshot(path, snapshot: dict) -> None:
+    """Append one snapshot to a JSONL time series (one line per sample)."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(snapshot) + "\n")
+
+
+def read_snapshot_series(path) -> tuple[list[dict], int]:
+    """Read a snapshot JSONL series; returns ``(snapshots, bad_lines)``.
+
+    Same corrupt-line stance as the trace reader: a torn final line
+    from a killed process must not make history unreadable, so
+    undecodable lines are counted and skipped.
+    """
+    snapshots: list[dict] = []
+    bad = 0
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+                continue
+            if isinstance(record, dict) and "counters" in record:
+                snapshots.append(record)
+            else:
+                bad += 1
+    return snapshots, bad
+
+
+class PeriodicSnapshotExporter:
+    """Background thread sampling a registry into files on an interval.
+
+    *jsonl_path* receives one snapshot line per beat (the append-only
+    time series); *prometheus_path* is atomically rewritten each beat
+    (the file a node-exporter-style scraper reads).  :meth:`close`
+    takes one final sample before stopping, so short-lived processes
+    still leave a last-word snapshot behind.
+    """
+
+    def __init__(self, registry, *, jsonl_path=None, prometheus_path=None,
+                 interval_s: float = 10.0) -> None:
+        if jsonl_path is None and prometheus_path is None:
+            raise ValueError("give jsonl_path and/or prometheus_path")
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self._registry = registry
+        self.jsonl_path = jsonl_path
+        self.prometheus_path = prometheus_path
+        self.interval_s = float(interval_s)
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def export_once(self) -> dict:
+        """Take one sample and write it to the configured outputs."""
+        snapshot = self._registry.snapshot()
+        if self.jsonl_path is not None:
+            append_snapshot(self.jsonl_path, snapshot)
+        if self.prometheus_path is not None:
+            with open(self.prometheus_path, "w", encoding="utf-8") as handle:
+                handle.write(prometheus_text(snapshot))
+        self.samples += 1
+        return snapshot
+
+    def start(self) -> "PeriodicSnapshotExporter":
+        """Start the sampling thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-obs-export", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.export_once()
+
+    def close(self) -> None:
+        """Stop the thread and write one final sample."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.export_once()
+
+
+# ----------------------------------------------------------------------
+# the `repro obs top` one-shot view
+# ----------------------------------------------------------------------
+
+#: Headline counters shown (when present) above the per-shard table.
+_TOP_COUNTERS = (
+    "engine.queries_total",
+    "engine.candidates_total",
+    "engine.candidates_refined_total",
+    "serve.requests_total",
+    "serve.batches_total",
+    "serve.cache_hits_total",
+    "shard.fanouts_total",
+    "shard.lifecycle_total",
+    "dtw.kernel_calls_total",
+)
+
+#: shard.health.* gauge → (column header, formatter).
+_HEALTH_COLUMNS = (
+    ("shard.health.alive", "alive", lambda v: "up" if v else "DOWN"),
+    ("shard.health.epoch", "epoch", lambda v: f"{int(v)}"),
+    ("shard.health.respawns", "respawns", lambda v: f"{int(v)}"),
+    ("shard.health.requests", "requests", lambda v: f"{int(v)}"),
+    ("shard.health.ping_rtt_seconds", "rtt_ms", lambda v: f"{v * 1e3:.2f}"),
+    ("shard.health.rss_bytes", "rss_mb", lambda v: f"{v / 1e6:.1f}"),
+    ("shard.health.last_reply_age_seconds", "idle_s", lambda v: f"{v:.1f}"),
+    ("shard.health.uptime_seconds", "up_s", lambda v: f"{v:.1f}"),
+)
+
+
+def _sum_counter_family(counters: dict, family: str) -> tuple[float, dict]:
+    """Total and per-label breakdown of one counter family."""
+    total = 0.0
+    by_labels: dict[str, float] = {}
+    for full_name, value in counters.items():
+        name, labels = parse_full_name(full_name)
+        if name != family:
+            continue
+        total += value
+        if labels:
+            key = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            by_labels[key] = by_labels.get(key, 0.0) + value
+    return total, by_labels
+
+
+def format_top(snapshot: dict) -> str:
+    """The ``repro obs top`` one-shot terminal view of one snapshot."""
+    lines = [f"snapshot @ {snapshot.get('timestamp_s', 0.0):.3f}"]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    shown = False
+    for family in _TOP_COUNTERS:
+        total, by_labels = _sum_counter_family(counters, family)
+        if total == 0 and not by_labels:
+            continue
+        shown = True
+        detail = ""
+        if by_labels and len(by_labels) <= 6:
+            detail = "  (" + ", ".join(
+                f"{key}: {value:g}" for key, value in sorted(by_labels.items())
+            ) + ")"
+        lines.append(f"  {family:<36} {total:>12g}{detail}")
+    if not shown:
+        lines.append("  (no headline counters recorded)")
+
+    # Per-shard health table, reassembled from the labelled gauges.
+    per_shard: dict[str, dict[str, float]] = {}
+    for full_name, value in gauges.items():
+        name, labels = parse_full_name(full_name)
+        if name.startswith("shard.health.") and "shard" in labels:
+            per_shard.setdefault(labels["shard"], {})[name] = value
+    if per_shard:
+        headers = ["shard"] + [h for _, h, _ in _HEALTH_COLUMNS]
+        rows = [headers]
+        for sid in sorted(per_shard, key=lambda s: (len(s), s)):
+            row = [sid]
+            for gauge_name, _, fmt in _HEALTH_COLUMNS:
+                value = per_shard[sid].get(gauge_name)
+                row.append("-" if value is None else fmt(value))
+            rows.append(row)
+        widths = [max(len(row[i]) for row in rows)
+                  for i in range(len(headers))]
+        lines.append("")
+        lines.append("shard health:")
+        for row in rows:
+            lines.append("  " + "  ".join(
+                cell.rjust(width) for cell, width in zip(row, widths)
+            ))
+    else:
+        lines.append("")
+        lines.append("shard health: (no shard.health.* gauges in snapshot)")
+    return "\n".join(lines) + "\n"

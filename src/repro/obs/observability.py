@@ -347,17 +347,20 @@ class Observability:
         self.metrics.counter("serve.cache_probes_total", event=event).inc()
 
     def record_shard_fanout(self, kind: str, shards: int, wall_s: float,
-                            per_shard_cpu_s) -> None:
-        """Fold one shard-router fan-out into metrics + spans.
+                            per_shard_cpu_s) -> dict:
+        """Fold one shard-router fan-out into metrics.
 
         *per_shard_cpu_s* is each worker's summed per-query time for
-        the request.  Two derived health numbers land in metrics:
+        the request, in shard order — it also feeds the per-shard
+        ``shard.cpu_seconds_total{shard=i}`` counters, so skew is
+        visible as a rate, not just an instantaneous gauge.  Two
+        derived health numbers land in metrics and in the returned
+        dict (the router sets them on its real ``shard:fanout`` span):
         **occupancy** — total worker time over ``shards × wall``, the
         fraction of the pool that was actually busy (low = fan-out
         overhead or skew dominates) — and **imbalance** — busiest
         worker over the mean, 1.0 when the partition splits work
-        evenly.  Emits an instant root span ``shard:fanout`` (see
-        :meth:`record_serve_request` for why not a wrapping span).
+        evenly.
         """
         m = self.metrics
         m.counter("shard.fanouts_total", kind=kind).inc()
@@ -366,17 +369,22 @@ class Observability:
         busiest = max(per_shard_cpu_s, default=0.0)
         total = sum(per_shard_cpu_s)
         imbalance = busiest * shards / total if total > 0 else 1.0
+        occupancy = None
         if wall_s > 0 and shards > 0:
+            occupancy = min(1.0, total / (shards * wall_s))
             m.histogram("shard.occupancy", edges=_RATIO_EDGES).observe(
-                min(1.0, total / (shards * wall_s))
+                occupancy
             )
         m.gauge("shard.imbalance").set(imbalance)
-        with self.span(
-            "shard:fanout", kind=kind, shards=int(shards),
-            wall_s=wall_s, total_cpu_s=total, busiest_cpu_s=busiest,
-            imbalance=imbalance,
-        ):
-            pass
+        for i, cpu_s in enumerate(per_shard_cpu_s):
+            m.counter("shard.cpu_seconds_total", shard=str(i)).inc(cpu_s)
+        attrs = {
+            "wall_s": wall_s, "total_cpu_s": total,
+            "busiest_cpu_s": busiest, "imbalance": imbalance,
+        }
+        if occupancy is not None:
+            attrs["occupancy"] = occupancy
+        return attrs
 
     def record_shard_lifecycle(self, event: str, shard: int) -> None:
         """Count one worker-process lifecycle event.
@@ -384,11 +392,48 @@ class Observability:
         *event* is ``spawn`` (initial start), ``crash`` (pipe hit EOF),
         ``respawn`` (replacement started), or ``shutdown`` (poison-pill
         drain) — the numbers that distinguish a healthy pool from one
-        churning through workers.
+        churning through workers.  The counter carries the shard id as
+        a label, so one flapping worker stands out from fleet-wide
+        churn.
         """
-        self.metrics.counter("shard.lifecycle_total", event=event).inc()
+        self.metrics.counter("shard.lifecycle_total", event=event,
+                             shard=str(int(shard))).inc()
         with self.span("shard:lifecycle", event=event, shard=int(shard)):
             pass
+
+    def record_shard_health(self, health) -> None:
+        """Publish one shard's :class:`~repro.shard.health.ShardHealth`
+        row as per-shard ``shard.health.*`` gauges.
+
+        Called by the router's health probe (and therefore by the
+        background heartbeat) for every shard on every beat, so the
+        gauges always carry the latest sample; ``None`` fields (no
+        ping yet, no procfs) leave their gauge untouched rather than
+        publishing a fake zero.
+        """
+        m = self.metrics
+        sid = str(health.shard)
+        m.gauge("shard.health.alive", shard=sid).set(
+            1.0 if health.alive else 0.0
+        )
+        m.gauge("shard.health.epoch", shard=sid).set(health.epoch)
+        m.gauge("shard.health.respawns", shard=sid).set(health.respawns)
+        m.gauge("shard.health.requests", shard=sid).set(health.requests)
+        m.gauge("shard.health.uptime_seconds", shard=sid).set(
+            health.uptime_s
+        )
+        if health.ping_rtt_s is not None:
+            m.gauge("shard.health.ping_rtt_seconds", shard=sid).set(
+                health.ping_rtt_s
+            )
+        if health.last_reply_age_s is not None:
+            m.gauge("shard.health.last_reply_age_seconds", shard=sid).set(
+                health.last_reply_age_s
+            )
+        if health.rss_bytes is not None:
+            m.gauge("shard.health.rss_bytes", shard=sid).set(
+                health.rss_bytes
+            )
 
     def _check_slow(self, kind: str, stats) -> None:
         if (self.slow_query_s is None
@@ -445,10 +490,14 @@ class _DisabledObservability(Observability):
         """Do nothing (observability is disabled)."""
 
     def record_shard_fanout(self, kind, shards, wall_s,
-                            per_shard_cpu_s) -> None:
+                            per_shard_cpu_s) -> dict:
         """Do nothing (observability is disabled)."""
+        return {}
 
     def record_shard_lifecycle(self, event, shard) -> None:
+        """Do nothing (observability is disabled)."""
+
+    def record_shard_health(self, health) -> None:
         """Do nothing (observability is disabled)."""
 
 

@@ -23,6 +23,22 @@ Thread model: each thread builds its own span stack (queries served by
 a ``ThreadPoolExecutor`` become independent traces), and sinks are
 invoked under a lock, so one exporter may serve many worker threads.
 
+Traces can also cross a *process* boundary (the shard tier).  Three
+pieces make one coherent tree out of spans produced by several
+processes:
+
+* ``id_prefix`` — a worker-side tracer mints span ids as strings like
+  ``"w2e5-7"`` (shard 2, epoch 5, counter 7), so ids stay globally
+  unique without any parent-side remapping, including across a worker
+  respawn (the epoch in the prefix changes);
+* :meth:`Tracer.set_remote_parent` — the worker installs the shipped
+  ``(trace_id, parent span_id)`` so its next root-level span becomes a
+  *child* of the router's fan-out span instead of a fresh trace;
+* :meth:`Tracer.adopt` — the router grafts the worker's finished span
+  records into the trace currently open on the calling thread,
+  shifting their clocks by a caller-computed offset (see
+  :mod:`repro.shard.router` for the re-anchoring arithmetic).
+
 The :class:`NoopTracer` singleton (``NOOP_TRACER``) makes every
 ``span()`` call return one shared, reusable null context manager —
 no allocation, no timestamps — so instrumented code pays near zero
@@ -66,8 +82,8 @@ class Span:
     __slots__ = ("name", "trace_id", "span_id", "parent_id", "start_s",
                  "end_s", "attrs")
 
-    def __init__(self, name: str, trace_id: int, span_id: int,
-                 parent_id: int | None, attrs: dict) -> None:
+    def __init__(self, name: str, trace_id, span_id,
+                 parent_id, attrs: dict) -> None:
         self.name = name
         self.trace_id = trace_id
         self.span_id = span_id
@@ -98,6 +114,19 @@ class Span:
             "attrs": dict(self.attrs),
         }
 
+    @classmethod
+    def from_dict(cls, record: dict) -> "Span":
+        """Rebuild a span from its :meth:`to_dict` record.
+
+        The inverse of the JSONL line schema — :meth:`Tracer.adopt`
+        uses it to graft spans shipped across a process boundary.
+        """
+        span = cls(record["name"], record["trace_id"], record["span_id"],
+                   record["parent_id"], dict(record["attrs"]))
+        span.start_s = float(record["start_s"])
+        span.end_s = span.start_s + float(record["duration_s"])
+        return span
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Span({self.name!r}, trace={self.trace_id}, "
                 f"span={self.span_id}, parent={self.parent_id})")
@@ -124,30 +153,80 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, sink: TraceSink | None = None) -> None:
+    def __init__(self, sink: TraceSink | None = None, *,
+                 id_prefix: str | None = None) -> None:
         self._sink = sink
         self._ids = itertools.count(1)
+        self._id_prefix = id_prefix
         self._local = threading.local()
         self._sink_lock = threading.Lock()
 
     def _state(self):
         state = getattr(self._local, "state", None)
         if state is None:
-            state = self._local.state = {"stack": [], "finished": []}
+            state = self._local.state = {"stack": [], "finished": [],
+                                         "remote": None}
         return state
 
+    def _next_id(self):
+        n = next(self._ids)
+        if self._id_prefix is None:
+            return n
+        return f"{self._id_prefix}{n}"
+
     def span(self, name: str, **attrs) -> _SpanHandle:
-        """Open a span nested under this thread's innermost open span."""
+        """Open a span nested under this thread's innermost open span.
+
+        With no open span and a remote parent installed (see
+        :meth:`set_remote_parent`), the span joins the remote trace as
+        a child of the remote span instead of rooting a new trace.
+        """
         state = self._state()
         stack = state["stack"]
         if stack:
             parent = stack[-1]
             trace_id, parent_id = parent.trace_id, parent.span_id
+        elif state["remote"] is not None:
+            trace_id, parent_id = state["remote"]
         else:
-            trace_id, parent_id = next(self._ids), None
-        span = Span(name, trace_id, next(self._ids), parent_id, attrs)
+            trace_id, parent_id = self._next_id(), None
+        span = Span(name, trace_id, self._next_id(), parent_id, attrs)
         stack.append(span)
         return _SpanHandle(self, span)
+
+    def set_remote_parent(self, trace_id, span_id) -> None:
+        """Parent this thread's next top-level spans under a span that
+        lives in another process (the shard worker's side of trace
+        propagation).  Stays in effect until
+        :meth:`clear_remote_parent`; trace delivery to the sink still
+        triggers whenever the local stack empties."""
+        self._state()["remote"] = (trace_id, span_id)
+
+    def clear_remote_parent(self) -> None:
+        """Drop the remote parent installed on this thread, if any."""
+        self._state()["remote"] = None
+
+    def adopt(self, records, *, clock_offset_s: float = 0.0) -> None:
+        """Graft finished span records from another process into the
+        trace open on this thread.
+
+        *records* are :meth:`Span.to_dict` dicts (the reply payload of
+        a shard worker); *clock_offset_s* is added to each ``start_s``
+        to re-anchor the remote process's ``perf_counter`` epoch onto
+        this process's.  With no span open, the records are delivered
+        straight to the sink as their own flush (they already carry a
+        trace id).
+        """
+        spans = [Span.from_dict(record) for record in records]
+        for span in spans:
+            span.start_s += clock_offset_s
+            span.end_s += clock_offset_s
+        state = self._state()
+        if state["stack"]:
+            state["finished"].extend(spans)
+        elif spans and self._sink is not None:
+            with self._sink_lock:
+                self._sink(spans)
 
     def _finish(self, span: Span) -> None:
         span.end_s = monotonic_s()
@@ -209,6 +288,15 @@ class NoopTracer:
     def current_span(self) -> None:
         """There is never an open span on the no-op tracer."""
         return None
+
+    def set_remote_parent(self, trace_id, span_id) -> None:
+        """Do nothing (tracing is disabled)."""
+
+    def clear_remote_parent(self) -> None:
+        """Do nothing (tracing is disabled)."""
+
+    def adopt(self, records, *, clock_offset_s: float = 0.0) -> None:
+        """Do nothing (tracing is disabled)."""
 
 
 #: The shared disabled tracer.

@@ -87,6 +87,15 @@ class QBHService:
         fan-outs serialize on an internal lock: the shard processes
         are the parallelism, so sharded batches run serially
         parent-side.
+    health_interval_s:
+        With a service-owned shard fleet (``shards=`` on the
+        classmethod constructors), start a
+        :class:`~repro.shard.ShardHealthMonitor` heartbeat pinging the
+        workers every this-many seconds, keeping the
+        ``shard.health.*`` gauges and :meth:`saturation`'s ``shards``
+        section fresh even when no queries flow.  ``None`` (default)
+        disables the heartbeat; the snapshot then reflects
+        serving-path side effects only.
     obs:
         Observability facade (default disabled).
 
@@ -100,7 +109,8 @@ class QBHService:
                  admission: AdmissionPolicy | None = None,
                  retry: RetryPolicy | None = None,
                  cache_size: int = 1024, cache_ttl_s: float | None = None,
-                 workers: int | None = None, obs=None) -> None:
+                 workers: int | None = None,
+                 health_interval_s: float | None = None, obs=None) -> None:
         self._engine_fn = engine_fn
         self._version_fn = version_fn if version_fn is not None else lambda: 0
         self._normalize = normalize
@@ -126,6 +136,8 @@ class QBHService:
         # A shard router/manager built *for* this service by a
         # classmethod constructor; closed with it (poison-pill drain).
         self._owned_shards = None
+        self.health_interval_s = health_interval_s
+        self._health_monitor = None
         self.scheduler = MicroBatchScheduler(
             self._execute_batch,
             max_batch=max_batch,
@@ -163,6 +175,7 @@ class QBHService:
             service = cls(lambda: router,
                           version_fn=lambda: (0, router.epoch), **kwargs)
             service._owned_shards = router
+            service._start_health_monitor()
             return service
         return cls(lambda: engine, **kwargs)
 
@@ -208,6 +221,7 @@ class QBHService:
                 **kwargs,
             )
             service._owned_shards = manager
+            service._start_health_monitor()
             return service
         return cls(
             lambda: index.engine(),
@@ -312,6 +326,11 @@ class QBHService:
         after the scheduler stops feeding it.
         """
         self._closed = True
+        if self._health_monitor is not None:
+            # Stop the heartbeat before the fleet: a ping racing the
+            # poison-pill drain would only see a closed router.
+            self._health_monitor.close()
+            self._health_monitor = None
         self.scheduler.close(drain=drain)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -327,6 +346,21 @@ class QBHService:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def _start_health_monitor(self) -> None:
+        """Start the shard-health heartbeat when configured and owned.
+
+        Only a fleet the service *owns* is monitored — pinging a
+        caller-managed router from a background thread would contend
+        with whatever schedule the caller runs it on.
+        """
+        if self._owned_shards is None or self.health_interval_s is None:
+            return
+        from ..shard import ShardHealthMonitor
+
+        self._health_monitor = ShardHealthMonitor(
+            self._owned_shards, interval_s=self.health_interval_s
+        ).start()
 
     def _finish_inline(self, request: ServeRequest,
                        outcome: ServeOutcome) -> None:
@@ -431,7 +465,11 @@ class QBHService:
         Includes current queue depth and in-flight count, cumulative
         outcome counts, shed/deadline-miss rates, batch occupancy, and
         the cache's own accounting — the numbers an operator watches
-        to decide whether the service is keeping up.
+        to decide whether the service is keeping up.  A service-owned
+        shard fleet contributes a ``"shards"`` list of per-worker
+        health rows (see :class:`~repro.shard.health.ShardHealth`);
+        RTT/RSS are as fresh as the last ping, so enable the
+        ``health_interval_s`` heartbeat for live numbers.
         """
         with self._counters_lock:
             counters = dict(self._counters)
@@ -451,4 +489,9 @@ class QBHService:
         }
         if self.cache is not None:
             snapshot["cache"] = self.cache.stats.to_dict()
+        if self._owned_shards is not None:
+            snapshot["shards"] = [
+                row.to_dict()
+                for row in self._owned_shards.health_snapshot()
+            ]
         return snapshot

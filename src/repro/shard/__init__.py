@@ -24,6 +24,7 @@ exact global top-k.  See ``docs/ARCHITECTURE.md`` ("Sharded index
 tier").
 """
 
+from .health import ShardHealth, ShardHealthMonitor, read_rss_bytes
 from .router import (
     IndexShardManager,
     ShardError,
@@ -38,4 +39,7 @@ __all__ = [
     "IndexShardManager",
     "EngineSpec",
     "resolve_mp_context",
+    "ShardHealth",
+    "ShardHealthMonitor",
+    "read_rss_bytes",
 ]

@@ -22,6 +22,25 @@ Per-shard :class:`~repro.engine.CascadeStats` re-merge through
 lossless; per-request kernel counters ship back as deltas and fold
 into the parent's ``dtw.*`` metrics.
 
+Traces cross the process boundary too: when the parent traces, each
+request ships the fan-out span's ``(trace_id, span_id)`` to every
+worker, which runs its engine under a real tracer (span ids prefixed
+``w<shard>e<epoch>-``) and returns its finished spans in the reply.
+The router re-anchors those spans onto its own ``perf_counter`` epoch
+— offset = parent send time − worker receive time, one pipe hop of
+skew, the deadline trick in reverse — and grafts them under the
+fan-out span, so the export reads ``query → shard:fanout →
+shard:query → stage:*/refine/kernel`` as one connected tree.  Spans of
+an *abandoned* request (a stale reply dropped by the ``req_id``
+filter) are dropped with the reply: an abandoned fan-out contributes
+its parent-side spans only.
+
+Health lives alongside: the router passively stamps per-shard request
+counts and reply times as it serves, :meth:`ShardRouter.ping` actively
+probes RTT/RSS/liveness (the :class:`~repro.shard.health.ShardHealthMonitor`
+heartbeat calls it on an interval), and
+:meth:`ShardRouter.health_snapshot` reads the rows lock-free.
+
 Failure semantics: a worker crash (its pipe hits EOF) triggers an
 automatic respawn from the shard's pickled
 :class:`~repro.shard.spec.EngineSpec` and a single retry of the
@@ -66,6 +85,7 @@ from ..engine.cascade import DEFAULT_STAGES, CascadeStats
 from ..engine.errors import QueryAborted
 from ..obs import OBS_DISABLED
 from ..obs.clock import monotonic_s
+from .health import ShardHealth
 from .spec import EngineSpec
 from .worker import worker_main
 
@@ -109,14 +129,32 @@ def resolve_mp_context(context=None):
 
 
 class _Shard:
-    """One worker process plus its parent-side pipe end."""
+    """One worker process plus its parent-side pipe end and the health
+    fields the router updates as a side effect of serving.
 
-    __slots__ = ("spec", "process", "conn")
+    The health fields are written one attribute at a time (atomic under
+    the GIL) and read lock-free by :meth:`ShardRouter.health_snapshot`;
+    ``last_sent_s`` doubles as the clock-re-anchoring reference for
+    grafted worker spans (parent send time of the request whose reply
+    is being consumed — fan-outs are serialized, so there is exactly
+    one in flight per pipe)."""
 
-    def __init__(self, spec, process, conn) -> None:
+    __slots__ = ("spec", "process", "conn", "epoch", "spawned_s",
+                 "respawns", "requests", "last_sent_s", "last_reply_s",
+                 "last_rtt_s", "rss_bytes")
+
+    def __init__(self, spec, process, conn, epoch: int) -> None:
         self.spec = spec
         self.process = process
         self.conn = conn
+        self.epoch = epoch
+        self.spawned_s = monotonic_s()
+        self.respawns = 0
+        self.requests = 0
+        self.last_sent_s: float | None = None
+        self.last_reply_s: float | None = None
+        self.last_rtt_s: float | None = None
+        self.rss_bytes: int | None = None
 
 
 class ShardRouter:
@@ -306,14 +344,18 @@ class ShardRouter:
     def _spawn(self, spec: EngineSpec, *, event: str) -> _Shard:
         ctx = self._spawn_context()
         parent_end, child_end = ctx.Pipe()
+        # The worker is told the fleet epoch it was born into: it goes
+        # into the span-id prefix and the health probe reply, which is
+        # how a respawned worker's telemetry stays distinguishable from
+        # its dead predecessor's.
         process = ctx.Process(
-            target=worker_main, args=(spec, child_end),
+            target=worker_main, args=(spec, child_end, self.epoch),
             daemon=True, name=f"repro-shard-{spec.shard}",
         )
         process.start()
         child_end.close()  # parent keeps one end only, so EOF means death
         self.obs.record_shard_lifecycle(event, spec.shard)
-        return _Shard(spec, process, parent_end)
+        return _Shard(spec, process, parent_end, self.epoch)
 
     def close(self) -> None:
         """Poison-pill every worker, drain, and remove the corpus file."""
@@ -461,11 +503,67 @@ class ShardRouter:
         started = monotonic_s()
         req_id = next(self._req_ids)
         collect = self.obs.enabled
+        tracing = collect and self.obs.tracer.enabled
         remaining = None
         if deadline_s is not None:
             remaining = deadline_s - started
             if remaining <= 0:
                 raise QueryAborted(phase="shard:fanout")
+        # The sharded trace mirrors the single-engine taxonomy: one
+        # ``query`` root per fan-out (a batch is one fan-out) with a
+        # real ``shard:fanout`` child spanning send-to-gather, under
+        # which every worker's shipped spans are grafted — so the
+        # merged JSONL reads ``query → shard:fanout → shard:query →
+        # stage:*/refine/kernel`` as one connected tree.
+        with self.obs.span(
+            "query", kind=kind, sharded=True, shards=self.n_shards,
+            batch=len(queries), backend=self.dtw_backend, band=self.band,
+        ) as qspan:
+            with self.obs.span("shard:fanout", kind=kind,
+                               shards=self.n_shards) as fspan:
+                trace_ctx = None
+                if tracing:
+                    trace_ctx = (fspan.trace_id, fspan.span_id)
+                per_shard = self._dispatch(
+                    kind, queries, param, req_id, collect, trace_ctx,
+                    remaining, should_abort, deadline_s,
+                )
+            all_results = self._merge_results(
+                kind, param, [r[2] for r in per_shard], len(queries)
+            )
+            stats = self._merge_stats([r[3] for r in per_shard],
+                                      monotonic_s() - started)
+            if collect:
+                derived = self._record_fanout(kind, per_shard, stats)
+                # The handle outlives ``__exit__``; attributes stay
+                # writable until the root closes and the trace ships
+                # (same late-set trick the engine's stage spans use).
+                fspan.set(**derived)
+                qspan.set(
+                    corpus_size=stats.corpus_size,
+                    dtw_computations=stats.dtw_computations,
+                    dtw_abandoned=stats.dtw_abandoned,
+                    exact_skipped=stats.exact_skipped,
+                    results=stats.results,
+                    exact_time_s=stats.exact_time_s,
+                    total_time_s=stats.total_time_s,
+                    cpu_time_s=stats.cpu_time_s,
+                )
+        return all_results, stats
+
+    def _dispatch(self, kind, queries, param, req_id, collect, trace_ctx,
+                  remaining, should_abort, deadline_s) -> list:
+        """Send one request to every shard and gather the replies.
+
+        Returns the per-shard ``ok`` replies in shard order.  Worker
+        span payloads (``ok`` *and* ``aborted`` replies) are grafted
+        into the open trace as they arrive, re-anchored from the
+        worker's ``perf_counter`` epoch onto ours: the worker reports
+        the time it *received* the request on its own clock, we know
+        when we *sent* it on ours, and the difference is the clock
+        offset to within one pipe hop — the same trick the deadline's
+        remaining-seconds encoding uses.
+        """
 
         def message():
             # Rebuilt per send so a retry after a crash ships the
@@ -473,7 +571,8 @@ class ShardRouter:
             left = remaining
             if deadline_s is not None:
                 left = max(0.0, deadline_s - monotonic_s())
-            return ("req", req_id, kind, queries, param, left, collect)
+            return ("req", req_id, kind, queries, param, left, collect,
+                    trace_ctx)
 
         retried: set[int] = set()
         for i in range(self.n_shards):
@@ -497,28 +596,41 @@ class ShardRouter:
                     continue
                 if reply[0] == "pong" or reply[1] != req_id:
                     continue  # stale chatter from an abandoned request
+                shard.last_reply_s = monotonic_s()
                 if reply[0] == "aborted":
+                    shard.requests += 1
+                    # Graft before raising: the aborted worker's spans
+                    # are all closed (its context managers unwound) and
+                    # belong in the trace of the query that died here.
+                    self._graft(shard, reply, 3)
                     raise QueryAborted(phase=reply[2])
                 if reply[0] == "error":
+                    shard.requests += 1
                     raise ShardError(
                         f"shard {i} failed: {reply[2]}: {reply[3]}"
                     )
+                shard.requests += 1
+                self._graft(shard, reply, 5)
                 replies[i] = reply
+        return [replies[i] for i in range(self.n_shards)]
 
-        per_shard = [replies[i] for i in range(self.n_shards)]
-        all_results = self._merge_results(
-            kind, param, [r[2] for r in per_shard], len(queries)
-        )
-        stats = self._merge_stats([r[3] for r in per_shard],
-                                  monotonic_s() - started)
-        if collect:
-            self._record_fanout(kind, per_shard, stats)
-        return all_results, stats
+    def _graft(self, shard: _Shard, reply: tuple, at: int) -> None:
+        """Adopt a reply's span payload (at tuple index *at*, with the
+        worker's receive timestamp right after it) into the open trace."""
+        if len(reply) <= at + 1 or not reply[at]:
+            return
+        sent_s = shard.last_sent_s
+        if sent_s is None:  # pragma: no cover - sends always stamp
+            return
+        self.obs.tracer.adopt(reply[at],
+                              clock_offset_s=sent_s - reply[at + 1])
 
     def _send(self, i: int, message, retried: set) -> None:
         """Send to shard *i*, respawning once if its pipe is dead."""
+        shard = self._shards[i]
         try:
-            self._shards[i].conn.send(message())
+            shard.last_sent_s = monotonic_s()
+            shard.conn.send(message())
         except (OSError, BrokenPipeError):
             self._respawn(i)
             self._retry(i, message, retried)
@@ -530,8 +642,10 @@ class ShardRouter:
                 f"shard {i} crashed twice while serving one request"
             )
         retried.add(i)
+        shard = self._shards[i]
         try:
-            self._shards[i].conn.send(message())
+            shard.last_sent_s = monotonic_s()
+            shard.conn.send(message())
         except (OSError, BrokenPipeError):  # pragma: no cover
             raise ShardError(
                 f"shard {i} crashed twice while serving one request"
@@ -543,8 +657,101 @@ class ShardRouter:
         shard.conn.close()
         shard.process.join(timeout=5.0)
         self.obs.record_shard_lifecycle("crash", i)
-        self._shards[i] = self._spawn(shard.spec, event="respawn")
+        # Bump *before* spawning so the replacement worker is born into
+        # the new epoch — its span-id prefix and health rows must never
+        # collide with the dead worker's.
         self.epoch += 1
+        replacement = self._spawn(shard.spec, event="respawn")
+        replacement.respawns = shard.respawns + 1
+        self._shards[i] = replacement
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+
+    def ping(self, *, timeout_s: float = 1.0) -> list[ShardHealth]:
+        """Probe every worker and return a fresh health snapshot.
+
+        Sends the health-probe ping (``("ping", id, True)``) to each
+        live pipe, measures the round-trip time, and folds the reply's
+        RSS / served-count into the shard's health fields.  A worker
+        that does not answer within *timeout_s* keeps its stale RTT and
+        shows up ``alive=False`` if its process is gone — the probe
+        never respawns (that stays a query-path decision, where the
+        retry bookkeeping lives).
+
+        Takes the router lock: pings share the pipes with fan-outs.
+        Between fan-outs the pipes are quiet, so any reply that is not
+        our pong is stale chatter from an abandoned request and is
+        dropped exactly as the gather loop would drop it.
+        """
+        with self._lock:
+            if not self._closed:
+                self._ping_locked(timeout_s)
+            snapshot = self._health_rows()
+        for row in snapshot:
+            self.obs.record_shard_health(row)
+        return snapshot
+
+    def _ping_locked(self, timeout_s: float) -> None:
+        ping_id = f"health-{next(self._req_ids)}"
+        sent: dict[int, float] = {}
+        for shard in self._shards:
+            try:
+                sent[shard.spec.shard] = monotonic_s()
+                shard.conn.send(("ping", ping_id, True))
+            except (OSError, BrokenPipeError):
+                sent.pop(shard.spec.shard, None)  # dead pipe: skip it
+        deadline = monotonic_s() + timeout_s
+        while sent and monotonic_s() < deadline:
+            pending = {s.conn: s for s in self._shards
+                       if s.spec.shard in sent}
+            if not pending:  # pragma: no cover - defensive
+                break
+            for conn in _wait_ready(list(pending), timeout=_POLL_S):
+                shard = pending[conn]
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    sent.pop(shard.spec.shard, None)
+                    continue
+                if (reply[0] != "pong" or reply[1] != ping_id
+                        or len(reply) < 3):
+                    continue  # stale chatter from an abandoned request
+                now = monotonic_s()
+                shard.last_rtt_s = now - sent.pop(shard.spec.shard)
+                shard.last_reply_s = now
+                health = reply[2]
+                shard.rss_bytes = health.get("rss_bytes")
+
+    def _health_rows(self) -> list[ShardHealth]:
+        now = monotonic_s()
+        rows = []
+        for shard in self._shards:
+            last = shard.last_reply_s
+            rows.append(ShardHealth(
+                shard=shard.spec.shard,
+                epoch=shard.epoch,
+                pid=shard.process.pid,
+                alive=shard.process.is_alive(),
+                respawns=shard.respawns,
+                requests=shard.requests,
+                uptime_s=now - shard.spawned_s,
+                last_reply_age_s=None if last is None else now - last,
+                ping_rtt_s=shard.last_rtt_s,
+                rss_bytes=shard.rss_bytes,
+            ))
+        return rows
+
+    def health_snapshot(self) -> list[ShardHealth]:
+        """The fleet's health rows from parent-side state alone.
+
+        Lock-free by design: every field it reads is written atomically
+        by the serving path (or a ping), and a health row is advisory —
+        so a snapshot never queues behind a long fan-out.  Use
+        :meth:`ping` to refresh RTT/RSS first.
+        """
+        return self._health_rows()
 
     @staticmethod
     def _merge_results(kind, param, per_shard_results, n_queries):
@@ -579,7 +786,7 @@ class ShardRouter:
         merged.total_time_s = wall_s
         return merged
 
-    def _record_fanout(self, kind, per_shard, stats) -> None:
+    def _record_fanout(self, kind, per_shard, stats) -> dict:
         kernel = KernelStats()
         kernel_seen = False
         for reply in per_shard:
@@ -591,7 +798,7 @@ class ShardRouter:
                 kernel.compacted_columns += delta[2]
         if kernel_seen:
             self.obs.record_kernel(kernel)
-        self.obs.record_shard_fanout(
+        return self.obs.record_shard_fanout(
             kind, self.n_shards, stats.total_time_s,
             [reply[3]["cpu_time_s"] for reply in per_shard],
         )
@@ -656,6 +863,22 @@ class IndexShardManager:
         """Composite cache version: ``(index mutations, router epoch)``."""
         with self._lock:
             return (self._index.mutations, self.epoch)
+
+    def current_router(self) -> ShardRouter | None:
+        """The live router **without** triggering a rebuild — what the
+        health paths use, so a heartbeat can never spawn a fleet."""
+        with self._lock:
+            return self._router
+
+    def ping(self, *, timeout_s: float = 1.0) -> list:
+        """Probe the current fleet (empty when none is built yet)."""
+        router = self.current_router()
+        return [] if router is None else router.ping(timeout_s=timeout_s)
+
+    def health_snapshot(self) -> list:
+        """The current fleet's health rows (empty when none is built)."""
+        router = self.current_router()
+        return [] if router is None else router.health_snapshot()
 
     def close(self) -> None:
         with self._lock:

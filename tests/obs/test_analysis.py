@@ -335,3 +335,86 @@ def test_report_without_serve_spans_has_no_serve_section(traced_run):
     assert report.serve is None
     assert report.to_dict()["serve"] is None
     assert "serving:" not in report.format_table()
+
+
+# ----------------------------------------------------------------------
+# per-shard breakdown (repro obs report --per-shard)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sharded_run(tmp_path_factory):
+    """Traced queries through a 3-shard router, exported to JSONL."""
+    from repro.shard import ShardRouter
+
+    corpus = random_walks(60, 48, seed=31)
+    rng = np.random.default_rng(32)
+    path = tmp_path_factory.mktemp("shard_trace") / "trace.jsonl"
+    obs = Observability.to_files(trace_out=path)
+    engine = QueryEngine(list(corpus), delta=0.1, obs=obs)
+    with ShardRouter.from_engine(engine, shards=3, obs=obs) as router:
+        for i in range(4):
+            query = corpus[i] + 0.1 * rng.normal(size=48)
+            router.knn(query, 5)
+    obs.close()
+    return path
+
+
+def test_per_shard_aggregates(sharded_run):
+    report = analyze_traces(read_traces(sharded_run))
+    assert len(report.shards) == 3
+    assert [agg.shard for agg in report.shards] == [0, 1, 2]
+    for agg in report.shards:
+        assert agg.queries == 4
+        assert agg.epochs == {0}
+        assert 0.0 < agg.work_share < 1.0
+        assert 0.0 <= agg.pruning_power <= 1.0
+    assert sum(agg.work_share for agg in report.shards) == pytest.approx(1.0)
+    assert report.shard_imbalance is not None
+    assert report.shard_imbalance >= 1.0
+    # worker roots are real spans: they show in the span table too
+    assert any(lat.name == "shard:query" for lat in report.latencies)
+
+
+def test_per_shard_table_renders(sharded_run):
+    report = analyze_traces(read_traces(sharded_run))
+    table = report.format_table(per_shard=True)
+    assert "per-shard (3 shards" in table
+    assert "work" in table and "pruned" in table
+    # default rendering leaves the per-shard section out
+    assert "per-shard" not in report.format_table()
+
+
+def test_per_shard_to_dict_is_json_ready(sharded_run):
+    report = analyze_traces(read_traces(sharded_run))
+    doc = report.to_dict()
+    assert len(doc["shards"]) == 3
+    assert doc["shard_imbalance"] == pytest.approx(report.shard_imbalance)
+    json.dumps(doc)
+
+
+def test_per_shard_section_absent_without_shard_spans(traced_run):
+    path, _ = traced_run
+    report = analyze_traces(read_traces(path))
+    assert report.shards == []
+    assert report.shard_imbalance is None
+    table = report.format_table(per_shard=True)
+    assert "no shard:query spans" in table
+
+
+def test_bad_lines_warn_in_the_table_header(sharded_run, tmp_path):
+    damaged = tmp_path / "damaged.jsonl"
+    with open(sharded_run) as src_handle:
+        content = src_handle.read()
+    with open(damaged, "w") as dst:
+        dst.write("{torn line\n")
+        dst.write(content)
+        dst.write("also not json\n")
+    stats = TraceReadStats()
+    report = analyze_traces(read_traces(damaged, stats), stats)
+    table = report.format_table()
+    assert "WARNING: skipped 2 undecodable line(s)" in table
+    assert "lower bound" in table
+    # an intact log renders no warning
+    clean = analyze_traces(read_traces(sharded_run, TraceReadStats()))
+    assert "WARNING" not in clean.format_table()

@@ -1,0 +1,193 @@
+"""Metrics-snapshot export: Prometheus text, JSONL series, `top`.
+
+The export module consumes registry *snapshots* (plain dicts), so most
+of these tests drive a real :class:`MetricsRegistry` and check the
+rendered output: Prometheus exposition shape (one ``# TYPE`` per
+family, labels re-expanded, cumulative histogram buckets), the
+append-only JSONL series with its corrupt-line tolerance, the periodic
+exporter's lifecycle, and the ``repro obs top`` terminal view with its
+per-shard health table.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    append_snapshot,
+    format_top,
+    prometheus_text,
+    read_snapshot_series,
+)
+from repro.obs.export import PeriodicSnapshotExporter, parse_full_name
+
+
+@pytest.fixture
+def registry():
+    m = MetricsRegistry()
+    m.counter("engine.queries_total").inc(7)
+    m.counter("shard.fanouts_total", kind="knn").inc(3)
+    m.gauge("shard.health.alive", shard="0").set(1)
+    m.gauge("shard.health.rss_bytes", shard="0").set(52_000_000)
+    m.gauge("shard.health.ping_rtt_seconds", shard="0").set(0.0012)
+    m.histogram("query.latency_seconds", edges=(0.01, 0.1)).observe(0.05)
+    return m
+
+
+class TestParseFullName:
+    def test_plain_name(self):
+        assert parse_full_name("engine.queries_total") == (
+            "engine.queries_total", {})
+
+    def test_labels_round_trip(self):
+        name, labels = parse_full_name("shard.health.alive{shard=2}")
+        assert name == "shard.health.alive"
+        assert labels == {"shard": "2"}
+
+    def test_multiple_labels(self):
+        _, labels = parse_full_name("shard.lifecycle_total"
+                                    "{event=spawn,shard=1}")
+        assert labels == {"event": "spawn", "shard": "1"}
+
+    def test_malformed_names_degrade_gracefully(self):
+        assert parse_full_name("oops{not-a-label}") == ("oops{not-a-label}",
+                                                        {})
+
+
+class TestPrometheusText:
+    def test_families_and_labels(self, registry):
+        text = prometheus_text(registry.snapshot())
+        assert "# TYPE repro_engine_queries_total counter" in text
+        assert "repro_engine_queries_total 7" in text
+        assert 'repro_shard_fanouts_total{kind="knn"} 3' in text
+        assert "# TYPE repro_shard_health_alive gauge" in text
+        assert 'repro_shard_health_alive{shard="0"} 1' in text
+
+    def test_histogram_series(self, registry):
+        text = prometheus_text(registry.snapshot())
+        assert "# TYPE repro_query_latency_seconds histogram" in text
+        assert 'repro_query_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_query_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_query_latency_seconds_count 1" in text
+
+    def test_type_line_emitted_once_per_family(self, registry):
+        text = prometheus_text(registry.snapshot())
+        assert text.count("# TYPE repro_shard_health_alive gauge") == 1
+
+    def test_names_are_sanitised(self):
+        snapshot = {"counters": {"weird-name.x{shard=0}": 1},
+                    "gauges": {}, "histograms": {}}
+        text = prometheus_text(snapshot)
+        assert 'repro_weird_name_x{shard="0"} 1' in text
+
+
+class TestSnapshotSeries:
+    def test_append_and_read_round_trip(self, registry, tmp_path):
+        path = tmp_path / "series.jsonl"
+        first = registry.snapshot()
+        append_snapshot(path, first)
+        registry.counter("engine.queries_total").inc()
+        append_snapshot(path, registry.snapshot())
+        snapshots, bad = read_snapshot_series(path)
+        assert bad == 0
+        assert len(snapshots) == 2
+        assert snapshots[0] == first
+        assert (snapshots[1]["counters"]["engine.queries_total"]
+                == first["counters"]["engine.queries_total"] + 1)
+
+    def test_corrupt_lines_are_counted_not_fatal(self, registry, tmp_path):
+        path = tmp_path / "series.jsonl"
+        append_snapshot(path, registry.snapshot())
+        with open(path, "a") as handle:
+            handle.write("{torn line\n")
+            handle.write('{"not": "a snapshot"}\n')
+            handle.write("\n")
+        append_snapshot(path, registry.snapshot())
+        snapshots, bad = read_snapshot_series(path)
+        assert len(snapshots) == 2
+        assert bad == 2                     # blank line is not an error
+
+
+class TestPeriodicExporter:
+    def test_requires_a_destination(self, registry):
+        with pytest.raises(ValueError):
+            PeriodicSnapshotExporter(registry)
+        with pytest.raises(ValueError):
+            PeriodicSnapshotExporter(registry, jsonl_path="x",
+                                     interval_s=0.0)
+
+    def test_export_once_writes_both_formats(self, registry, tmp_path):
+        jsonl = tmp_path / "series.jsonl"
+        prom = tmp_path / "metrics.prom"
+        exporter = PeriodicSnapshotExporter(registry, jsonl_path=jsonl,
+                                            prometheus_path=prom)
+        exporter.export_once()
+        snapshots, bad = read_snapshot_series(jsonl)
+        assert (len(snapshots), bad) == (1, 0)
+        assert "repro_engine_queries_total 7" in prom.read_text()
+
+    def test_close_takes_a_final_sample(self, registry, tmp_path):
+        jsonl = tmp_path / "series.jsonl"
+        exporter = PeriodicSnapshotExporter(registry, jsonl_path=jsonl,
+                                            interval_s=60.0).start()
+        registry.counter("engine.queries_total").inc()
+        exporter.close()                    # never beat: one final sample
+        snapshots, _ = read_snapshot_series(jsonl)
+        assert len(snapshots) == 1
+        assert snapshots[0]["counters"]["engine.queries_total"] == 8
+
+    def test_beats_on_the_interval(self, registry, tmp_path):
+        jsonl = tmp_path / "series.jsonl"
+        exporter = PeriodicSnapshotExporter(registry, jsonl_path=jsonl,
+                                            interval_s=0.02).start()
+        done = threading.Event()
+        deadline = 5.0
+        step = 0.02
+        waited = 0.0
+        while exporter.samples < 3 and waited < deadline:
+            done.wait(step)
+            waited += step
+        exporter.close()
+        assert exporter.samples >= 4        # >= 3 beats + the final one
+
+    def test_start_is_idempotent(self, registry, tmp_path):
+        exporter = PeriodicSnapshotExporter(
+            registry, jsonl_path=tmp_path / "s.jsonl", interval_s=60.0)
+        assert exporter.start() is exporter.start()
+        exporter.close()
+
+
+class TestFormatTop:
+    def test_headline_counters_with_label_detail(self, registry):
+        text = format_top(registry.snapshot())
+        assert "engine.queries_total" in text
+        assert "7" in text
+        assert "kind=knn: 3" in text
+
+    def test_health_table_reassembled_from_gauges(self, registry):
+        text = format_top(registry.snapshot())
+        assert "shard health:" in text
+        header = next(line for line in text.splitlines()
+                      if "alive" in line and "rtt_ms" in line)
+        row = next(line for line in text.splitlines()
+                   if line.strip().startswith("0 "))
+        assert "up" in row
+        assert "52.0" in row                # rss in MB
+        assert "1.20" in row                # rtt in ms
+        assert header.index("rss_mb") > header.index("respawns")
+
+    def test_empty_snapshot_degrades_gracefully(self):
+        text = format_top({"counters": {}, "gauges": {}, "histograms": {}})
+        assert "no headline counters" in text
+        assert "no shard.health.* gauges" in text
+
+    def test_missing_gauges_render_as_dashes(self):
+        snapshot = {"counters": {}, "histograms": {},
+                    "gauges": {"shard.health.alive{shard=3}": 0.0}}
+        text = format_top(snapshot)
+        row = next(line for line in text.splitlines()
+                   if line.strip().startswith("3 "))
+        assert "DOWN" in row
+        assert "-" in row                   # absent rtt/rss columns

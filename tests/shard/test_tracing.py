@@ -1,0 +1,223 @@
+"""Cross-process distributed tracing through the shard tier.
+
+A sharded query's trace must read exactly like a single-process one —
+``query → shard:fanout → shard:query → stage:*/refine/kernel`` — even
+though the inner spans were produced in worker processes with their
+own ``perf_counter`` epochs and their own span-id counters.  These
+tests pin the whole contract: the merged tree is connected, worker
+span ids never collide (string-prefixed by shard *and* epoch), clocks
+re-anchor onto the router's timeline, a crash → respawn → retry run
+tags its spans with the *respawned* worker's epoch, and an aborted
+fan-out leaks no half-open spans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import random_walks
+from repro.engine import QueryEngine
+from repro.engine.errors import QueryAborted
+from repro.obs import InMemorySink, Observability, Tracer
+from repro.shard import ShardRouter
+
+
+@pytest.fixture
+def corpus():
+    return random_walks(24, 40, seed=301)
+
+
+@pytest.fixture
+def reference(corpus):
+    return QueryEngine(list(corpus), delta=0.1)
+
+
+@pytest.fixture
+def query(corpus):
+    rng = np.random.default_rng(302)
+    return corpus[3] + 0.1 * rng.normal(size=corpus.shape[1])
+
+
+@pytest.fixture
+def traced_router(reference):
+    sink = InMemorySink()
+    obs = Observability(tracer=Tracer(sink=sink))
+    with ShardRouter.from_engine(reference, shards=3, obs=obs) as router:
+        yield router, sink
+
+
+def _query_traces(sink):
+    """The fan-out traces (lifecycle instants filtered out)."""
+    return [trace for trace in sink.traces
+            if any(span.name == "query" for span in trace)]
+
+
+def _by_name(trace, name):
+    return [span for span in trace if span.name == name]
+
+
+def _assert_connected(trace):
+    """One root, every parent resolves, every span reachable from it."""
+    ids = {span.span_id for span in trace}
+    roots = [span for span in trace if span.parent_id is None]
+    assert len(roots) == 1
+    children = {}
+    for span in trace:
+        if span.parent_id is not None:
+            assert span.parent_id in ids, (
+                f"{span.name} has unresolved parent {span.parent_id}"
+            )
+            children.setdefault(span.parent_id, []).append(span.span_id)
+    reached, frontier = set(), [roots[0].span_id]
+    while frontier:
+        span_id = frontier.pop()
+        if span_id not in reached:
+            reached.add(span_id)
+            frontier.extend(children.get(span_id, ()))
+    assert reached == ids
+    return roots[0]
+
+
+class TestMergedTree:
+    def test_sharded_query_is_one_connected_tree(self, traced_router,
+                                                 query):
+        router, sink = traced_router
+        router.knn(query, 5)
+        traces = _query_traces(sink)
+        assert len(traces) == 1
+        trace = traces[0]
+        root = _assert_connected(trace)
+        assert root.name == "query"
+        assert root.attrs["sharded"] is True
+        fanouts = _by_name(trace, "shard:fanout")
+        assert len(fanouts) == 1
+        workers = _by_name(trace, "shard:query")
+        assert len(workers) == 3
+        # Each worker root hangs directly under the fan-out span and
+        # is stamped with its provenance.
+        for span in workers:
+            assert span.parent_id == fanouts[0].span_id
+            assert span.attrs["remote"] is True
+            assert span.attrs["worker_epoch"] == 0
+        assert {span.attrs["shard"] for span in workers} == {0, 1, 2}
+        # The worker's inner taxonomy came along: every kernel span is
+        # also tagged remote (the stamp applies to the whole subtree).
+        kernels = _by_name(trace, "kernel")
+        assert kernels
+        assert all(span.attrs["remote"] is True for span in kernels)
+
+    def test_worker_span_ids_never_collide(self, traced_router, query):
+        router, sink = traced_router
+        router.knn(query, 5)
+        router.range_search(query, 6.0)
+        for trace in _query_traces(sink):
+            ids = [span.span_id for span in trace]
+            assert len(ids) == len(set(ids))
+            for span in _by_name(trace, "shard:query"):
+                shard, epoch = span.attrs["shard"], span.attrs["worker_epoch"]
+                assert str(span.span_id).startswith(f"w{shard}e{epoch}-")
+
+    def test_worker_clocks_reanchor_inside_the_fanout_window(
+            self, traced_router, query):
+        """Worker spans land inside the fan-out's time window on the
+        router's clock — the offset correction is one pipe hop, so a
+        small slack absorbs the scheduling noise."""
+        router, sink = traced_router
+        router.knn(query, 5)
+        trace = _query_traces(sink)[0]
+        fanout = _by_name(trace, "shard:fanout")[0]
+        slack = 2e-3
+        for span in _by_name(trace, "shard:query"):
+            assert span.start_s >= fanout.start_s - slack
+            assert span.end_s <= fanout.end_s + slack
+
+    def test_merged_stats_mirror_onto_the_root_span(self, traced_router,
+                                                    query):
+        router, sink = traced_router
+        _, stats = router.knn(query, 5)
+        root = _query_traces(sink)[0]
+        (qspan,) = _by_name(root, "query")
+        assert qspan.attrs["corpus_size"] == stats.corpus_size
+        assert qspan.attrs["dtw_computations"] == stats.dtw_computations
+        assert qspan.attrs["results"] == stats.results
+
+
+class TestFaultTracing:
+    def test_respawned_worker_spans_carry_the_new_epoch(
+            self, traced_router, query):
+        """Kill a worker, query through the respawn-and-retry path:
+        the dead worker's shard answers with spans tagged by the
+        *respawned* epoch, and the other shards stay at epoch 0."""
+        router, sink = traced_router
+        router._shards[1].conn.send(("crash", True))
+        router._shards[1].process.join(timeout=10.0)
+        router.knn(query, 5)
+        assert router.epoch == 1
+        trace = _query_traces(sink)[0]
+        _assert_connected(trace)
+        epochs = {span.attrs["shard"]: span.attrs["worker_epoch"]
+                  for span in _by_name(trace, "shard:query")}
+        assert epochs == {0: 0, 1: 1, 2: 0}
+
+    def test_no_orphan_spans_from_the_dead_worker(self, traced_router,
+                                                  query):
+        """A mid-request crash means the dead worker shipped nothing;
+        only the retry's spans appear, and the tree stays connected."""
+        router, sink = traced_router
+        router._shards[0].conn.send(("crash", False))  # die on next req
+        router.knn(query, 5)
+        trace = _query_traces(sink)[0]
+        _assert_connected(trace)
+        workers = _by_name(trace, "shard:query")
+        assert len(workers) == 3                     # one per shard, no extra
+        assert {span.attrs["shard"] for span in workers} == {0, 1, 2}
+
+
+class TestAbortTracing:
+    def test_aborted_fanout_leaks_no_half_open_spans(self, traced_router,
+                                                     query):
+        router, sink = traced_router
+        with pytest.raises(QueryAborted):
+            router.knn(query, 5, should_abort=lambda: True)
+        # The abort still ships a finished (closed-span) trace: the
+        # context managers unwound, so every span has an end time.
+        traces = _query_traces(sink)
+        assert len(traces) == 1
+        for span in traces[0]:
+            assert span.end_s is not None
+            assert span.duration_s >= 0
+
+    def test_stale_worker_spans_never_reach_a_later_trace(
+            self, traced_router, query):
+        """The workers of an abandoned fan-out finish anyway; their
+        late replies (spans included) must be dropped, not grafted
+        into whichever query runs next."""
+        router, sink = traced_router
+        with pytest.raises(QueryAborted):
+            router.knn(query, 5, should_abort=lambda: True)
+        router.knn(query, 5)
+        fresh = _query_traces(sink)[-1]
+        _assert_connected(fresh)
+        fanout = _by_name(fresh, "shard:fanout")[0]
+        workers = _by_name(fresh, "shard:query")
+        assert len(workers) == 3
+        assert all(span.parent_id == fanout.span_id for span in workers)
+
+
+class TestDisabledPaths:
+    def test_untraced_router_ships_no_spans(self, reference, query):
+        """Metrics-only observability (no tracer): the fan-out must
+        not ask workers to trace, and nothing lands in any sink."""
+        obs = Observability()                        # NOOP tracer
+        with ShardRouter.from_engine(reference, shards=2,
+                                     obs=obs) as router:
+            results, stats = router.knn(query, 5)
+        assert len(results) == 5
+        assert stats.corpus_size == 24
+
+    def test_answers_match_unsharded_reference(self, traced_router,
+                                               reference, query):
+        """Tracing must never perturb the answer bytes."""
+        router, _ = traced_router
+        got, _ = router.knn(query, 5)
+        want, _ = reference.knn(query, 5)
+        assert [(name, pytest.approx(dist)) for name, dist in want] == got

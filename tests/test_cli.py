@@ -427,3 +427,115 @@ class TestTelemetryCommands:
         missing = str(tmp_path / "none.jsonl")
         assert main(["perf", "check", "--history", missing]) == 2
         assert "no readable history entries" in capsys.readouterr().err
+
+
+class TestShardedTelemetryCommands:
+    """Sharded tracing + the ``obs export`` / ``obs top`` group."""
+
+    @pytest.fixture()
+    def sharded_artifacts(self, tmp_path):
+        """One sharded traced query: (trace.jsonl, metrics.json)."""
+        corpus_dir = str(tmp_path / "corpus")
+        index_file = str(tmp_path / "index.npz")
+        hum_file = str(tmp_path / "hum.npy")
+        trace_file = str(tmp_path / "trace.jsonl")
+        metrics_file = str(tmp_path / "metrics.json")
+        main(["corpus", "--songs", "3", "--per-song", "5",
+              "--out", corpus_dir])
+        main(["index", "--corpus", corpus_dir, "--out", index_file])
+        main(["hum", "--corpus", corpus_dir, "--melody", "2",
+              "--out", hum_file])
+        assert main(["query", "--index", index_file, "--hum", hum_file,
+                     "-k", "3", "--shards", "2",
+                     "--trace-out", trace_file,
+                     "--metrics-out", metrics_file]) == 0
+        return trace_file, metrics_file
+
+    def test_sharded_trace_is_one_connected_tree(self, sharded_artifacts):
+        import json
+
+        trace_file, _ = sharded_artifacts
+        spans = [json.loads(line) for line in open(trace_file)]
+        fanout = [s for s in spans if s["name"] == "shard:fanout"]
+        workers = [s for s in spans if s["name"] == "shard:query"]
+        assert len(fanout) == 1
+        assert len(workers) == 2
+        assert all(s["attrs"]["remote"] for s in workers)
+        assert {s["attrs"]["shard"] for s in workers} == {0, 1}
+        trace_id = fanout[0]["trace_id"]
+        members = [s for s in spans if s["trace_id"] == trace_id]
+        ids = {s["span_id"] for s in members}
+        assert all(s["parent_id"] in ids for s in members
+                   if s["parent_id"] is not None)
+
+    def test_obs_report_per_shard_renders_table(self, sharded_artifacts,
+                                                capsys):
+        trace_file, _ = sharded_artifacts
+        capsys.readouterr()
+        assert main(["obs", "report", "--trace", trace_file,
+                     "--per-shard"]) == 0
+        table = capsys.readouterr().out
+        assert "per-shard (2 shards" in table
+        assert "work" in table and "pruned" in table
+
+    def test_obs_export_prometheus_to_stdout(self, sharded_artifacts,
+                                             capsys):
+        _, metrics_file = sharded_artifacts
+        capsys.readouterr()
+        assert main(["obs", "export", "--metrics", metrics_file]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_shard_fanouts_total counter" in text
+        assert 'repro_shard_cpu_seconds_total{shard="0"}' in text
+
+    def test_obs_export_jsonl_feeds_top(self, sharded_artifacts, tmp_path,
+                                        capsys):
+        _, metrics_file = sharded_artifacts
+        series_file = str(tmp_path / "series.jsonl")
+        assert main(["obs", "export", "--metrics", metrics_file,
+                     "--format", "jsonl", "--out", series_file]) == 0
+        assert main(["obs", "export", "--metrics", metrics_file,
+                     "--format", "jsonl", "--out", series_file]) == 0
+        capsys.readouterr()
+        assert main(["obs", "top", "--series", series_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 snapshot(s)" in out
+        assert "shard.fanouts_total" in out
+
+    def test_obs_top_on_snapshot(self, sharded_artifacts, capsys):
+        _, metrics_file = sharded_artifacts
+        capsys.readouterr()
+        assert main(["obs", "top", "--metrics", metrics_file]) == 0
+        out = capsys.readouterr().out
+        assert "shard.lifecycle_total" in out
+
+    def test_obs_export_jsonl_requires_out(self, sharded_artifacts, capsys):
+        _, metrics_file = sharded_artifacts
+        assert main(["obs", "export", "--metrics", metrics_file,
+                     "--format", "jsonl"]) == 2
+        assert "needs --out" in capsys.readouterr().err
+
+    def test_obs_export_rejects_non_snapshot(self, tmp_path, capsys):
+        bogus = tmp_path / "not_metrics.json"
+        bogus.write_text('{"results": []}')
+        assert main(["obs", "export", "--metrics", str(bogus)]) == 2
+        assert "not a metrics snapshot" in capsys.readouterr().err
+
+    def test_schema_checker_accepts_the_sharded_trace(self,
+                                                      sharded_artifacts):
+        import importlib.util
+        import pathlib
+
+        trace_file, metrics_file = sharded_artifacts
+        tool = (pathlib.Path(__file__).resolve().parents[1]
+                / "tools" / "check_obs_schema.py")
+        spec = importlib.util.spec_from_file_location("check_obs_schema",
+                                                      tool)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.main(["--trace", trace_file,
+                            "--metrics", metrics_file,
+                            "--expect-sharded"]) == 0
+        # an unsharded trace must fail the --expect-sharded gate
+        errors = []
+        module.check_trace(trace_file, errors, expect_sharded=True)
+        assert not errors

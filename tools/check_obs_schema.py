@@ -11,9 +11,17 @@ Checks (each is part of the documented export contract — see
 Trace JSONL — one span object per line with keys ``name`` /
 ``trace_id`` / ``span_id`` / ``parent_id`` / ``start_s`` /
 ``duration_s`` / ``attrs``; span ids unique; every non-null parent id
-resolves within the same trace; exactly one root per trace and it is a
-``query`` span; durations non-negative; a root's stage spans carry the
-candidate-accounting attributes.
+resolves within the same trace; exactly one root per trace and its
+name is one of the known root kinds (``query``, ``serve:request``,
+``serve:batch``, ``shard:lifecycle``); every span is reachable from
+the root (no detached subtrees); durations non-negative; a root's
+stage spans carry the candidate-accounting attributes; spans grafted
+from a worker process (``attrs.remote`` truthy) carry ``shard`` and
+``worker_epoch``.
+
+With ``--expect-sharded`` the trace must additionally contain at least
+one ``shard:fanout`` span and at least one remote span — the CI proof
+that a sharded run really produced one merged cross-process tree.
 
 Metrics JSON — a registry snapshot with ``timestamp_s`` /
 ``counters`` / ``gauges`` / ``histograms``; counter values numeric and
@@ -34,10 +42,18 @@ SPAN_KEYS = {"name", "trace_id", "span_id", "parent_id", "start_s",
              "duration_s", "attrs"}
 STAGE_ATTRS = {"name", "candidates_in", "pruned", "survivors",
                "wall_time_s"}
+#: Span names allowed at the root of a trace.  ``query`` covers both
+#: the engine and the sharded router; the serve layer roots its own
+#: request/batch traces; shard lifecycle events export as instant
+#: single-span traces.
+ROOT_NAMES = {"query", "serve:request", "serve:batch", "shard:lifecycle"}
+#: Attributes every remote (worker-grafted) span must carry.
+REMOTE_ATTRS = {"shard", "worker_epoch"}
 SNAPSHOT_KEYS = {"timestamp_s", "counters", "gauges", "histograms"}
 
 
-def check_trace(path: str, errors: list[str]) -> int:
+def check_trace(path: str, errors: list[str],
+                expect_sharded: bool = False) -> int:
     """Validate a span JSONL export; returns the number of spans."""
     spans = []
     with open(path) as handle:
@@ -72,6 +88,8 @@ def check_trace(path: str, errors: list[str]) -> int:
         seen_ids[key] = lineno
         by_trace.setdefault(span["trace_id"], []).append(span)
 
+    fanout_spans = 0
+    remote_spans = 0
     for trace_id, members in by_trace.items():
         ids = {span["span_id"] for span in members}
         roots = [span for span in members if span["parent_id"] is None]
@@ -79,10 +97,10 @@ def check_trace(path: str, errors: list[str]) -> int:
             errors.append(
                 f"{path}: trace {trace_id} has {len(roots)} roots (want 1)"
             )
-        elif roots[0]["name"] != "query":
+        elif roots[0]["name"] not in ROOT_NAMES:
             errors.append(
                 f"{path}: trace {trace_id} root is "
-                f"{roots[0]['name']!r}, not 'query'"
+                f"{roots[0]['name']!r}, not one of {sorted(ROOT_NAMES)}"
             )
         for span in members:
             parent = span["parent_id"]
@@ -98,6 +116,51 @@ def check_trace(path: str, errors: list[str]) -> int:
                         f"{path}: trace {trace_id} stage span "
                         f"{span['name']!r} missing attrs {sorted(missing)}"
                     )
+            if span["name"] == "shard:fanout":
+                fanout_spans += 1
+            if span["attrs"].get("remote"):
+                remote_spans += 1
+                missing = REMOTE_ATTRS - span["attrs"].keys()
+                if missing:
+                    errors.append(
+                        f"{path}: trace {trace_id} remote span "
+                        f"{span['name']!r} missing attrs {sorted(missing)}"
+                    )
+        # Connectivity: every span must descend from the root.  Parent
+        # resolution alone admits detached cycles (a graft bug would
+        # produce spans pointing at each other but not at the tree).
+        if len(roots) == 1:
+            children: dict[object, list[object]] = {}
+            for span in members:
+                children.setdefault(span["parent_id"], []).append(
+                    span["span_id"]
+                )
+            reached = set()
+            frontier = [roots[0]["span_id"]]
+            while frontier:
+                span_id = frontier.pop()
+                if span_id in reached:
+                    continue
+                reached.add(span_id)
+                frontier.extend(children.get(span_id, ()))
+            unreachable = ids - reached
+            if unreachable:
+                errors.append(
+                    f"{path}: trace {trace_id} has {len(unreachable)} "
+                    f"span(s) unreachable from the root: "
+                    f"{sorted(map(str, unreachable))[:5]}"
+                )
+
+    if expect_sharded:
+        if fanout_spans == 0:
+            errors.append(
+                f"{path}: --expect-sharded but no shard:fanout span found"
+            )
+        if remote_spans == 0:
+            errors.append(
+                f"{path}: --expect-sharded but no remote (worker) span "
+                f"found — did the fan-out collect worker spans?"
+            )
     return len(spans)
 
 
@@ -139,12 +202,18 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", help="span JSONL export to validate")
     parser.add_argument("--metrics", help="metrics snapshot to validate")
+    parser.add_argument("--expect-sharded", action="store_true",
+                        help="require the trace to contain a shard:fanout "
+                             "span and grafted worker spans")
     args = parser.parse_args(argv)
     if not args.trace and not args.metrics:
         parser.error("give --trace and/or --metrics")
+    if args.expect_sharded and not args.trace:
+        parser.error("--expect-sharded needs --trace")
     errors: list[str] = []
     if args.trace:
-        count = check_trace(args.trace, errors)
+        count = check_trace(args.trace, errors,
+                            expect_sharded=args.expect_sharded)
         print(f"{args.trace}: {count} spans")
     if args.metrics:
         count = check_metrics(args.metrics, errors)
