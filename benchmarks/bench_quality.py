@@ -1,0 +1,122 @@
+"""Quality benchmark — recall under the hum-degradation scenario matrix.
+
+Runs :func:`repro.qbh.quality.run_scenario_matrix` over a generated
+corpus: every named error model in :mod:`repro.hum.degrade`
+(transposition, tempo, note_drop, note_split, jitter) at three
+severities, each query rendered from a known ground-truth melody and
+scored by the rank the full system returns — plus the contour-string
+baseline the paper compares against.
+
+Asserted in-test, per the acceptance criteria:
+
+* the matrix covers **>= 4 scenarios x >= 3 severities**;
+* every recall/MRR value is a fraction in ``[0, 1]``;
+* at the lowest severity the system's mean recall@10 stays **>= 0.8**
+  — mild degradation must not lose the tune.
+
+Writes ``BENCH_quality.json`` at the repo root and appends one entry
+to ``BENCH_history.jsonl`` whose per-cell ``<scenario>@<sev>.recall_at_10``
+metrics arm the ``repro perf check`` *recall floor* gate: a later PR
+that drops a cell's recall beyond tolerance fails CI exactly like a
+latency regression would.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.music.corpus import generate_corpus, segment_corpus
+from repro.qbh.quality import run_scenario_matrix
+from repro.qbh.system import QueryByHummingSystem
+
+from _harness import print_series, record_history
+
+KNN_K = 10
+SEED = 71
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_quality.json"
+
+
+def _system(scale):
+    if scale.name == "smoke":
+        songs, per_song, queries_per_cell = 6, 3, 2
+    else:
+        songs, per_song, queries_per_cell = 12, 4, 4
+    melodies = segment_corpus(generate_corpus(songs, seed=SEED),
+                              per_song=per_song, seed=SEED)
+    system = QueryByHummingSystem(melodies, delta=0.1, normal_length=128)
+    return system, queries_per_cell, {
+        "songs": songs, "per_song": per_song, "db_size": len(melodies),
+        "queries_per_cell": queries_per_cell, "k": KNN_K,
+    }
+
+
+@pytest.mark.benchmark(group="quality")
+def test_scenario_matrix_recall_floor(benchmark, scale):
+    system, queries_per_cell, shape = _system(scale)
+
+    matrix = benchmark.pedantic(
+        lambda: run_scenario_matrix(
+            system, queries_per_cell=queries_per_cell, k=KNN_K, seed=SEED,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    scenarios = sorted({cell.scenario for cell in matrix.cells})
+    severities = sorted({cell.severity for cell in matrix.cells})
+    assert len(scenarios) >= 4, f"matrix covers only {scenarios}"
+    assert len(severities) >= 3, f"matrix covers only {severities}"
+
+    for cell in matrix.cells:
+        assert len(cell.ranks) == queries_per_cell
+        for k in (1, 5, 10):
+            assert 0.0 <= cell.recall(k) <= 1.0
+        assert 0.0 <= cell.mrr <= 1.0
+        assert 0.0 <= cell.contour_recall(10) <= 1.0
+
+    low = min(severities)
+    low_cells = [cell for cell in matrix.cells if cell.severity == low]
+    low_recall = (sum(cell.recall(10) for cell in low_cells)
+                  / len(low_cells))
+    assert low_recall >= 0.8, (
+        f"mean recall@10 at severity {low:g} is {low_recall:.2f} "
+        f"(need >= 0.8): mild degradation lost the tune"
+    )
+
+    print_series(
+        f"Scenario matrix over db of {shape['db_size']} "
+        f"({queries_per_cell} queries/cell, top-{KNN_K})",
+        {
+            "scenario": [f"{c.scenario}@{c.severity:g}"
+                         for c in matrix.cells],
+            "r@10": [round(c.recall(10), 2) for c in matrix.cells],
+            "mrr": [round(c.mrr, 2) for c in matrix.cells],
+            "contour r@10": [round(c.contour_recall(10), 2)
+                             for c in matrix.cells],
+            "p50_ms": [round(c.to_dict()["p50_ms"], 2)
+                       for c in matrix.cells],
+        },
+    )
+
+    timings = {}
+    for cell in matrix.cells:
+        key = f"{cell.scenario}@{cell.severity:g}"
+        row = cell.to_dict()
+        timings[f"{key}.p50_ms"] = round(row["p50_ms"], 3)
+        timings[f"{key}.recall_at_10"] = round(row["recall_at_10"], 4)
+    payload = {
+        "workload": {**shape, "scale": scale.name,
+                     "severities": [f"{s:g}" for s in severities]},
+        "timings_ms": timings,
+        "scenarios": [cell.to_dict() for cell in matrix.cells],
+        "checks": {
+            "scenarios_covered": len(scenarios),
+            "severities_covered": len(severities),
+            "low_severity_mean_recall_at_10": round(low_recall, 4),
+            "recall_floor_gate": 0.8,
+        },
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    record_history("quality", payload)
+    print(f"\nwrote {OUT_PATH.name}")

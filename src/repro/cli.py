@@ -276,6 +276,7 @@ def _cmd_serve(args) -> int:
             cache_ttl_s=args.ttl_s,
             workers=args.workers,
             health_interval_s=args.health_interval_s,
+            shadow_fraction=args.shadow_fraction,
         )
         # Each hum is requested --repeat times; interleaving the hums
         # round-robin gives the scheduler real concurrent variety.
@@ -317,6 +318,13 @@ def _cmd_serve(args) -> int:
                   f"{saturation['deadline_miss_rate']:.1%}")
             print(f"  {'cache_hit_rate':<18} "
                   f"{saturation['cache_hit_rate']:.1%}")
+            shadow = saturation.get("shadow")
+            if shadow is not None:
+                agreement = (f"{shadow['agreement']:.1%}"
+                             if shadow["agreement"] is not None else "-")
+                print(f"  {'shadow':<18} checked={shadow['checked']} "
+                      f"disagreed={shadow['disagreed']} "
+                      f"agreement={agreement}")
             for row in saturation.get("shards", ()):
                 state = "up" if row["alive"] else "DOWN"
                 rtt = (f"{row['ping_rtt_s'] * 1e3:.2f}ms"
@@ -419,10 +427,19 @@ def _cmd_obs_report(args) -> int:
 
     stats = TraceReadStats()
     report = analyze_traces(read_traces(args.trace, stats), stats)
+    if not stats.spans:
+        # An empty or all-garbage trace file gets a hard error, not a
+        # bare all-zero table that reads like "everything was fast".
+        print(f"error: no valid spans in {args.trace} "
+              f"({stats.lines} line(s) read, {stats.bad_lines} bad)",
+              file=sys.stderr)
+        return 1
     if args.format == "json":
         text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
     elif args.format == "folded":
         text = report.format_folded()
+    elif args.scenarios:
+        text = report.format_scenario_matrix()
     else:
         text = report.format_table(per_shard=args.per_shard)
     if stats.bad_lines and args.format != "table":
@@ -541,6 +558,7 @@ def _cmd_perf_check(args) -> int:
     config = GateConfig(
         rel_tolerance=args.rel_tolerance,
         min_effect_ms=args.min_effect_ms,
+        min_effect_floor=args.min_effect_floor,
         candidate_runs=args.candidate_runs,
         match_machine=not args.any_machine,
         inject_slowdown=args.inject_slowdown,
@@ -557,6 +575,67 @@ def _cmd_perf_check(args) -> int:
                                     sort_keys=True) + "\n")
         print(f"wrote gate report to {args.json_out}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _cmd_quality(args) -> int:
+    """Run the degradation scenario matrix and print/record it."""
+    from pathlib import Path
+
+    from .music.corpus import generate_corpus, segment_corpus
+    from .obs import OBS_DISABLED
+    from .qbh.quality import run_scenario_matrix
+    from .qbh.system import QueryByHummingSystem
+
+    for out in (args.trace_out, args.metrics_out, args.json_out):
+        if out:
+            Path(out).parent.mkdir(parents=True, exist_ok=True)
+    obs = None
+    if args.trace_out or args.metrics_out:
+        from .obs import Observability
+
+        obs = Observability.to_files(
+            trace_out=args.trace_out, metrics_out=args.metrics_out,
+        )
+    try:
+        if args.corpus:
+            from .persistence import load_corpus
+
+            melodies = load_corpus(args.corpus)
+        else:
+            melodies = segment_corpus(
+                generate_corpus(args.songs, seed=args.seed),
+                per_song=args.per_song, seed=args.seed,
+            )
+        system = QueryByHummingSystem(melodies, delta=args.delta,
+                                      normal_length=args.normal_length)
+        matrix = run_scenario_matrix(
+            system,
+            scenarios=tuple(args.scenario) if args.scenario else None,
+            severities=tuple(args.severity),
+            queries_per_cell=args.queries,
+            k=args.k,
+            seed=args.seed,
+            obs=obs if obs is not None else OBS_DISABLED,
+        )
+        print(matrix.format_table())
+        if args.json_out:
+            import json
+
+            with open(args.json_out, "w") as handle:
+                handle.write(json.dumps(matrix.to_dict(), indent=2,
+                                        sort_keys=True) + "\n")
+            print(f"wrote scenario matrix to {args.json_out}",
+                  file=sys.stderr)
+        return 0
+    finally:
+        if obs is not None:
+            obs.close()
+            if args.trace_out:
+                print(f"wrote trace spans to {args.trace_out}",
+                      file=sys.stderr)
+            if args.metrics_out:
+                print(f"wrote metrics snapshot to {args.metrics_out}",
+                      file=sys.stderr)
 
 
 def _cmd_perf_replay(args) -> int:
@@ -905,6 +984,11 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="S",
                          help="sampling period for --metrics-jsonl "
                               "(default: 1.0)")
+    p_serve.add_argument("--shadow-fraction", type=float, default=0.0,
+                         metavar="F",
+                         help="shadow-score this fraction of served "
+                              "requests against an exact engine call "
+                              "(quality.shadow.* metrics; default: off)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_bench_serve = sub.add_parser(
@@ -939,6 +1023,45 @@ def build_parser() -> argparse.ArgumentParser:
                                help="also write the comparison as JSON")
     p_bench_serve.set_defaults(func=_cmd_bench_serve)
 
+    p_quality = sub.add_parser(
+        "quality",
+        help="run the hum-degradation scenario matrix: recall@k, MRR, "
+             "and latency per (scenario, severity) cell, with a "
+             "contour-string baseline column",
+    )
+    p_quality.add_argument("--corpus", metavar="FILE",
+                           help="melody corpus from `repro corpus` "
+                                "(default: generate one in memory)")
+    p_quality.add_argument("--songs", type=int, default=8,
+                           help="songs for the generated corpus "
+                                "(default: 8)")
+    p_quality.add_argument("--per-song", type=int, default=4,
+                           help="melody segments per song (default: 4)")
+    p_quality.add_argument("--queries", type=int, default=3,
+                           help="queries per (scenario, severity) cell "
+                                "(default: 3)")
+    p_quality.add_argument("--scenario", nargs="+", metavar="NAME",
+                           help="restrict to these scenarios "
+                                "(default: all; see repro.hum.degrade)")
+    p_quality.add_argument("--severity", nargs="+", type=float,
+                           default=[0.25, 0.5, 1.0], metavar="S",
+                           help="severity levels in [0, 1] "
+                                "(default: 0.25 0.5 1.0)")
+    p_quality.add_argument("-k", type=int, default=10,
+                           help="top-k answers per query (default: 10)")
+    p_quality.add_argument("--delta", type=float, default=0.1,
+                           help="DTW warping-band width (default: 0.1)")
+    p_quality.add_argument("--normal-length", type=int, default=128,
+                           help="normal-form length (default: 128)")
+    p_quality.add_argument("--seed", type=int, default=0)
+    p_quality.add_argument("--trace-out", metavar="FILE",
+                           help="also write quality:query spans as JSONL")
+    p_quality.add_argument("--metrics-out", metavar="FILE",
+                           help="also write a quality.* metrics snapshot")
+    p_quality.add_argument("--json-out", metavar="FILE",
+                           help="also write the matrix as JSON")
+    p_quality.set_defaults(func=_cmd_quality)
+
     p_obs = sub.add_parser(
         "obs", help="analyze exported observability data"
     )
@@ -962,6 +1085,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="append the per-shard breakdown table "
                                    "(latency percentiles, work share, "
                                    "pruning power per worker process)")
+    p_obs_report.add_argument("--scenarios", action="store_true",
+                              help="render the quality scenario matrix "
+                                   "(recall@k and latency per degradation "
+                                   "scenario x severity, contour baseline "
+                                   "column) from quality:query spans")
     p_obs_report.set_defaults(func=_cmd_obs_report)
 
     p_obs_export = obs_sub.add_parser(
@@ -1025,6 +1153,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf_check.add_argument("--min-effect-ms", type=float, default=1.0,
                               help="absolute slowdown floor below which "
                                    "jitter never fails the gate")
+    p_perf_check.add_argument("--min-effect-floor", type=float,
+                              default=0.02,
+                              help="absolute drop a higher-is-better "
+                                   "quality metric (recall_at/mrr/"
+                                   "agreement) must lose before the floor "
+                                   "gate fails (default: 0.02)")
     p_perf_check.add_argument("--candidate-runs", type=int, default=1,
                               help="median the newest K runs into the "
                                    "candidate (default: 1)")

@@ -1,5 +1,12 @@
 """Humming substrate: singer models, audio synthesis, pitch tracking."""
 
+from .degrade import (
+    DEFAULT_SEVERITIES,
+    SCENARIOS,
+    DegradationScenario,
+    degrade,
+    scenario_names,
+)
 from .noise import add_noise, babble_noise, mains_hum, snr_db, white_noise
 from .online import OnlinePitchTracker
 from .pitch_tracking import PitchTrack, track_pitch
@@ -8,6 +15,11 @@ from .singer import SingerProfile, hum_melody
 from .synthesis import synthesize_melody, synthesize_pitch_series
 
 __all__ = [
+    "DEFAULT_SEVERITIES",
+    "SCENARIOS",
+    "DegradationScenario",
+    "degrade",
+    "scenario_names",
     "add_noise",
     "babble_noise",
     "mains_hum",

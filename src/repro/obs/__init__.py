@@ -50,6 +50,14 @@ from .metrics import (
     MetricsRegistry,
 )
 from .observability import OBS_DISABLED, Observability
+from .quality import (
+    RECALL_KS,
+    ShadowScorer,
+    rank_of_target,
+    recall_at,
+    reciprocal_rank,
+    results_agree,
+)
 from .tracing import (
     NOOP_TRACER,
     InMemorySink,
@@ -87,4 +95,10 @@ __all__ = [
     "read_snapshot_series",
     "PeriodicSnapshotExporter",
     "format_top",
+    "RECALL_KS",
+    "ShadowScorer",
+    "rank_of_target",
+    "recall_at",
+    "reciprocal_rank",
+    "results_agree",
 ]

@@ -48,6 +48,7 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from .metrics import Histogram
+from .quality import RECALL_KS
 
 __all__ = [
     "SPAN_LATENCY_BUCKETS_S",
@@ -58,6 +59,8 @@ __all__ = [
     "percentile_from_histogram",
     "StageAggregate",
     "ServeAggregate",
+    "QualityCell",
+    "QualityAggregate",
     "ShardAggregate",
     "SpanLatency",
     "TraceReport",
@@ -364,6 +367,118 @@ class ServeAggregate:
 
 
 @dataclass
+class QualityCell:
+    """One (scenario, severity) cell of the scenario matrix."""
+
+    scenario: str
+    severity: float
+    queries: int = 0
+    hits: dict[int, int] = field(default_factory=dict)      # k -> hits
+    rr_total: float = 0.0
+    contour_queries: int = 0
+    contour_hits: dict[int, int] = field(default_factory=dict)
+    latency: Histogram = field(default_factory=lambda: Histogram(
+        "quality.query_seconds", {}, SPAN_LATENCY_BUCKETS_S
+    ))
+
+    def add(self, attrs: dict) -> None:
+        """Fold one ``quality:query`` span's attributes in."""
+        self.queries += 1
+        rank = int(attrs.get("rank", 0))
+        for k in RECALL_KS:
+            if 1 <= rank <= k:
+                self.hits[k] = self.hits.get(k, 0) + 1
+        if rank >= 1:
+            self.rr_total += 1.0 / rank
+        if "contour_rank" in attrs:
+            self.contour_queries += 1
+            contour_rank = int(attrs["contour_rank"])
+            for k in RECALL_KS:
+                if 1 <= contour_rank <= k:
+                    self.contour_hits[k] = self.contour_hits.get(k, 0) + 1
+        if "duration_s" in attrs:
+            self.latency.observe(float(attrs["duration_s"]))
+
+    def recall(self, k: int) -> float:
+        """Fraction of queries whose ground truth ranked within *k*."""
+        if not self.queries:
+            return 0.0
+        return self.hits.get(k, 0) / self.queries
+
+    def contour_recall(self, k: int) -> float | None:
+        """The contour baseline's recall@k, ``None`` when unmeasured."""
+        if not self.contour_queries:
+            return None
+        return self.contour_hits.get(k, 0) / self.contour_queries
+
+    @property
+    def mrr(self) -> float:
+        """Mean reciprocal rank of the ground-truth melody."""
+        if not self.queries:
+            return 0.0
+        return self.rr_total / self.queries
+
+    def to_dict(self) -> dict:
+        """The matrix cell as a JSON-ready dict."""
+        merged = self.latency.merged()
+        return {
+            "scenario": self.scenario,
+            "severity": self.severity,
+            "queries": self.queries,
+            **{f"recall_at_{k}": self.recall(k) for k in RECALL_KS},
+            "mrr": self.mrr,
+            "contour_recall_at_10": self.contour_recall(10),
+            "p50_ms": _ms(percentile_from_histogram(merged, 0.50)),
+            "p95_ms": _ms(percentile_from_histogram(merged, 0.95)),
+        }
+
+
+def _ms(seconds: float | None) -> float | None:
+    return None if seconds is None else seconds * 1e3
+
+
+@dataclass
+class QualityAggregate:
+    """Recall-vs-degradation accounting from ``quality:query`` spans.
+
+    Like the serving layer, the quality runner emits *instant* root
+    spans whose attributes carry the event (scenario, severity, rank
+    of the ground-truth melody, wall time, optional contour-baseline
+    rank), so offline analysis of a trace file reconstructs the full
+    scenario matrix without touching any index.
+    """
+
+    cells: dict[tuple[str, float], QualityCell] = field(
+        default_factory=dict)
+
+    def add_query(self, attrs: dict) -> None:
+        """Fold one ``quality:query`` span's attributes in."""
+        key = (str(attrs.get("scenario", "unknown")),
+               float(attrs.get("severity", 0.0)))
+        cell = self.cells.get(key)
+        if cell is None:
+            cell = self.cells[key] = QualityCell(
+                scenario=key[0], severity=key[1])
+        cell.add(attrs)
+
+    @property
+    def queries(self) -> int:
+        """Total quality queries folded in."""
+        return sum(cell.queries for cell in self.cells.values())
+
+    def rows(self) -> list[QualityCell]:
+        """Cells in (scenario, severity) order."""
+        return [self.cells[key] for key in sorted(self.cells)]
+
+    def to_dict(self) -> dict:
+        """The quality section as one JSON-ready document."""
+        return {
+            "queries": self.queries,
+            "scenarios": [cell.to_dict() for cell in self.rows()],
+        }
+
+
+@dataclass
 class ShardAggregate:
     """One shard's share of the work, from its ``shard:query`` spans.
 
@@ -444,6 +559,7 @@ class TraceReport:
     dtw_abandoned: int = 0
     corpus_candidates: int = 0
     serve: ServeAggregate | None = None
+    quality: QualityAggregate | None = None
     shards: list[ShardAggregate] = field(default_factory=list)
     shard_imbalance: float | None = None
 
@@ -460,6 +576,7 @@ class TraceReport:
             "pruning": [row.to_dict() for row in self.stages],
             "critical_paths": list(self.critical_paths),
             "serve": self.serve.to_dict() if self.serve else None,
+            "quality": self.quality.to_dict() if self.quality else None,
             "shards": [row.to_dict() for row in self.shards],
             "shard_imbalance": self.shard_imbalance,
         }
@@ -567,9 +684,55 @@ class TraceReport:
                     f"({serve.batched_requests} requests, "
                     f"{serve.coalesced} coalesced)"
                 )
+        if self.quality is not None:
+            out.append("")
+            out.append(
+                f"quality: {self.quality.queries} ground-truth queries "
+                f"over {len(self.quality.cells)} scenario cells "
+                f"(--scenarios for the matrix)"
+            )
         if per_shard:
             out += ["", *self._format_shard_table()]
         return "\n".join(out)
+
+    def format_scenario_matrix(self) -> str:
+        """The recall@k × latency matrix (``--scenarios``).
+
+        One row per (scenario, severity) cell: our recall@{1,5,10} and
+        MRR, the p50/p95 query latency, and the contour-string
+        baseline's recall@10 on the identical degraded hums — the
+        paper's Table-2 comparison re-run per error mode.
+        """
+        if self.quality is None or not self.quality.cells:
+            return ("scenario matrix: no quality:query spans in this log "
+                    "(run `repro quality --trace-out ...` first)")
+        rows = self.quality.rows()
+        scenarios = sorted({cell.scenario for cell in rows})
+        severities = sorted({cell.severity for cell in rows})
+        lines = [
+            f"scenario matrix: {self.quality.queries} queries, "
+            f"{len(scenarios)} scenarios x {len(severities)} severities",
+            f"{'scenario':<15}{'sev':>6}{'n':>5}{'r@1':>7}{'r@5':>7}"
+            f"{'r@10':>7}{'mrr':>7}{'p50 ms':>9}{'p95 ms':>9}"
+            f"{'contour r@10':>14}",
+        ]
+        for cell in rows:
+            d = cell.to_dict()
+            p50 = f"{d['p50_ms']:>9.2f}" if d["p50_ms"] is not None \
+                else f"{'-':>9}"
+            p95 = f"{d['p95_ms']:>9.2f}" if d["p95_ms"] is not None \
+                else f"{'-':>9}"
+            contour = d["contour_recall_at_10"]
+            contour_txt = (f"{contour:>14.2f}" if contour is not None
+                           else f"{'-':>14}")
+            lines.append(
+                f"{cell.scenario:<15}{cell.severity:>6.2f}"
+                f"{cell.queries:>5}"
+                f"{d['recall_at_1']:>7.2f}{d['recall_at_5']:>7.2f}"
+                f"{d['recall_at_10']:>7.2f}{d['mrr']:>7.2f}"
+                f"{p50}{p95}{contour_txt}"
+            )
+        return "\n".join(lines)
 
     def _format_shard_table(self) -> list[str]:
         if not self.shards:
@@ -668,6 +831,14 @@ def analyze_traces(
                 report.serve.add_request(span["attrs"])
             elif span["name"] == "serve:batch":
                 report.serve.add_batch(span["attrs"])
+            continue
+        # Quality events are instant roots too: attributes carry the
+        # scenario, severity, and ground-truth rank (see
+        # Observability.record_quality_query).
+        if len(trace) == 1 and trace[0]["name"] == "quality:query":
+            if report.quality is None:
+                report.quality = QualityAggregate()
+            report.quality.add_query(trace[0]["attrs"])
             continue
         children = _children_index(trace)
         for span in trace:

@@ -164,9 +164,10 @@ class PeriodicSnapshotExporter:
 
     *jsonl_path* receives one snapshot line per beat (the append-only
     time series); *prometheus_path* is atomically rewritten each beat
-    (the file a node-exporter-style scraper reads).  :meth:`close`
-    takes one final sample before stopping, so short-lived processes
-    still leave a last-word snapshot behind.
+    (the file a node-exporter-style scraper reads).  :meth:`stop`
+    (and :meth:`close`, its alias) takes one final sample before
+    stopping, so a serve shorter than one interval still leaves a
+    non-empty series behind.
     """
 
     def __init__(self, registry, *, jsonl_path=None, prometheus_path=None,
@@ -207,13 +208,24 @@ class PeriodicSnapshotExporter:
         while not self._stop.wait(self.interval_s):
             self.export_once()
 
-    def close(self) -> None:
-        """Stop the thread and write one final sample."""
+    def stop(self) -> None:
+        """Stop the thread and flush one final sample.
+
+        The flush happens even when :meth:`start` was never called (or
+        no beat ever fired), so a process that lives less than one
+        ``interval_s`` still writes at least one snapshot line — an
+        empty JSONL series from a short serve means the shutdown path
+        was skipped, not that nothing happened.
+        """
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
         self.export_once()
+
+    def close(self) -> None:
+        """Alias of :meth:`stop`."""
+        self.stop()
 
 
 # ----------------------------------------------------------------------
@@ -231,6 +243,9 @@ _TOP_COUNTERS = (
     "shard.fanouts_total",
     "shard.lifecycle_total",
     "dtw.kernel_calls_total",
+    "quality.queries_total",
+    "quality.shadow.checked_total",
+    "quality.shadow.disagreed_total",
 )
 
 #: shard.health.* gauge → (column header, formatter).

@@ -435,6 +435,71 @@ class Observability:
                 health.rss_bytes
             )
 
+    def record_quality_query(self, scenario: str, severity: float,
+                             rank: int, db_size: int, *,
+                             duration_s: float | None = None,
+                             contour_rank: int | None = None) -> None:
+        """Fold one ground-truth-labelled quality query into telemetry.
+
+        *rank* is the 1-based competition rank of the intended melody
+        (``db_size`` when retrieval missed entirely); *scenario* /
+        *severity* name the degradation applied to the hum (see
+        :mod:`repro.hum.degrade`).  *contour_rank*, when given, is the
+        contour-string baseline's rank for the same degraded hum — the
+        paper's comparison point, carried along so the scenario matrix
+        can print it next to ours.
+
+        Emits ``quality.*`` counters plus an *instant* root span
+        ``quality:query`` whose attributes carry the event — the same
+        shape as ``serve:request``, so trace files replay into the
+        scenario matrix offline.
+        """
+        m = self.metrics
+        sev = f"{float(severity):g}"
+        m.counter("quality.queries_total",
+                  scenario=scenario, severity=sev).inc()
+        m.counter("quality.reciprocal_rank_total",
+                  scenario=scenario, severity=sev).inc(
+            1.0 / rank if rank >= 1 else 0.0)
+        for k in (1, 5, 10):
+            if 1 <= rank <= k:
+                m.counter("quality.recall_hits_total",
+                          scenario=scenario, severity=sev, k=str(k)).inc()
+        if duration_s is not None:
+            m.histogram("quality.query_seconds",
+                        scenario=scenario).observe(duration_s)
+        attrs = {
+            "scenario": scenario, "severity": float(severity),
+            "rank": int(rank), "db": int(db_size),
+        }
+        if duration_s is not None:
+            attrs["duration_s"] = float(duration_s)
+        if contour_rank is not None:
+            attrs["contour_rank"] = int(contour_rank)
+        with self.span("quality:query", **attrs):
+            pass
+
+    def record_shadow_check(self, agree: bool) -> None:
+        """Fold one shadow-scoring comparison into metrics.
+
+        Called by :class:`~repro.obs.quality.ShadowScorer` for every
+        sampled served request re-checked against exact DTW.  Besides
+        the check/disagree counters, publishes the running ratio as
+        the ``quality.shadow.agreement`` gauge so a scrape sees live
+        answer quality without reading counters itself.
+        """
+        m = self.metrics
+        checked = m.counter("quality.shadow.checked_total")
+        disagreed = m.counter("quality.shadow.disagreed_total")
+        checked.inc()
+        if not agree:
+            disagreed.inc()
+        total = checked.value
+        if total > 0:
+            m.gauge("quality.shadow.agreement").set(
+                (total - disagreed.value) / total
+            )
+
     def _check_slow(self, kind: str, stats) -> None:
         if (self.slow_query_s is None
                 or stats.total_time_s < self.slow_query_s):
@@ -498,6 +563,13 @@ class _DisabledObservability(Observability):
         """Do nothing (observability is disabled)."""
 
     def record_shard_health(self, health) -> None:
+        """Do nothing (observability is disabled)."""
+
+    def record_quality_query(self, scenario, severity, rank, db_size, *,
+                             duration_s=None, contour_rank=None) -> None:
+        """Do nothing (observability is disabled)."""
+
+    def record_shadow_check(self, agree) -> None:
         """Do nothing (observability is disabled)."""
 
 

@@ -1,0 +1,181 @@
+"""Quality-of-results telemetry: recall math and shadow scoring.
+
+Latency telemetry (spans, histograms) says how fast an answer came
+back; nothing in it says whether the answer was *right*.  This module
+is the obs-layer half of the quality axis:
+
+* pure recall/rank helpers (:func:`rank_of_target`, :func:`recall_at`,
+  :func:`reciprocal_rank`) shared by the scenario-matrix runner, the
+  quality benchmark, and the analysis report — one definition of
+  "rank" everywhere (1-based competition rank of the ground-truth
+  melody; ``None`` when it is absent from the result list);
+
+* :class:`ShadowScorer`, the live-serving probe: a deterministic
+  1-in-N sample of served requests is re-answered by an exact
+  reference function and compared result-for-result, feeding the
+  ``quality.shadow.*`` counters and the online
+  ``quality.shadow.agreement`` gauge.
+
+Like the rest of ``repro.obs`` this file is stdlib-only and imports
+nothing from the layers above it — the exact reference is injected as
+a callable, and the scenario *workload* (which needs melodies,
+singers, and indexes) lives up in ``repro.qbh.quality``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "RECALL_KS",
+    "rank_of_target",
+    "recall_at",
+    "reciprocal_rank",
+    "results_agree",
+    "ShadowScorer",
+]
+
+#: The k grid every recall surface reports (metrics, matrix, bench).
+RECALL_KS = (1, 5, 10)
+
+
+def rank_of_target(results: Iterable, target) -> int | None:
+    """1-based rank of *target* in an ordered ``(id, distance)`` list.
+
+    ``None`` when the target id is not present at all (e.g. it fell
+    outside the served top-k) — callers decide whether to fall back
+    to an exact full-scan rank or count it as a miss.
+    """
+    for position, entry in enumerate(results, start=1):
+        if entry[0] == target:
+            return position
+    return None
+
+
+def recall_at(rank: int | None, k: int) -> float:
+    """1.0 when the ground truth ranked within the top *k*, else 0.0."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return 1.0 if rank is not None and rank <= k else 0.0
+
+
+def reciprocal_rank(rank: int | None) -> float:
+    """1/rank, with a miss (``None``) contributing 0.0."""
+    if rank is None:
+        return 0.0
+    if rank < 1:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    return 1.0 / rank
+
+
+def results_agree(served: Sequence, exact: Sequence, *,
+                  atol: float = 1e-9) -> bool:
+    """True when two ``(id, distance)`` result lists match.
+
+    Ids must agree position-for-position; distances must agree within
+    *atol* (shadow checks cross float summation orders, never float
+    precisions, so the tolerance is tiny).
+    """
+    if len(served) != len(exact):
+        return False
+    for (sid, sdist), (eid, edist) in zip(served, exact):
+        if sid != eid:
+            return False
+        if not math.isclose(float(sdist), float(edist),
+                            rel_tol=0.0, abs_tol=atol):
+            return False
+    return True
+
+
+class ShadowScorer:
+    """Sampled exact re-check of served results (live quality probe).
+
+    Every ``1/fraction``-th offered request (deterministic modular
+    sampling — no RNG, so a replayed workload shadows the same
+    requests) is re-answered by *exact_fn* and compared with
+    :func:`results_agree`.  Each check lands in the observability
+    facade via ``record_shadow_check`` and in the local
+    :attr:`checked` / :attr:`disagreed` tallies, so both a scraped
+    ``quality.shadow.agreement`` gauge and ``saturation()`` report
+    the running agreement ratio.
+
+    Parameters
+    ----------
+    exact_fn:
+        ``exact_fn(kind, query, param) -> sequence of (id, distance)``
+        — the ground-truth answer for a served request.  Injected so
+        this module stays below the serving layer.
+    fraction:
+        Sampling fraction in ``(0, 1]``; 1.0 shadows everything
+        (tests), 0.01 shadows one request in a hundred (production).
+    obs:
+        Optional :class:`~repro.obs.Observability`; each check calls
+        ``obs.record_shadow_check(agree)``.
+    atol:
+        Distance tolerance forwarded to :func:`results_agree`.
+    """
+
+    def __init__(self, exact_fn: Callable, *, fraction: float,
+                 obs=None, atol: float = 1e-9) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(
+                f"shadow fraction must be in (0, 1], got {fraction}")
+        self._exact_fn = exact_fn
+        self._every = max(1, int(round(1.0 / fraction)))
+        self._obs = obs
+        self._atol = atol
+        self._lock = threading.Lock()
+        self._offered = 0
+        self.checked = 0
+        self.disagreed = 0
+
+    @property
+    def fraction(self) -> float:
+        """The effective sampling fraction (1 / every-N)."""
+        return 1.0 / self._every
+
+    @property
+    def agreement(self) -> float | None:
+        """Running agreement ratio, ``None`` before the first check."""
+        with self._lock:
+            if self.checked == 0:
+                return None
+            return (self.checked - self.disagreed) / self.checked
+
+    def maybe_check(self, kind: str, query, param, served) -> bool | None:
+        """Offer one served request; shadow-score it if sampled.
+
+        Returns ``True``/``False`` (agreed / disagreed) when the
+        request was sampled, ``None`` when it was skipped.  Exact
+        re-scoring runs on the caller's thread — keep the fraction
+        small on hot paths.
+        """
+        with self._lock:
+            offered = self._offered
+            self._offered += 1
+        if offered % self._every != 0:
+            return None
+        exact = self._exact_fn(kind, query, param)
+        agree = results_agree(served, exact, atol=self._atol)
+        with self._lock:
+            self.checked += 1
+            if not agree:
+                self.disagreed += 1
+        if self._obs is not None:
+            self._obs.record_shadow_check(agree)
+        return agree
+
+    def snapshot(self) -> dict:
+        """JSON-ready tallies for ``saturation()``-style reports."""
+        with self._lock:
+            checked, disagreed = self.checked, self.disagreed
+        agreement = ((checked - disagreed) / checked) if checked else None
+        return {
+            "fraction": self.fraction,
+            "offered": self._offered,
+            "checked": checked,
+            "disagreed": disagreed,
+            "agreement": agreement,
+        }

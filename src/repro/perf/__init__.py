@@ -30,7 +30,13 @@ from .history import (
     machine_fingerprint,
     make_entry,
 )
-from .regress import GateConfig, GateFinding, GateReport, check_history
+from .regress import (
+    GateConfig,
+    GateFinding,
+    GateReport,
+    check_history,
+    metric_higher_is_better,
+)
 from .replay import (
     ReplayCheck,
     ReplayReport,
@@ -49,6 +55,7 @@ __all__ = [
     "GateFinding",
     "GateReport",
     "check_history",
+    "metric_higher_is_better",
     "WorkloadRecorder",
     "load_workload",
     "replay_workload",

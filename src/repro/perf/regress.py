@@ -20,11 +20,23 @@ The comparison, per bench and per timing metric:
   absolute floor keeps sub-millisecond jitter on tiny benches from
   flaking the gate.
 
+Most metrics are timings, where **lower is better**.  Quality metrics
+— recall fractions, shadow agreement, mean reciprocal rank — invert
+that: the quality bench records them in the same ``timings_ms`` maps
+(they are unitless fractions, but the history schema carries them
+fine), and the gate recognises them by name
+(:func:`metric_higher_is_better`) and flips into **floor** mode: a
+regression needs BOTH ``candidate < baseline * (1 - rel_tolerance)``
+AND ``baseline - candidate >= min_effect_floor``.  That is the recall
+floor — a PR that keeps latency flat but drops a scenario's recall@10
+by more than the tolerance fails CI exactly like a slowdown would.
+
 A candidate with no comparable baseline is reported ``no-baseline``
 and passes (day one, new machines, and scale changes must not block).
-``inject_slowdown`` multiplies the candidate's timings before the
-comparison — the gate's own self-test: CI feeds a synthetic 25%
-slowdown and asserts a non-zero exit.
+``inject_slowdown`` multiplies the candidate's timings — and
+*divides* its higher-is-better metrics, degrading both directions at
+once — before the comparison: the gate's own self-test, CI feeds a
+synthetic 25% slowdown and asserts a non-zero exit.
 """
 
 from __future__ import annotations
@@ -34,7 +46,19 @@ from statistics import median
 
 from .history import BenchHistory
 
-__all__ = ["GateConfig", "GateFinding", "GateReport", "check_history"]
+__all__ = ["GateConfig", "GateFinding", "GateReport", "check_history",
+           "metric_higher_is_better"]
+
+#: Metric-name markers that flip a comparison into floor mode
+#: (higher is better).  Substring match on the metric name, so
+#: per-cell names like ``tempo@0.5.recall_at_10`` qualify.
+_FLOOR_MARKERS = ("recall_at", "agreement", "mrr")
+
+
+def metric_higher_is_better(metric: str) -> bool:
+    """True for quality metrics gated as floors (recall, MRR, ...)."""
+    name = metric.lower()
+    return any(marker in name for marker in _FLOOR_MARKERS)
 
 
 @dataclass
@@ -43,13 +67,17 @@ class GateConfig:
 
     ``rel_tolerance=0.2`` fails >20% slowdowns; ``min_effect_ms``
     is the absolute floor below which a relative excess is treated as
-    noise; ``candidate_runs`` medians the newest *k* runs into the
+    noise; ``min_effect_floor`` is its higher-is-better counterpart —
+    the absolute drop (in the metric's own unit, e.g. 0.02 = two
+    recall points) a quality metric must lose before the floor gate
+    fires; ``candidate_runs`` medians the newest *k* runs into the
     candidate; ``match_machine=False`` also compares runs from
     different machine fingerprints (off by default for good reason).
     """
 
     rel_tolerance: float = 0.20
     min_effect_ms: float = 1.0
+    min_effect_floor: float = 0.02
     candidate_runs: int = 1
     match_machine: bool = True
     inject_slowdown: float = 1.0
@@ -64,6 +92,10 @@ class GateConfig:
         if self.min_effect_ms < 0:
             raise ValueError(
                 f"min_effect_ms must be >= 0, got {self.min_effect_ms}"
+            )
+        if self.min_effect_floor < 0:
+            raise ValueError(
+                f"min_effect_floor must be >= 0, got {self.min_effect_floor}"
             )
         if self.candidate_runs < 1:
             raise ValueError(
@@ -123,6 +155,7 @@ class GateReport:
             "ok": self.ok,
             "rel_tolerance": self.config.rel_tolerance,
             "min_effect_ms": self.config.min_effect_ms,
+            "min_effect_floor": self.config.min_effect_floor,
             "inject_slowdown": self.config.inject_slowdown,
             "findings": [finding.to_dict() for finding in self.findings],
         }
@@ -141,11 +174,14 @@ class GateReport:
                 f"{f.bench:<14}{f.metric:<26}{baseline}"
                 f"{f.candidate_ms:>11.2f}{ratio}  {f.status}"
             )
+        floors = sum(1 for f in self.regressions
+                     if metric_higher_is_better(f.metric))
         verdict = "PASS" if self.ok else (
             f"FAIL ({len(self.regressions)} regression"
             f"{'s' if len(self.regressions) != 1 else ''} "
-            f"> {self.config.rel_tolerance:.0%} "
-            f"and >= {self.config.min_effect_ms:g} ms)"
+            f"beyond {self.config.rel_tolerance:.0%}"
+            + (f", {floors} below a quality floor" if floors else "")
+            + ")"
         )
         lines.append(verdict)
         return "\n".join(lines)
@@ -197,18 +233,26 @@ def check_history(
         for metric in metrics:
             cand_values = [run["timings_ms"][metric] for run in cand_runs
                            if metric in run["timings_ms"]]
-            candidate_ms = (median(cand_values) * config.inject_slowdown
-                            if cand_values else None)
-            if candidate_ms is None:  # pragma: no cover - newest has metric
+            if not cand_values:  # pragma: no cover - newest has metric
                 continue
+            # The synthetic-slowdown self-test degrades in whichever
+            # direction the metric gates: timings get slower (×),
+            # quality floors get lower (÷).
+            if metric_higher_is_better(metric):
+                candidate_ms = median(cand_values) / config.inject_slowdown
+            else:
+                candidate_ms = median(cand_values) * config.inject_slowdown
             base_values = [run["timings_ms"][metric] for run in base_runs
                            if metric in run["timings_ms"]]
             if not base_values:
+                ratio = None
+                if config.inject_slowdown != 1.0:
+                    ratio = (1.0 / config.inject_slowdown
+                             if metric_higher_is_better(metric)
+                             else config.inject_slowdown)
                 report.findings.append(GateFinding(
                     bench=bench, metric=metric, status="no-baseline",
-                    candidate_ms=candidate_ms,
-                    ratio=config.inject_slowdown if config.inject_slowdown
-                    != 1.0 else None,
+                    candidate_ms=candidate_ms, ratio=ratio,
                 ))
                 # The injected-slowdown self-test must bite even on a
                 # single-entry history: compare the scaled candidate
@@ -230,9 +274,19 @@ def _verdict(bench: str, metric: str, candidate_ms: float,
              baseline_ms: float, baseline_runs: int,
              config: GateConfig) -> GateFinding:
     ratio = candidate_ms / baseline_ms if baseline_ms > 0 else float("inf")
-    excess_ms = candidate_ms - baseline_ms
-    regressed = (candidate_ms > baseline_ms * (1.0 + config.rel_tolerance)
-                 and excess_ms >= config.min_effect_ms)
+    if metric_higher_is_better(metric):
+        # Floor mode: the metric regressed by *falling*.
+        deficit = baseline_ms - candidate_ms
+        regressed = (
+            candidate_ms < baseline_ms * (1.0 - config.rel_tolerance)
+            and deficit >= config.min_effect_floor
+        )
+    else:
+        excess_ms = candidate_ms - baseline_ms
+        regressed = (
+            candidate_ms > baseline_ms * (1.0 + config.rel_tolerance)
+            and excess_ms >= config.min_effect_ms
+        )
     return GateFinding(
         bench=bench, metric=metric,
         status="regression" if regressed else "ok",

@@ -5,6 +5,7 @@ from .scoring import HummingReport, NoteAssessment, assess_humming
 from .progressive import ProgressiveQuery, ProgressiveSnapshot
 from .session import QuerySession
 from .evaluation import RANK_BUCKETS, RankTable, bucket_label, format_rank_tables
+from .quality import ScenarioCell, ScenarioMatrix, run_scenario_matrix
 from .system import QueryByHummingSystem
 
 __all__ = [
@@ -20,5 +21,8 @@ __all__ = [
     "RankTable",
     "bucket_label",
     "format_rank_tables",
+    "ScenarioCell",
+    "ScenarioMatrix",
+    "run_scenario_matrix",
     "QueryByHummingSystem",
 ]

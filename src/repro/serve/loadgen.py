@@ -32,6 +32,7 @@ __all__ = [
     "RequestRecord",
     "LoadReport",
     "zipf_workload",
+    "scenario_workload",
     "result_digest",
     "run_load",
     "direct_dispatch",
@@ -42,11 +43,22 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RequestSpec:
-    """One planned request: which query, which kind, which parameter."""
+    """One planned request: which query, which kind, which parameter.
+
+    The optional *scenario* / *severity* / *target* fields tag a
+    request built from a degraded hum with a known ground-truth melody
+    (see :mod:`repro.hum.degrade`): quality-aware load runs use them
+    to attribute each served answer back to its error-model cell.
+    They are part of the (frozen, hashable) identity, so parity
+    checking across serving modes still works per spec.
+    """
 
     kind: str
     param: object
     query_index: int
+    scenario: str | None = None
+    severity: float | None = None
+    target: int | None = None
 
 
 @dataclass
@@ -101,6 +113,33 @@ def zipf_workload(total: int, pool_size: int, *, s: float = 1.3,
         param = int(knn_k) if kind == "knn" else float(epsilon)
         specs.append(RequestSpec(kind=kind, param=param,
                                  query_index=int(query_index)))
+    return specs
+
+
+def scenario_workload(cells, *, kind: str = "knn", knn_k: int = 10,
+                      epsilon: float = 1.0,
+                      repeat: int = 1) -> list[RequestSpec]:
+    """Specs over a degraded-query pool, tagged with their cell.
+
+    *cells* is a sequence of ``(query_index, scenario, severity,
+    target)`` tuples — one per entry of the query pool the caller
+    built with :func:`repro.hum.degrade.degrade` (``target`` is the
+    ground-truth melody index the hum was rendered from).  Each pool
+    entry yields *repeat* identical specs, so caching and coalescing
+    see realistic repeats while every answer stays attributable to
+    its (scenario, severity) cell.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    param = int(knn_k) if kind == "knn" else float(epsilon)
+    specs = []
+    for query_index, scenario, severity, target in cells:
+        spec = RequestSpec(
+            kind=kind, param=param, query_index=int(query_index),
+            scenario=str(scenario), severity=float(severity),
+            target=int(target),
+        )
+        specs.extend([spec] * repeat)
     return specs
 
 

@@ -96,6 +96,16 @@ class QBHService:
         section fresh even when no queries flow.  ``None`` (default)
         disables the heartbeat; the snapshot then reflects
         serving-path side effects only.
+    shadow_fraction:
+        Shadow-scoring sample rate in ``[0, 1]``: this fraction of
+        completed ``ok`` requests (cache hits included — a stale cache
+        is exactly what shadowing exists to catch) is re-answered by a
+        direct, unbatched, deadline-free engine call and compared
+        result-for-result, feeding the ``quality.shadow.*`` counters
+        and the online ``quality.shadow.agreement`` gauge.  The
+        re-check runs on the completing thread, so keep it small in
+        production (0.01 ≈ one request in a hundred); 0.0 (default)
+        disables shadowing.
     obs:
         Observability facade (default disabled).
 
@@ -110,7 +120,8 @@ class QBHService:
                  retry: RetryPolicy | None = None,
                  cache_size: int = 1024, cache_ttl_s: float | None = None,
                  workers: int | None = None,
-                 health_interval_s: float | None = None, obs=None) -> None:
+                 health_interval_s: float | None = None,
+                 shadow_fraction: float = 0.0, obs=None) -> None:
         self._engine_fn = engine_fn
         self._version_fn = version_fn if version_fn is not None else lambda: 0
         self._normalize = normalize
@@ -133,6 +144,17 @@ class QBHService:
             "cache_hits": 0, "executed": 0,
         }
         self._closed = False
+        if not 0.0 <= shadow_fraction <= 1.0:
+            raise ValueError(
+                f"shadow_fraction must be in [0, 1], got {shadow_fraction}")
+        if shadow_fraction > 0.0:
+            from ..obs.quality import ShadowScorer
+
+            self.shadow = ShadowScorer(
+                self._shadow_exact, fraction=shadow_fraction, obs=self.obs,
+            )
+        else:
+            self.shadow = None
         # A shard router/manager built *for* this service by a
         # classmethod constructor; closed with it (poison-pill drain).
         self._owned_shards = None
@@ -382,6 +404,28 @@ class QBHService:
             outcome.queue_wait_s, outcome.service_time_s,
             from_cache=outcome.from_cache,
         )
+        if (self.shadow is not None and outcome.status == "ok"
+                and outcome.results is not None):
+            try:
+                self.shadow.maybe_check(
+                    request.kind, request.query, request.param,
+                    outcome.results,
+                )
+            except Exception:
+                # The probe is best-effort: a shadow re-check must
+                # never turn a served answer into a failure.
+                pass
+
+    def _shadow_exact(self, kind, query, param):
+        """Ground truth for the shadow scorer: one direct engine call,
+        unbatched, uncached, and without a deadline."""
+        engine = self._engine_fn()
+        q = query if self._normalize is None else self._normalize(query)
+        if kind == "range":
+            results, _ = engine.range_search(q, param)
+        else:
+            results, _ = engine.knn(q, param)
+        return tuple((item, float(dist)) for item, dist in results)
 
     def _execute_batch(self, kind, param, requests):
         """Run one deduplicated batch on the engine (scheduler hook).
@@ -489,6 +533,8 @@ class QBHService:
         }
         if self.cache is not None:
             snapshot["cache"] = self.cache.stats.to_dict()
+        if self.shadow is not None:
+            snapshot["shadow"] = self.shadow.snapshot()
         if self._owned_shards is not None:
             snapshot["shards"] = [
                 row.to_dict()

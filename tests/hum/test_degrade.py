@@ -1,0 +1,93 @@
+"""The hum error model: named, seeded, severity-scaled scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.hum.degrade import (
+    DEFAULT_SEVERITIES,
+    SCENARIOS,
+    degrade,
+    scenario_names,
+)
+
+
+@pytest.fixture
+def clean():
+    rng = np.random.default_rng(11)
+    # A plausible hummed pitch series: piecewise-constant notes.
+    notes = rng.integers(55, 79, size=12)
+    return np.repeat(notes, 8).astype(np.float64)
+
+
+class TestRegistry:
+    def test_all_required_scenarios_named(self):
+        assert set(scenario_names()) >= {
+            "transposition", "tempo", "note_drop", "note_split", "jitter",
+        }
+
+    def test_registry_keys_match_scenario_names(self):
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+            assert scenario.description
+
+    def test_default_severities_are_a_ladder(self):
+        assert len(DEFAULT_SEVERITIES) >= 3
+        assert list(DEFAULT_SEVERITIES) == sorted(DEFAULT_SEVERITIES)
+        assert all(0.0 < s <= 1.0 for s in DEFAULT_SEVERITIES)
+
+    def test_unknown_scenario_raises(self, clean):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            degrade(clean, "autotune", 0.5, seed=0)
+
+    @pytest.mark.parametrize("severity", [-0.1, 1.5])
+    def test_severity_out_of_range_raises(self, clean, severity):
+        with pytest.raises(ValueError):
+            degrade(clean, "jitter", severity, seed=0)
+
+
+class TestDegradation:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_severity_zero_is_identity(self, clean, name):
+        out = degrade(clean, name, 0.0, seed=3)
+        np.testing.assert_array_equal(out, clean)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_same_seed_same_output(self, clean, name):
+        a = degrade(clean, name, 0.7, seed=5)
+        b = degrade(clean, name, 0.7, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_full_severity_changes_the_series(self, clean, name):
+        out = degrade(clean, name, 1.0, seed=5)
+        changed = (out.shape != clean.shape
+                   or not np.array_equal(out, clean))
+        assert changed, f"{name} at severity 1.0 was a no-op"
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_output_never_shares_memory_with_input(self, clean, name):
+        for severity in (0.0, 0.5):
+            out = degrade(clean, name, severity, seed=2)
+            assert not np.shares_memory(out, clean)
+
+    def test_tempo_changes_length(self, clean):
+        out = degrade(clean, "tempo", 1.0, seed=4)
+        assert out.size != clean.size
+
+    def test_note_drop_shortens(self, clean):
+        out = degrade(clean, "note_drop", 1.0, seed=4)
+        assert out.size < clean.size
+
+    def test_transposition_shifts_pitch(self, clean):
+        out = degrade(clean, "transposition", 1.0, seed=4)
+        assert out.size == clean.size
+        assert abs(np.mean(out - clean)) > 1.0
+
+    def test_jitter_preserves_length(self, clean):
+        out = degrade(clean, "jitter", 1.0, seed=4)
+        assert out.size == clean.size
+
+    def test_rng_and_seed_are_exclusive(self, clean):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            degrade(clean, "jitter", 0.5, seed=1, rng=rng)

@@ -158,6 +158,29 @@ class TestPeriodicExporter:
         assert exporter.start() is exporter.start()
         exporter.close()
 
+    def test_stop_flushes_without_start(self, registry, tmp_path):
+        # A process that builds the exporter but dies before start()
+        # (or before the first beat) must still leave one snapshot —
+        # an empty series means the shutdown path was skipped.
+        jsonl = tmp_path / "series.jsonl"
+        exporter = PeriodicSnapshotExporter(registry, jsonl_path=jsonl,
+                                            interval_s=60.0)
+        exporter.stop()
+        snapshots, bad = read_snapshot_series(jsonl)
+        assert (len(snapshots), bad) == (1, 0)
+        assert exporter.samples == 1
+
+    def test_stop_final_sample_sees_last_updates(self, registry, tmp_path):
+        jsonl = tmp_path / "series.jsonl"
+        exporter = PeriodicSnapshotExporter(registry, jsonl_path=jsonl,
+                                            interval_s=60.0).start()
+        registry.counter("engine.queries_total").inc(5)
+        exporter.stop()                     # shutdown flush, not a beat
+        snapshots, _ = read_snapshot_series(jsonl)
+        assert snapshots[-1]["counters"]["engine.queries_total"] == 12
+        thread = exporter._thread
+        assert thread is None or not thread.is_alive()
+
 
 class TestFormatTop:
     def test_headline_counters_with_label_detail(self, registry):

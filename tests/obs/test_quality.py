@@ -1,0 +1,222 @@
+"""Quality telemetry: rank math, shadow scoring, facade recording."""
+
+import json
+
+import pytest
+
+from repro.obs import OBS_DISABLED, Observability
+from repro.obs.analysis import TraceReadStats, analyze_traces, read_traces
+from repro.obs.tracing import InMemorySink
+from repro.obs.quality import (
+    RECALL_KS,
+    ShadowScorer,
+    rank_of_target,
+    recall_at,
+    reciprocal_rank,
+    results_agree,
+)
+
+RESULTS = [(7, 0.1), (3, 0.2), (9, 0.5)]
+
+
+class TestRankHelpers:
+    def test_rank_of_target_positions(self):
+        assert rank_of_target(RESULTS, 7) == 1
+        assert rank_of_target(RESULTS, 3) == 2
+        assert rank_of_target(RESULTS, 9) == 3
+
+    def test_rank_of_target_miss_is_none(self):
+        assert rank_of_target(RESULTS, 42) is None
+        assert rank_of_target([], 7) is None
+
+    def test_recall_at(self):
+        assert recall_at(1, 1) == 1.0
+        assert recall_at(2, 1) == 0.0
+        assert recall_at(10, 10) == 1.0
+        assert recall_at(None, 10) == 0.0
+
+    def test_recall_at_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            recall_at(1, 0)
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(1) == 1.0
+        assert reciprocal_rank(4) == 0.25
+        assert reciprocal_rank(None) == 0.0
+        with pytest.raises(ValueError):
+            reciprocal_rank(0)
+
+    def test_recall_ks_grid(self):
+        assert RECALL_KS == (1, 5, 10)
+
+
+class TestResultsAgree:
+    def test_identical_lists_agree(self):
+        assert results_agree(RESULTS, [tuple(r) for r in RESULTS])
+
+    def test_id_swap_disagrees(self):
+        swapped = [RESULTS[1], RESULTS[0], RESULTS[2]]
+        assert not results_agree(RESULTS, swapped)
+
+    def test_length_mismatch_disagrees(self):
+        assert not results_agree(RESULTS, RESULTS[:2])
+
+    def test_distance_within_atol_agrees(self):
+        nudged = [(i, d + 1e-12) for i, d in RESULTS]
+        assert results_agree(RESULTS, nudged)
+        shifted = [(i, d + 1e-3) for i, d in RESULTS]
+        assert not results_agree(RESULTS, shifted)
+        assert results_agree(RESULTS, shifted, atol=0.01)
+
+
+class TestShadowScorer:
+    def test_fraction_one_checks_everything(self):
+        shadow = ShadowScorer(lambda k, q, p: RESULTS, fraction=1.0)
+        verdicts = [shadow.maybe_check("knn", None, 3, RESULTS)
+                    for _ in range(5)]
+        assert verdicts == [True] * 5
+        assert shadow.checked == 5
+        assert shadow.agreement == 1.0
+
+    def test_sampling_is_deterministic_one_in_n(self):
+        shadow = ShadowScorer(lambda k, q, p: RESULTS, fraction=0.25)
+        verdicts = [shadow.maybe_check("knn", None, 3, RESULTS)
+                    for _ in range(8)]
+        assert verdicts == [True, None, None, None, True, None, None, None]
+        assert shadow.checked == 2
+
+    def test_disagreement_counts_and_gauge(self):
+        obs = Observability()
+        shadow = ShadowScorer(lambda k, q, p: RESULTS, fraction=1.0,
+                              obs=obs)
+        assert shadow.maybe_check("knn", None, 3, RESULTS) is True
+        assert shadow.maybe_check("knn", None, 3, RESULTS[:2]) is False
+        assert shadow.disagreed == 1
+        assert shadow.agreement == 0.5
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["quality.shadow.checked_total"] == 2
+        assert snap["counters"]["quality.shadow.disagreed_total"] == 1
+        assert snap["gauges"]["quality.shadow.agreement"] == 0.5
+
+    def test_snapshot_shape(self):
+        shadow = ShadowScorer(lambda k, q, p: RESULTS, fraction=0.5)
+        shadow.maybe_check("knn", None, 3, RESULTS)
+        snap = shadow.snapshot()
+        assert snap == {"fraction": 0.5, "offered": 1, "checked": 1,
+                        "disagreed": 0, "agreement": 1.0}
+
+    def test_agreement_none_before_first_check(self):
+        shadow = ShadowScorer(lambda k, q, p: RESULTS, fraction=1.0)
+        assert shadow.agreement is None
+        assert shadow.snapshot()["agreement"] is None
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_bad_fraction_rejected(self, fraction):
+        with pytest.raises(ValueError):
+            ShadowScorer(lambda k, q, p: RESULTS, fraction=fraction)
+
+
+class TestRecordQualityQuery:
+    def test_metrics_and_instant_span(self):
+        sink = InMemorySink()
+        obs = Observability(trace_sink=sink)
+        obs.record_quality_query("jitter", 0.5, rank=3, db_size=100,
+                                 duration_s=0.01, contour_rank=7)
+        snap = obs.metrics.snapshot()
+        c = snap["counters"]
+        assert c["quality.queries_total{scenario=jitter,severity=0.5}"] == 1
+        assert c["quality.reciprocal_rank_total"
+                 "{scenario=jitter,severity=0.5}"] == pytest.approx(1 / 3)
+        assert c["quality.recall_hits_total"
+                 "{k=5,scenario=jitter,severity=0.5}"] == 1
+        assert c["quality.recall_hits_total"
+                 "{k=10,scenario=jitter,severity=0.5}"] == 1
+        assert ("quality.recall_hits_total"
+                "{k=1,scenario=jitter,severity=0.5}") not in c
+
+        spans = [s for s in sink.spans if s.name == "quality:query"]
+        assert len(spans) == 1
+        attrs = spans[0].attrs
+        assert attrs["scenario"] == "jitter"
+        assert attrs["severity"] == 0.5
+        assert attrs["rank"] == 3
+        assert attrs["db"] == 100
+        assert attrs["contour_rank"] == 7
+
+    def test_miss_rank_contributes_zero_hits(self):
+        obs = Observability()
+        obs.record_quality_query("tempo", 1.0, rank=99, db_size=99)
+        snap = obs.metrics.snapshot()
+        hits = [name for name in snap["counters"]
+                if name.startswith("quality.recall_hits_total")]
+        assert hits == []
+
+    def test_disabled_facade_is_a_noop(self):
+        OBS_DISABLED.record_quality_query("jitter", 0.5, rank=1, db_size=10)
+        OBS_DISABLED.record_shadow_check(True)
+
+
+def _quality_span(span_id, scenario, severity, rank, db=50, **extra):
+    attrs = {"scenario": scenario, "severity": severity,
+             "rank": rank, "db": db, **extra}
+    return {"name": "quality:query", "trace_id": span_id,
+            "span_id": span_id, "parent_id": None,
+            "start_s": float(span_id), "duration_s": 0.0, "attrs": attrs}
+
+
+class TestScenarioMatrixFromTraces:
+    def _analyze(self, tmp_path, spans):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("".join(json.dumps(s) + "\n" for s in spans))
+        read = TraceReadStats()
+        return analyze_traces(read_traces(path, read), read), read
+
+    def test_aggregate_cells_and_recall(self, tmp_path):
+        spans = [
+            _quality_span(1, "jitter", 0.5, rank=1, duration_s=0.010),
+            _quality_span(2, "jitter", 0.5, rank=8, duration_s=0.020),
+            _quality_span(3, "jitter", 1.0, rank=30, contour_rank=45),
+        ]
+        report, stats = self._analyze(tmp_path, spans)
+        assert stats.spans == 3
+        quality = report.quality
+        assert quality is not None
+        assert quality.queries == 3
+        rows = quality.rows()
+        assert [(c.scenario, c.severity) for c in rows] == [
+            ("jitter", 0.5), ("jitter", 1.0)]
+        half = rows[0]
+        assert half.recall(1) == 0.5
+        assert half.recall(10) == 1.0
+        assert half.mrr == pytest.approx((1.0 + 1 / 8) / 2)
+        full = rows[1]
+        assert full.recall(10) == 0.0
+        assert full.contour_recall(10) == 0.0
+
+    def test_format_scenario_matrix_renders_cells(self, tmp_path):
+        spans = [
+            _quality_span(1, "tempo", 0.25, rank=1, contour_rank=2),
+            _quality_span(2, "jitter", 1.0, rank=3),
+        ]
+        report, _ = self._analyze(tmp_path, spans)
+        text = report.format_scenario_matrix()
+        assert "2 queries, 2 scenarios" in text
+        assert "tempo" in text and "jitter" in text
+        assert "contour r@10" in text
+
+    def test_format_scenario_matrix_without_quality_spans(self, tmp_path):
+        span = {"name": "query", "trace_id": 1, "span_id": 1,
+                "parent_id": None, "start_s": 0.0, "duration_s": 0.1,
+                "attrs": {}}
+        report, _ = self._analyze(tmp_path, [span])
+        text = report.format_scenario_matrix()
+        assert "no quality:query spans" in text
+
+    def test_quality_in_report_to_dict(self, tmp_path):
+        spans = [_quality_span(1, "note_drop", 0.5, rank=2)]
+        report, _ = self._analyze(tmp_path, spans)
+        doc = report.to_dict()
+        assert doc["quality"]["queries"] == 1
+        [cell] = doc["quality"]["scenarios"]
+        assert cell["scenario"] == "note_drop"
+        assert cell["recall_at_5"] == 1.0

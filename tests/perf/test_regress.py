@@ -119,3 +119,67 @@ def test_config_validation():
         GateConfig(candidate_runs=0)
     with pytest.raises(ValueError):
         GateConfig(inject_slowdown=0)
+
+
+class TestQualityFloors:
+    """Higher-is-better metrics gate as floors, not ceilings."""
+
+    def test_metric_direction_by_name(self):
+        from repro.perf import metric_higher_is_better
+
+        assert metric_higher_is_better("recall_at_10")
+        assert metric_higher_is_better("transposition@0.25.recall_at_10")
+        assert metric_higher_is_better("quality.shadow.agreement")
+        assert metric_higher_is_better("mrr")
+        assert not metric_higher_is_better("cascade_p50")
+        assert not metric_higher_is_better("service_wall")
+
+    def test_recall_drop_beyond_tolerance_fails(self):
+        runs = [entry(bench="quality", metric="jitter@1.recall_at_10", ms=m)
+                for m in (1.0, 1.0, 0.6)]
+        report = check_history(runs)
+        assert not report.ok
+        (finding,) = report.findings
+        assert finding.status == "regression"
+        assert finding.ratio == pytest.approx(0.6)
+        assert "below a quality floor" in report.summary()
+
+    def test_recall_improvement_passes(self):
+        runs = [entry(bench="quality", metric="jitter@1.recall_at_10", ms=m)
+                for m in (0.6, 0.6, 1.0)]
+        assert check_history(runs).ok
+
+    def test_min_effect_floor_suppresses_tiny_drops(self):
+        # 50% relative drop, but only 0.01 absolute: noise on a tiny
+        # per-cell sample, below the default 0.02 floor.
+        runs = [entry(bench="quality", metric="tempo@0.5.mrr", ms=m)
+                for m in (0.02, 0.01)]
+        assert check_history(runs).ok
+        report = check_history(runs, GateConfig(min_effect_floor=0.005))
+        assert not report.ok
+
+    def test_latency_direction_unchanged_for_quality_bench(self):
+        # The same bench's timing metrics still gate as ceilings.
+        runs = [entry(bench="quality", metric="jitter@1.p50_ms", ms=m)
+                for m in (10.0, 14.0)]
+        assert not check_history(runs).ok
+
+    def test_inject_slowdown_divides_floor_metrics(self):
+        runs = [entry(bench="quality", metric="jitter@1.recall_at_10",
+                      ms=1.0)]
+        report = check_history(runs, GateConfig(inject_slowdown=1.5))
+        assert not report.ok
+        (finding,) = report.findings
+        assert finding.candidate_ms == pytest.approx(1.0 / 1.5)
+        assert finding.baseline_ms == pytest.approx(1.0)
+
+    def test_inject_slowdown_at_exact_tolerance_does_not_fire(self):
+        # 1/1.25 == baseline * (1 - 0.20) exactly; the comparison is
+        # strict, so the self-test must inject more than 1.25.
+        runs = [entry(bench="quality", metric="jitter@1.recall_at_10",
+                      ms=1.0)]
+        assert check_history(runs, GateConfig(inject_slowdown=1.25)).ok
+
+    def test_config_rejects_negative_floor(self):
+        with pytest.raises(ValueError):
+            GateConfig(min_effect_floor=-0.01)

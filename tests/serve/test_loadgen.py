@@ -1,0 +1,41 @@
+"""Load-generator workload builders: Zipf and scenario-tagged specs."""
+
+import pytest
+
+from repro.serve.loadgen import RequestSpec, scenario_workload, zipf_workload
+
+
+class TestScenarioWorkload:
+    CELLS = [
+        (0, "jitter", 0.5, 7),
+        (1, "tempo", 1.0, 3),
+    ]
+
+    def test_specs_carry_their_cell(self):
+        specs = scenario_workload(self.CELLS, knn_k=10)
+        assert [s.query_index for s in specs] == [0, 1]
+        assert specs[0] == RequestSpec(kind="knn", param=10, query_index=0,
+                                       scenario="jitter", severity=0.5,
+                                       target=7)
+        assert specs[1].scenario == "tempo"
+        assert specs[1].target == 3
+
+    def test_repeat_duplicates_identical_specs(self):
+        specs = scenario_workload(self.CELLS, repeat=3)
+        assert len(specs) == 6
+        assert specs[0] == specs[1] == specs[2]    # cache/coalesce fodder
+        assert len(set(specs)) == 2                # still hashable + dedupable
+
+    def test_range_kind_uses_epsilon(self):
+        (spec, _) = scenario_workload(self.CELLS, kind="range", epsilon=2.5)
+        assert spec.kind == "range"
+        assert spec.param == 2.5
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ValueError):
+            scenario_workload(self.CELLS, repeat=0)
+
+    def test_zipf_specs_leave_scenario_fields_unset(self):
+        specs = zipf_workload(4, 2, seed=1)
+        assert all(s.scenario is None and s.severity is None
+                   and s.target is None for s in specs)

@@ -240,3 +240,72 @@ class TestFromIndex:
             service.close()
         counters = obs.metrics.snapshot()["counters"]
         assert counters["serve.requests_total{kind=knn,status=ok}"] == 1
+
+
+class TestShadowScoring:
+    def test_shadow_fraction_one_checks_every_ok_request(self, corpus,
+                                                         engine):
+        obs = Observability()
+        service = make_service(engine, cache_size=32, obs=obs,
+                               shadow_fraction=1.0)
+        try:
+            for i in range(3):
+                assert service.knn(corpus[i] + 0.1, 3).ok
+            assert service.knn(corpus[0] + 0.1, 3).ok   # cache hit
+        finally:
+            service.close()
+        shadow = service.saturation()["shadow"]
+        assert shadow["offered"] == 4
+        assert shadow["checked"] == 4
+        assert shadow["disagreed"] == 0
+        assert shadow["agreement"] == 1.0
+        gauges = obs.metrics.snapshot()["gauges"]
+        assert gauges["quality.shadow.agreement"] == 1.0
+
+    def test_cached_answers_are_shadowed_too(self, corpus, engine):
+        # The cache is exactly the path an exact re-check must cover:
+        # a stale or mis-keyed hit is invisible to latency telemetry.
+        service = make_service(engine, cache_size=32, shadow_fraction=1.0)
+        try:
+            query = corpus[5] + 0.1
+            assert service.knn(query, 3).ok
+            hit = service.knn(query, 3)
+            assert hit.ok and hit.from_cache
+        finally:
+            service.close()
+        assert service.shadow.checked == 2
+        assert service.shadow.disagreed == 0
+
+    def test_range_requests_shadow_against_exact(self, corpus, engine):
+        service = make_service(engine, shadow_fraction=1.0)
+        try:
+            assert service.range_search(corpus[2] + 0.1, 5.0).ok
+        finally:
+            service.close()
+        assert service.shadow.checked == 1
+        assert service.shadow.disagreed == 0
+
+    def test_shadow_disabled_by_default(self, engine):
+        service = make_service(engine)
+        try:
+            assert service.shadow is None
+            assert "shadow" not in service.saturation()
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.5])
+    def test_bad_shadow_fraction_rejected(self, engine, fraction):
+        with pytest.raises(ValueError):
+            make_service(engine, shadow_fraction=fraction)
+
+    def test_shadow_failure_never_fails_serving(self, corpus, engine):
+        service = make_service(engine, shadow_fraction=1.0)
+        try:
+            def boom(kind, query, param):
+                raise RuntimeError("exact path exploded")
+
+            service.shadow._exact_fn = boom
+            outcome = service.knn(corpus[1] + 0.1, 3)
+            assert outcome.ok                  # telemetry, not serving
+        finally:
+            service.close()

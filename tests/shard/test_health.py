@@ -131,6 +131,29 @@ class TestHealthGauges:
             assert gauges[
                 f"shard.health.ping_rtt_seconds{{shard={shard}}}"] > 0
 
+    def test_respawn_overwrites_stale_gauges(self, reference, query):
+        """A respawned worker's gauges replace its predecessor's — the
+        old epoch must not linger as a parallel labelled row."""
+        obs = Observability()
+        with ShardRouter.from_engine(reference, shards=2,
+                                     obs=obs) as router:
+            router.ping(timeout_s=5.0)           # epoch-0 gauges exist
+            router._shards[1].conn.send(("crash", True))
+            router._shards[1].process.join(timeout=10.0)
+            router.knn(query, 3)                 # query path respawns
+            router.ping(timeout_s=5.0)
+        gauges = obs.metrics.snapshot()["gauges"]
+        epoch_rows = sorted(name for name in gauges
+                            if name.startswith("shard.health.epoch"))
+        # One row per shard — the label is the shard id, never the
+        # epoch, so the dead worker cannot leave a stale series.
+        assert epoch_rows == ["shard.health.epoch{shard=0}",
+                              "shard.health.epoch{shard=1}"]
+        assert gauges["shard.health.epoch{shard=0}"] == 0
+        assert gauges["shard.health.epoch{shard=1}"] == 1
+        assert gauges["shard.health.alive{shard=1}"] == 1
+        assert gauges["shard.health.respawns{shard=1}"] == 1
+
 
 class TestMonitor:
     def test_heartbeat_beats_and_keeps_the_latest(self, reference):
@@ -191,6 +214,30 @@ class TestServiceHealth:
         rows = snapshot["shards"]
         assert {row["shard"] for row in rows} == {0, 1}
         assert all(row["alive"] for row in rows)
+
+    def test_respawned_worker_does_not_leave_stale_row(self, reference,
+                                                       query):
+        """saturation()['shards'] after a crash → respawn holds exactly
+        one row per shard, at the new epoch — no old-epoch leftovers."""
+        service = QBHService.from_engine(reference, shards=2,
+                                         linger_ms=0.0, cache_size=0)
+        try:
+            assert service.knn(query, 3).ok
+            router = service._owned_shards
+            router._shards[1].conn.send(("crash", True))
+            router._shards[1].process.join(timeout=10.0)
+            assert service.knn(query, 3).ok      # respawns shard 1
+            router.ping(timeout_s=5.0)
+            rows = service.saturation()["shards"]
+        finally:
+            service.close()
+        assert sorted(row["shard"] for row in rows) == [0, 1]
+        by_shard = {row["shard"]: row for row in rows}
+        assert by_shard[0]["epoch"] == 0
+        assert by_shard[0]["respawns"] == 0
+        assert by_shard[1]["epoch"] == 1
+        assert by_shard[1]["respawns"] == 1
+        assert by_shard[1]["alive"]
 
     def test_unsharded_service_has_no_shards_section(self, reference,
                                                      query):

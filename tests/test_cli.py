@@ -343,7 +343,20 @@ class TestTelemetryCommands:
         trace_file = tmp_path / "empty.jsonl"
         trace_file.write_text("garbage {\n")
         assert main(["obs", "report", "--trace", str(trace_file)]) == 1
-        assert "no complete traces" in capsys.readouterr().err
+        captured = capsys.readouterr()
+        assert "no valid spans" in captured.err
+        assert "1 bad" in captured.err
+        # Hard error, not a bare all-zero table on stdout.
+        assert "latency" not in captured.out
+
+    def test_obs_report_fails_on_empty_file(self, tmp_path, capsys):
+        trace_file = tmp_path / "empty.jsonl"
+        trace_file.write_text("")
+        assert main(["obs", "report", "--trace", str(trace_file)]) == 1
+        captured = capsys.readouterr()
+        assert "no valid spans" in captured.err
+        assert "0 line(s) read" in captured.err
+        assert captured.out == ""
 
     def test_trace_append_accumulates_across_runs(self, pipeline, tmp_path):
         import json
@@ -427,6 +440,88 @@ class TestTelemetryCommands:
         missing = str(tmp_path / "none.jsonl")
         assert main(["perf", "check", "--history", missing]) == 2
         assert "no readable history entries" in capsys.readouterr().err
+
+    def test_perf_check_recall_floor_gate(self, tmp_path, capsys):
+        import json
+
+        bench_file = str(tmp_path / "BENCH_q.json")
+        history_file = str(tmp_path / "history.jsonl")
+        with open(bench_file, "w") as handle:
+            json.dump({"workload": {"db": 10},
+                       "timings_ms": {"jitter@1.recall_at_10": 1.0}},
+                      handle)
+        assert main(["perf", "record", "--bench", "quality",
+                     "--json", bench_file, "--history", history_file]) == 0
+        assert main(["perf", "check", "--history", history_file]) == 0
+        capsys.readouterr()
+        # Injected degradation *divides* the floor metric and fails.
+        assert main(["perf", "check", "--history", history_file,
+                     "--inject-slowdown", "1.5"]) == 1
+        assert "below a quality floor" in capsys.readouterr().out
+
+        # A second run whose recall dropped fails the real gate...
+        with open(bench_file, "w") as handle:
+            json.dump({"workload": {"db": 10},
+                       "timings_ms": {"jitter@1.recall_at_10": 0.6}},
+                      handle)
+        assert main(["perf", "record", "--bench", "quality",
+                     "--json", bench_file, "--history", history_file]) == 0
+        assert main(["perf", "check", "--history", history_file]) == 1
+        capsys.readouterr()
+        # ...unless --min-effect-floor absorbs the whole drop.
+        assert main(["perf", "check", "--history", history_file,
+                     "--min-effect-floor", "0.5"]) == 0
+
+
+class TestQualityCommand:
+    """``repro quality`` and ``repro obs report --scenarios``."""
+
+    def test_matrix_runs_and_exports(self, tmp_path, capsys):
+        import json
+
+        trace_file = str(tmp_path / "q" / "trace.jsonl")
+        metrics_file = str(tmp_path / "q" / "metrics.json")
+        json_file = str(tmp_path / "q" / "matrix.json")
+        assert main(["quality", "--songs", "4", "--per-song", "2",
+                     "--queries", "1",
+                     "--scenario", "transposition", "jitter",
+                     "--severity", "0.25", "1.0", "--seed", "5",
+                     "--trace-out", trace_file,
+                     "--metrics-out", metrics_file,
+                     "--json-out", json_file]) == 0
+        captured = capsys.readouterr()
+        assert "scenario matrix: 4 queries" in captured.out
+        assert "contour r@10" in captured.out
+
+        with open(json_file) as handle:
+            doc = json.load(handle)
+        assert doc["db_size"] == 8
+        assert len(doc["scenarios"]) == 4
+        with open(metrics_file) as handle:
+            counters = json.load(handle)["counters"]
+        assert counters["quality.queries_total"
+                        "{scenario=jitter,severity=1}"] == 1
+
+        # The exported spans replay into the same matrix offline.
+        capsys.readouterr()
+        assert main(["obs", "report", "--trace", trace_file,
+                     "--scenarios"]) == 0
+        table = capsys.readouterr().out
+        assert "scenario matrix: 4 queries, 2 scenarios" in table
+        assert "jitter" in table and "transposition" in table
+
+    def test_scenarios_report_without_quality_spans(self, tmp_path,
+                                                    capsys):
+        import json
+
+        span = {"name": "query", "trace_id": 1, "span_id": 1,
+                "parent_id": None, "start_s": 0.0, "duration_s": 0.1,
+                "attrs": {}}
+        trace_file = tmp_path / "trace.jsonl"
+        trace_file.write_text(json.dumps(span) + "\n")
+        assert main(["obs", "report", "--trace", str(trace_file),
+                     "--scenarios"]) == 0
+        assert "no quality:query spans" in capsys.readouterr().out
 
 
 class TestShardedTelemetryCommands:

@@ -12,7 +12,9 @@ MODULES = [
     "repro.index",
     "repro.music",
     "repro.hum",
+    "repro.hum.degrade",
     "repro.qbh",
+    "repro.qbh.quality",
     "repro.datasets",
     "repro.experiments",
     "repro.persistence",
@@ -25,6 +27,7 @@ MODULES = [
     "repro.obs.metrics",
     "repro.obs.observability",
     "repro.obs.analysis",
+    "repro.obs.quality",
     "repro.perf",
     "repro.perf.history",
     "repro.perf.regress",

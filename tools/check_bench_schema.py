@@ -111,6 +111,10 @@ def check_snapshot(path: str, errors: list[str]) -> None:
     ingested into the history: it must be a JSON object whose
     ``timings_ms`` is a non-empty map of non-negative numbers and
     whose ``workload`` (the comparability context) is a JSON object.
+    Optional sections get their own contracts: ``scenarios`` (the
+    quality benchmark's per-cell rows — recall/MRR fractions in
+    [0, 1], non-negative latencies) and ``scaling`` (the shard
+    benchmark's per-shard-count throughput points).
     """
     try:
         with open(path) as handle:
@@ -132,6 +136,52 @@ def check_snapshot(path: str, errors: list[str]) -> None:
                 )
     if not isinstance(snapshot.get("workload"), dict):
         errors.append(f"{path}: workload must be a JSON object")
+    if "scenarios" in snapshot:
+        # The quality benchmark's extra section: one row per
+        # (scenario, severity) cell of the degradation matrix.
+        scenarios = snapshot["scenarios"]
+        if not isinstance(scenarios, list) or not scenarios:
+            errors.append(f"{path}: scenarios must be a non-empty list")
+        else:
+            for i, cell in enumerate(scenarios):
+                if not isinstance(cell, dict):
+                    errors.append(f"{path}: scenarios[{i}] is not an object")
+                    continue
+                scenario = cell.get("scenario")
+                if not isinstance(scenario, str) or not scenario:
+                    errors.append(
+                        f"{path}: scenarios[{i}].scenario must be a "
+                        f"non-empty string, got {scenario!r}"
+                    )
+                severity = cell.get("severity")
+                if (not isinstance(severity, (int, float))
+                        or not 0.0 <= severity <= 1.0):
+                    errors.append(
+                        f"{path}: scenarios[{i}].severity has bad "
+                        f"value {severity!r}"
+                    )
+                queries = cell.get("queries")
+                if not isinstance(queries, int) or queries < 1:
+                    errors.append(
+                        f"{path}: scenarios[{i}].queries has bad "
+                        f"value {queries!r}"
+                    )
+                for key, value in cell.items():
+                    if (key.startswith("recall_at_")
+                            or key.startswith("contour_recall_at_")
+                            or key == "mrr"):
+                        if (not isinstance(value, (int, float))
+                                or not 0.0 <= value <= 1.0):
+                            errors.append(
+                                f"{path}: scenarios[{i}].{key} must be "
+                                f"a fraction in [0, 1], got {value!r}"
+                            )
+                    elif key.endswith("_ms") and value is not None:
+                        if not isinstance(value, (int, float)) or value < 0:
+                            errors.append(
+                                f"{path}: scenarios[{i}].{key} has bad "
+                                f"value {value!r}"
+                            )
     if "scaling" in snapshot:
         # The shard benchmark's extra section: one point per shard
         # count, each with the shard count and its measured throughput.

@@ -13,11 +13,13 @@ Trace JSONL — one span object per line with keys ``name`` /
 ``duration_s`` / ``attrs``; span ids unique; every non-null parent id
 resolves within the same trace; exactly one root per trace and its
 name is one of the known root kinds (``query``, ``serve:request``,
-``serve:batch``, ``shard:lifecycle``); every span is reachable from
-the root (no detached subtrees); durations non-negative; a root's
-stage spans carry the candidate-accounting attributes; spans grafted
-from a worker process (``attrs.remote`` truthy) carry ``shard`` and
-``worker_epoch``.
+``serve:batch``, ``shard:lifecycle``, ``quality:query``); every span
+is reachable from the root (no detached subtrees); durations
+non-negative; a root's stage spans carry the candidate-accounting
+attributes; spans grafted from a worker process (``attrs.remote``
+truthy) carry ``shard`` and ``worker_epoch``; ``quality:query``
+instant spans carry ``scenario`` / ``severity`` / ``rank`` / ``db``
+with severity in [0, 1] and rank in [1, db].
 
 With ``--expect-sharded`` the trace must additionally contain at least
 one ``shard:fanout`` span and at least one remote span — the CI proof
@@ -25,9 +27,9 @@ that a sharded run really produced one merged cross-process tree.
 
 Metrics JSON — a registry snapshot with ``timestamp_s`` /
 ``counters`` / ``gauges`` / ``histograms``; counter values numeric and
-non-negative; each histogram's bucket counts are cumulative,
-monotonically non-decreasing, and end at the +Inf bucket equal to
-``count``.
+non-negative; any ``quality.shadow.agreement`` gauge is a fraction in
+[0, 1]; each histogram's bucket counts are cumulative, monotonically
+non-decreasing, and end at the +Inf bucket equal to ``count``.
 
 Exit status 0 = all given artifacts valid, 1 = any violation (printed).
 """
@@ -46,7 +48,11 @@ STAGE_ATTRS = {"name", "candidates_in", "pruned", "survivors",
 #: the engine and the sharded router; the serve layer roots its own
 #: request/batch traces; shard lifecycle events export as instant
 #: single-span traces.
-ROOT_NAMES = {"query", "serve:request", "serve:batch", "shard:lifecycle"}
+ROOT_NAMES = {"query", "serve:request", "serve:batch", "shard:lifecycle",
+              "quality:query"}
+#: Attributes every quality:query instant span must carry — the
+#: event the scenario matrix is rebuilt from offline.
+QUALITY_ATTRS = {"scenario", "severity", "rank", "db"}
 #: Attributes every remote (worker-grafted) span must carry.
 REMOTE_ATTRS = {"shard", "worker_epoch"}
 SNAPSHOT_KEYS = {"timestamp_s", "counters", "gauges", "histograms"}
@@ -116,6 +122,26 @@ def check_trace(path: str, errors: list[str],
                         f"{path}: trace {trace_id} stage span "
                         f"{span['name']!r} missing attrs {sorted(missing)}"
                     )
+            if span["name"] == "quality:query":
+                missing = QUALITY_ATTRS - span["attrs"].keys()
+                if missing:
+                    errors.append(
+                        f"{path}: trace {trace_id} quality span "
+                        f"missing attrs {sorted(missing)}"
+                    )
+                else:
+                    attrs = span["attrs"]
+                    if not (0.0 <= attrs["severity"] <= 1.0):
+                        errors.append(
+                            f"{path}: trace {trace_id} quality span "
+                            f"severity {attrs['severity']!r} outside [0, 1]"
+                        )
+                    if not (1 <= attrs["rank"] <= attrs["db"]):
+                        errors.append(
+                            f"{path}: trace {trace_id} quality span rank "
+                            f"{attrs['rank']!r} outside [1, db="
+                            f"{attrs['db']!r}]"
+                        )
             if span["name"] == "shard:fanout":
                 fanout_spans += 1
             if span["attrs"].get("remote"):
@@ -179,6 +205,16 @@ def check_metrics(path: str, errors: list[str]) -> int:
     for name, value in snapshot["counters"].items():
         if not isinstance(value, (int, float)) or value < 0:
             errors.append(f"{path}: counter {name!r} has bad value {value!r}")
+    for name, value in snapshot["gauges"].items():
+        # Shadow agreement is a fraction by contract; any other value
+        # means the online re-check accounting went wrong.
+        if (name.startswith("quality.shadow.agreement")
+                and (not isinstance(value, (int, float))
+                     or not 0.0 <= value <= 1.0)):
+            errors.append(
+                f"{path}: gauge {name!r} must be a fraction in [0, 1], "
+                f"got {value!r}"
+            )
     for name, hist in snapshot["histograms"].items():
         buckets = hist.get("buckets")
         if not buckets or buckets[-1].get("le") != "+Inf":
