@@ -54,25 +54,114 @@ def _cmd_index(args) -> int:
     from .index.gemini import WarpingIndex
     from .persistence import load_corpus, save_index
 
+    if args.out is None and args.store_dir is None:
+        print("error: need --out and/or --store-dir", file=sys.stderr)
+        return 2
     melodies = load_corpus(args.corpus)
     series = [m.to_time_series(8) for m in melodies]
+    ids = [m.name or str(i) for i, m in enumerate(melodies)]
     length = args.normal_length
     if args.transform == "new_paa":
         env_t = NewPAAEnvelopeTransform(length, args.features)
     else:
         env_t = KeoghPAAEnvelopeTransform(length, args.features)
+    if args.store_dir is not None:
+        # The streaming bulk-load path: one pass, bounded staging
+        # buffers, columnar float32 generation on disk.
+        from .ingest import StreamingIndexBuilder
+
+        builder = StreamingIndexBuilder(
+            args.store_dir,
+            kind="melody",
+            delta=args.delta,
+            normal_form=NormalForm(length=length),
+            env_transform=env_t,
+            memory_budget_mb=args.memory_budget_mb,
+        )
+        store, report = builder.build(series, ids)
+        print(f"stored {report.rows} melodies -> {args.store_dir} "
+              f"(generation {report.generation}, "
+              f"{report.rows_per_s:.0f} rows/s, "
+              f"{report.flushes} flushes within "
+              f"{report.budget_bytes >> 20} MiB)")
+        if args.out is None:
+            return 0
     index = WarpingIndex(
         series,
         delta=args.delta,
         env_transform=env_t,
         normal_form=NormalForm(length=length),
         index_kind=args.backend,
-        ids=[m.name or str(i) for i, m in enumerate(melodies)],
+        ids=ids,
     )
     save_index(index, args.out)
     print(f"indexed {len(index)} melodies (delta={args.delta}, "
           f"{args.transform}, {args.backend}) -> {args.out}")
     return 0
+
+
+def _cmd_ingest(args) -> int:
+    """Init-or-append: stream a corpus into a columnar store.
+
+    With no existing generation the store is initialised from the
+    configuration flags; with one, the corpus is appended as an
+    incremental generation inheriting the live segments (the offline
+    twin of the background ingest worker).
+    """
+    from .ingest import StreamingIndexBuilder
+    from .persistence import load_corpus
+    from .store import CorpusStore, current_generation, prune_generations
+
+    melodies = load_corpus(args.corpus)
+    series = [m.to_time_series(8) for m in melodies]
+    ids = [m.name or str(i) for i, m in enumerate(melodies)]
+    if args.id_prefix:
+        ids = [f"{args.id_prefix}{item}" for item in ids]
+    base = None
+    if current_generation(args.store_dir) is not None:
+        base = CorpusStore.open(args.store_dir)
+        builder = StreamingIndexBuilder.for_store(
+            base, memory_budget_mb=args.memory_budget_mb
+        )
+    else:
+        from .core.normal_form import NormalForm
+
+        builder = StreamingIndexBuilder(
+            args.store_dir,
+            kind="melody",
+            delta=args.delta,
+            normal_form=NormalForm(length=args.normal_length),
+            n_features=args.features,
+            memory_budget_mb=args.memory_budget_mb,
+        )
+    store, report = builder.build(
+        series, ids, base=base, activate=not args.no_activate
+    )
+    verb = "appended" if base is not None else "initialised"
+    new_rows = report.rows - (base.rows if base is not None else 0)
+    print(f"{verb} {new_rows} melodies -> {args.store_dir} "
+          f"(generation {report.generation}, {report.rows} rows total, "
+          f"{report.rows_per_s:.0f} rows/s, feature margin "
+          f"{report.feature_margin:.3g})")
+    if args.keep is not None:
+        removed = prune_generations(args.store_dir, keep=args.keep)
+        if removed:
+            print(f"pruned generations: "
+                  f"{', '.join(str(g) for g in removed)}")
+    return 0
+
+
+def _open_index(args):
+    """Resolve --index (.npz) vs --store-dir (columnar store) inputs."""
+    if (args.index is None) == (getattr(args, "store_dir", None) is None):
+        raise SystemExit("error: need exactly one of --index / --store-dir")
+    if args.index is not None:
+        from .persistence import load_index
+
+        return load_index(args.index)
+    from .persistence import load_index_from_store
+
+    return load_index_from_store(args.store_dir)
 
 
 def _load_hum(path: str) -> np.ndarray:
@@ -106,8 +195,6 @@ def _emit_stats_json(payload: dict, dest: str, info) -> None:
 
 
 def _cmd_query(args) -> int:
-    from .persistence import load_index
-
     obs = None
     if (args.trace_out or args.metrics_out or args.workload_out
             or args.slow_query_ms is not None):
@@ -132,7 +219,7 @@ def _cmd_query(args) -> int:
     info = sys.stderr if stats_json is not None else sys.stdout
     router = None
     try:
-        index = load_index(args.index)
+        index = _open_index(args)
         if obs is not None:
             index.set_observability(obs)
         if args.dtw_backend:
@@ -236,7 +323,6 @@ def _cmd_query(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Serve hums concurrently through the micro-batching service."""
-    from .persistence import load_index
     from .serve import AdmissionPolicy, QBHService, RetryPolicy
     from .serve.loadgen import RequestSpec, run_load, service_dispatch
 
@@ -256,7 +342,7 @@ def _cmd_serve(args) -> int:
                 interval_s=args.metrics_interval_s,
             ).start()
     try:
-        index = load_index(args.index)
+        index = _open_index(args)
         if obs is not None:
             index.set_observability(obs)
         hums = [_load_hum(path) for path in args.hum]
@@ -865,7 +951,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_index = sub.add_parser("index", help="build and save a warping index")
     p_index.add_argument("--corpus", required=True)
-    p_index.add_argument("--out", required=True)
+    p_index.add_argument("--out",
+                         help=".npz index file (optional with --store-dir)")
+    p_index.add_argument("--store-dir", metavar="DIR",
+                         help="also (or instead) stream-build a columnar "
+                              "store generation at DIR — the bulk-load "
+                              "path with bounded staging memory")
+    p_index.add_argument("--memory-budget-mb", type=float, default=64.0,
+                         help="staging-buffer budget for --store-dir "
+                              "builds (default: 64)")
     p_index.add_argument("--delta", type=float, default=0.1)
     p_index.add_argument("--features", type=int, default=8)
     p_index.add_argument("--normal-length", type=int, default=128)
@@ -874,6 +968,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_index.add_argument("--backend", choices=("rstar", "grid", "linear"),
                          default="rstar")
     p_index.set_defaults(func=_cmd_index)
+
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="stream a corpus into a columnar store (init or append a "
+             "generation; the offline twin of the background ingest "
+             "worker)",
+    )
+    p_ingest.add_argument("--corpus", required=True,
+                          help="MIDI corpus directory (repro corpus)")
+    p_ingest.add_argument("--store-dir", required=True, metavar="DIR")
+    p_ingest.add_argument("--memory-budget-mb", type=float, default=64.0,
+                          help="staging-buffer budget (default: 64)")
+    p_ingest.add_argument("--delta", type=float, default=0.1,
+                          help="warping width for a fresh store "
+                               "(appends reuse the store's config)")
+    p_ingest.add_argument("--features", type=int, default=8)
+    p_ingest.add_argument("--normal-length", type=int, default=128)
+    p_ingest.add_argument("--id-prefix", default="", metavar="P",
+                          help="prefix melody ids with P (ids must be "
+                               "unique across the whole store)")
+    p_ingest.add_argument("--no-activate", action="store_true",
+                          help="seal the generation but leave CURRENT "
+                               "pointing at the previous one")
+    p_ingest.add_argument("--keep", type=int, metavar="N",
+                          help="after activating, prune to the newest N "
+                               "generations (default: keep all)")
+    p_ingest.set_defaults(func=_cmd_ingest)
 
     p_hum = sub.add_parser("hum", help="simulate humming a corpus melody")
     p_hum.add_argument("--corpus", required=True)
@@ -885,7 +1006,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_hum.set_defaults(func=_cmd_hum)
 
     p_query = sub.add_parser("query", help="query a saved index with a hum")
-    p_query.add_argument("--index", required=True)
+    p_query.add_argument("--index",
+                         help=".npz index file (or use --store-dir)")
+    p_query.add_argument("--store-dir", metavar="DIR",
+                         help="open the live generation of a columnar "
+                              "store instead of an .npz index")
     p_query.add_argument("--hum", required=True, nargs="+",
                          help=".npy pitch series or .mid melody; several "
                               "hums are served as one parallel batch")
@@ -932,7 +1057,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve hums concurrently with micro-batching, deadlines, "
              "and a result cache",
     )
-    p_serve.add_argument("--index", required=True)
+    p_serve.add_argument("--index",
+                         help=".npz index file (or use --store-dir)")
+    p_serve.add_argument("--store-dir", metavar="DIR",
+                         help="serve the live generation of a columnar "
+                              "store instead of an .npz index")
     p_serve.add_argument("--hum", required=True, nargs="+",
                          help=".npy pitch series or .mid melody; the "
                               "request mix cycles over all of them")

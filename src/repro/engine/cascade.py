@@ -589,7 +589,14 @@ class QueryEngine:
         if normal_form is not None:
             data = np.vstack([normal_form.apply(s) for s in corpus])
         else:
-            data = np.asarray(corpus, dtype=np.float64)
+            # A float32 corpus (the columnar store's memory-mapped
+            # columns) is kept as-is: every stage mixes it with float64
+            # query arrays, and float32 → float64 promotion is exact,
+            # so bounds and refinement are bitwise identical to an
+            # upcast copy at half the resident memory.
+            data = np.asarray(corpus)
+            if data.dtype != np.float32:
+                data = np.asarray(corpus, dtype=np.float64)
             if data.ndim != 2:
                 raise ValueError(
                     "corpus series must share one length "

@@ -136,11 +136,19 @@ class WarpingIndex:
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.shards = shards
-        #: Monotonic mutation counter: bumped by every ``insert`` /
-        #: ``remove``.  The serving layer's result cache keys entries by
-        #: this version, so any index mutation invalidates stale answers
-        #: without the cache having to subscribe to anything.
+        #: Monotonic mutation counter: bumped exactly once by every
+        #: public mutator (``insert`` / ``remove`` /
+        #: ``swap_generation``).  The serving layer's result cache keys
+        #: entries by this version, so any index mutation invalidates
+        #: stale answers without the cache having to subscribe to
+        #: anything.
         self.mutations = 0
+        #: Store-generation counter (0 for in-memory indexes; tracks
+        #: :attr:`store`'s generation for store-backed ones).
+        self.generation = 0
+        self._store = None
+        self._feature_margin = 0.0
+        self._lb_slack = 0.0
         self.normal_form = normal_form or NormalForm()
         if self.normal_form.length is None:
             raise ValueError("WarpingIndex requires a fixed normal-form length")
@@ -191,6 +199,169 @@ class WarpingIndex:
         else:
             self._index = LinearScan(features, ids, capacity=capacity)
         self.index_kind = index_kind
+        self._capacity = capacity
+
+    @classmethod
+    def from_store(cls, store, *, index_kind: str = "rstar",
+                   capacity: int | None = None,
+                   dtw_backend: str | None = None,
+                   workers: int | None = None,
+                   shards: int | None = None,
+                   obs: Observability | None = None) -> "WarpingIndex":
+        """Open a columnar-store generation as a live index.
+
+        The corpus stays in the store's memory-mapped float32 columns
+        (no float64 copy); the feature index is STR-bulk-loaded from
+        the stored feature column.  Because stored features are float32
+        quantizations of the exact float64 features, index-level range
+        searches are inflated by a slack derived from the manifest's
+        ``feature_margin`` — results stay exact (zero false negatives)
+        with respect to the stored corpus.  Refinement always runs in
+        float64 (the DTW kernels upcast).
+        """
+        from ..ingest.builder import transform_from_config
+
+        manifest = store.manifest
+        if manifest.kind != "melody":
+            raise ValueError(
+                f"store kind {manifest.kind!r} is not a melody store "
+                f"(use SubsequenceIndex.from_store)"
+            )
+        self = cls.__new__(cls)
+        self.obs = OBS_DISABLED if obs is None else obs
+        if index_kind not in _INDEX_KINDS:
+            raise ValueError(
+                f"index_kind must be one of {_INDEX_KINDS}, got {index_kind!r}"
+            )
+        backend = DEFAULT_BACKEND if dtw_backend is None else dtw_backend
+        get_kernel(backend)
+        self.dtw_backend = backend
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.mutations = 0
+        cfg = manifest.config
+        nf = cfg.get("normal_form", {})
+        self.normal_form = NormalForm(
+            length=nf.get("length", manifest.normal_length),
+            shift=nf.get("shift", True),
+            scale=nf.get("scale", False),
+        )
+        self.normal_length = manifest.normal_length
+        self.delta = float(cfg.get("delta", 0.1))
+        self.metric = manifest.metric
+        self.band = warping_width_to_k(self.delta, self.normal_length)
+        spec = cfg.get("env_transform")
+        self.env_transform = (
+            transform_from_config(spec, metric=self.metric) if spec
+            else NewPAAEnvelopeTransform(self.normal_length,
+                                         manifest.n_features,
+                                         metric=self.metric)
+        )
+        if self.env_transform.input_length != self.normal_length:
+            raise ValueError(
+                "store's envelope transform does not match its normal form"
+            )
+        self.index_kind = index_kind
+        self._capacity = (int(cfg.get("capacity", 50)) if capacity is None
+                          else capacity)
+        self._engines = {}
+        for name, value in self._store_state(store).items():
+            setattr(self, name, value)
+        return self
+
+    @property
+    def store(self):
+        """The backing :class:`~repro.store.CorpusStore` (or ``None``)."""
+        return self._store
+
+    @staticmethod
+    def _slack_for(margin: float, dim: int, metric: str) -> float:
+        """Range-search inflation covering float32 feature storage.
+
+        Each stored feature coordinate is within *margin* of the exact
+        float64 feature, so a rectangle distance computed from stored
+        features can exceed the true one by at most ``margin * sqrt(d)``
+        (Euclidean) / ``margin * d`` (Manhattan).
+        """
+        if margin <= 0.0:
+            return 0.0
+        return margin * (dim if metric == "manhattan" else math.sqrt(dim))
+
+    def _store_state(self, store) -> dict:
+        """Build every corpus-dependent object for a generation.
+
+        Pure construction — nothing on ``self`` is touched, so
+        :meth:`swap_generation` can assemble the new generation's state
+        while queries keep running against the old one.
+        """
+        manifest = store.manifest
+        if (manifest.kind != "melody"
+                or manifest.normal_length != self.normal_length
+                or manifest.n_features != self.env_transform.output_dim
+                or manifest.metric != self.metric):
+            raise ValueError(
+                f"generation {store.generation} is schema-incompatible "
+                f"with this index (kind={manifest.kind!r}, "
+                f"n={manifest.normal_length}, d={manifest.n_features}, "
+                f"metric={manifest.metric!r})"
+            )
+        ids = store.ids
+        id_to_row = {item_id: row for row, item_id in enumerate(ids)}
+        if len(id_to_row) != len(ids):
+            raise ValueError("store ids must be unique")
+        data = store.normalized
+        features = store.features
+        if self.index_kind == "rstar":
+            index = RStarTree.bulk_load(features, ids,
+                                        capacity=self._capacity)
+        elif self.index_kind == "grid":
+            index = GridFile(features, ids)
+        elif self.index_kind == "cluster":
+            index = ClusterIndex(features, ids)
+        else:
+            index = LinearScan(features, ids, capacity=self._capacity)
+        margin = store.feature_margin
+        return {
+            "ids": ids,
+            "_id_to_row": id_to_row,
+            "_data": data,
+            "_features": features,
+            "_index": index,
+            "_store": store,
+            "generation": store.generation,
+            "_feature_margin": margin,
+            "_lb_slack": self._slack_for(margin,
+                                         self.env_transform.output_dim,
+                                         self.metric),
+        }
+
+    def swap_generation(self, store) -> None:
+        """Atomically swap in a new store generation (zero downtime).
+
+        Everything corpus-dependent — arrays, id maps, the bulk-loaded
+        feature index — is built *first* from the new generation while
+        queries keep reading the old references; then the references
+        are rebound (plain attribute stores, atomic under the GIL) and
+        ``mutations`` is bumped **exactly once, last**, so versioned
+        result caches and the sharded tier's ``(mutations, epoch)``
+        key invalidate exactly once per swap.  In-flight queries that
+        captured the old arrays finish correctly against the old
+        generation.
+        """
+        if self._store is None:
+            raise ValueError(
+                "swap_generation requires a store-backed index "
+                "(build it with WarpingIndex.from_store)"
+            )
+        state = self._store_state(store)
+        state["_engines"] = {}
+        for name, value in state.items():
+            setattr(self, name, value)
+        self.mutations += 1
 
     def __len__(self) -> int:
         return self._data.shape[0]
@@ -200,8 +371,9 @@ class WarpingIndex:
         return self.env_transform.output_dim
 
     def normalized(self, item_id) -> np.ndarray:
-        """The stored normal form of a database series."""
-        return self._data[self._id_to_row[item_id]].copy()
+        """The stored normal form of a database series (float64 view)."""
+        return np.asarray(self._data[self._id_to_row[item_id]],
+                          dtype=np.float64)
 
     def insert(self, series, item_id) -> None:
         """Add one series to the index (dynamic maintenance).
@@ -212,7 +384,24 @@ class WarpingIndex:
         if item_id in self._id_to_row:
             raise ValueError(f"id {item_id!r} already present")
         normal = self.normal_form.apply(series)
-        features = self.env_transform.transform.transform(normal)
+        if self._data.dtype == np.float32:
+            # Store-backed corpus: quantize first, then feature-extract
+            # from the quantized row (same pipeline as the streaming
+            # builder) so the stored margin keeps covering every row.
+            normal = normal.astype(np.float32)
+            exact = self.env_transform.transform.transform(
+                np.asarray(normal, dtype=np.float64)
+            )
+            features = exact.astype(np.float32)
+            self._feature_margin = max(
+                self._feature_margin,
+                float(np.abs(exact - features).max()),
+            )
+            self._lb_slack = self._slack_for(
+                self._feature_margin, self.feature_dim, self.metric
+            )
+        else:
+            features = self.env_transform.transform.transform(normal)
         self._index.insert(features, item_id)
         self._id_to_row[item_id] = self._data.shape[0]
         self._data = np.vstack([self._data, normal])
@@ -264,7 +453,8 @@ class WarpingIndex:
         _, rect_lower, rect_upper, _ = self._query_rectangle(query)
         self._index.reset_stats()
         candidates = self._index.range_search(
-            rect_lower, rect_upper, epsilon, metric=self.metric
+            rect_lower, rect_upper, epsilon + self._lb_slack,
+            metric=self.metric
         )
         stats = QueryStats(
             candidates=len(candidates), page_accesses=self._index.page_accesses
@@ -292,7 +482,8 @@ class WarpingIndex:
         q, rect_lower, rect_upper, q_envelope = self._query_rectangle(query)
         self._index.reset_stats()
         candidates = self._index.range_search(
-            rect_lower, rect_upper, epsilon, metric=self.metric
+            rect_lower, rect_upper, epsilon + self._lb_slack,
+            metric=self.metric
         )
         stats = QueryStats(
             candidates=len(candidates), page_accesses=self._index.page_accesses
@@ -355,7 +546,9 @@ class WarpingIndex:
         for lower_bound, item_id in self._index.nearest(
             rect_lower, rect_upper, metric=self.metric
         ):
-            if len(best) == k and lower_bound > -best[0][0]:
+            # _lb_slack deflates bounds computed from float32-stored
+            # features so the Seidl-Kriegel cutoff stays sound.
+            if len(best) == k and lower_bound - self._lb_slack > -best[0][0]:
                 break
             stats.candidates += 1
             row = self._id_to_row[item_id]

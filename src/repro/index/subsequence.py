@@ -110,6 +110,7 @@ class SubsequenceIndex:
         backend = DEFAULT_BACKEND if dtw_backend is None else dtw_backend
         get_kernel(backend)  # validate the name now, not at query time
         self.dtw_backend = backend
+        self.store = None
         if stride < 1:
             raise ValueError(f"stride must be >= 1, got {stride}")
         if not window_lengths or any(w < 2 for w in window_lengths):
@@ -158,6 +159,7 @@ class SubsequenceIndex:
             )
         self._windows = windows
         self._normalized = np.vstack(normalized)
+        self._lb_slack = 0.0
         features = self.env_transform.transform.transform_batch(self._normalized)
         window_ids = list(range(len(windows)))
         if index_kind == "rstar":
@@ -170,11 +172,84 @@ class SubsequenceIndex:
         else:
             raise ValueError(f"unknown index kind {index_kind!r}")
 
+    @classmethod
+    def from_store(cls, store, *, capacity: int | None = None,
+                   dtw_backend: str | None = None,
+                   obs: Observability | None = None) -> "SubsequenceIndex":
+        """Open a columnar subsequence-store generation as a live index.
+
+        Window normal forms stay in the store's memory-mapped float32
+        columns; the window R*-tree is STR-bulk-loaded from the stored
+        float32 feature column, with range searches and k-NN cutoffs
+        slackened by the manifest's ``feature_margin`` so answers stay
+        exact (zero false negatives) for the stored corpus.  The raw
+        sequences are not retained — re-windowing requires the original
+        corpus — but every query path works from the columns alone.
+        """
+        from ..ingest.builder import transform_from_config
+
+        manifest = store.manifest
+        if manifest.kind != "subsequence":
+            raise ValueError(
+                f"store kind {manifest.kind!r} is not a subsequence store "
+                f"(use WarpingIndex.from_store)"
+            )
+        if manifest.metric != "euclidean":
+            raise ValueError(
+                "SubsequenceIndex only supports the euclidean metric"
+            )
+        self = cls.__new__(cls)
+        self.obs = OBS_DISABLED if obs is None else obs
+        backend = DEFAULT_BACKEND if dtw_backend is None else dtw_backend
+        get_kernel(backend)
+        self.dtw_backend = backend
+        cfg = manifest.config
+        nf = cfg.get("normal_form", {})
+        self.normal_form = NormalForm(
+            length=nf.get("length", manifest.normal_length),
+            shift=nf.get("shift", True),
+            scale=nf.get("scale", False),
+        )
+        self.normal_length = manifest.normal_length
+        self.delta = float(cfg.get("delta", 0.1))
+        self.band = warping_width_to_k(self.delta, self.normal_length)
+        spec = cfg.get("env_transform")
+        self.env_transform = (
+            transform_from_config(spec, metric=manifest.metric) if spec
+            else NewPAAEnvelopeTransform(self.normal_length,
+                                         manifest.n_features)
+        )
+        if self.env_transform.input_length != self.normal_length:
+            raise ValueError(
+                "store's envelope transform does not match its normal form"
+            )
+        self.ids = store.ids
+        self._sequences = None
+        meta = np.asarray(store.meta)
+        self._windows = [(int(row), int(start), int(length))
+                         for row, start, length in meta]
+        if self._windows and int(meta[:, 0].max()) >= len(self.ids):
+            raise ValueError("store meta references out-of-range ids")
+        self._normalized = store.normalized
+        margin = store.feature_margin
+        dim = self.env_transform.output_dim
+        self._lb_slack = margin * math.sqrt(dim) if margin > 0 else 0.0
+        window_ids = list(range(len(self._windows)))
+        self._index = RStarTree.bulk_load(
+            store.features, window_ids,
+            capacity=(int(cfg.get("capacity", 50)) if capacity is None
+                      else capacity),
+        )
+        self.store = store
+        return self
+
     @property
     def window_count(self) -> int:
         return len(self._windows)
 
     def __len__(self) -> int:
+        if self._sequences is None:
+            return len(self.ids)
         return len(self._sequences)
 
     def _match(self, window_row: int, distance: float) -> SubsequenceMatch:
@@ -213,7 +288,9 @@ class SubsequenceIndex:
         started = monotonic_s()
         q, rect_lower, rect_upper = self._query_rectangle(query)
         self._index.reset_stats()
-        candidates = self._index.range_search(rect_lower, rect_upper, epsilon)
+        candidates = self._index.range_search(
+            rect_lower, rect_upper, epsilon + self._lb_slack
+        )
         stats = QueryStats(
             candidates=len(candidates), page_accesses=self._index.page_accesses
         )
@@ -266,7 +343,9 @@ class SubsequenceIndex:
 
         for lower_bound, window_row in self._index.nearest(rect_lower, rect_upper):
             cutoff = kth()
-            if lower_bound > cutoff:
+            # _lb_slack deflates bounds computed from float32-stored
+            # features so the cutoff stays sound for store-backed indexes.
+            if lower_bound - self._lb_slack > cutoff:
                 break
             stats.candidates += 1
             dist = refine(

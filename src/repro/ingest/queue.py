@@ -1,0 +1,94 @@
+"""Thread-safe staging buffer for melodies awaiting the next rebuild.
+
+Producers (API handlers, CLI, tests) call :meth:`IngestQueue.add` while
+the index keeps serving; the background
+:class:`~repro.ingest.worker.IngestCoordinator` blocks in
+:meth:`wait_for_items` and drains the whole buffer per rebuild.  The
+queue never touches the index — it is pure staging, so adds are O(1)
+and never block behind a rebuild.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["IngestQueue"]
+
+
+class IngestQueue:
+    """Bounded staging buffer of ``(id, pitch series)`` pairs."""
+
+    def __init__(self, *, max_pending: int | None = None) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._max_pending = max_pending
+        self._items: list[tuple[Any, np.ndarray]] = []
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._accepted_total = 0
+
+    def add(self, item_id: Any, series) -> int:
+        """Stage one melody; returns the pending count.
+
+        Raises ``OverflowError`` when the buffer is full — admission
+        pressure the caller can surface as backoff.
+        """
+        arr = np.asarray(series, dtype=np.float64)
+        if arr.ndim != 1 or arr.size < 2:
+            raise ValueError(
+                f"series must be 1-D with >= 2 samples, got shape "
+                f"{arr.shape}"
+            )
+        with self._lock:
+            if (self._max_pending is not None
+                    and len(self._items) >= self._max_pending):
+                raise OverflowError(
+                    f"ingest queue full ({self._max_pending} pending)"
+                )
+            self._items.append((item_id, arr))
+            self._accepted_total += 1
+            pending = len(self._items)
+            self._ready.notify_all()
+        return pending
+
+    def extend(self, pairs: Iterable[tuple[Any, Any]]) -> int:
+        """Stage many ``(id, series)`` pairs; returns the pending count."""
+        pending = self.pending
+        for item_id, series in pairs:
+            pending = self.add(item_id, series)
+        return pending
+
+    def drain(self) -> list[tuple[Any, np.ndarray]]:
+        """Atomically take (and clear) everything staged so far."""
+        with self._lock:
+            items, self._items = self._items, []
+        return items
+
+    def wait_for_items(self, timeout_s: float | None = None) -> bool:
+        """Block until at least one item is staged (or timeout)."""
+        with self._lock:
+            if self._items:
+                return True
+            self._ready.wait(timeout=timeout_s)
+            return bool(self._items)
+
+    def wake(self) -> None:
+        """Wake any waiter without staging (used for shutdown)."""
+        with self._lock:
+            self._ready.notify_all()
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def accepted_total(self) -> int:
+        with self._lock:
+            return self._accepted_total
+
+    def __len__(self) -> int:
+        return self.pending

@@ -500,6 +500,28 @@ class Observability:
                 (total - disagreed.value) / total
             )
 
+    def record_ingest_rebuild(self, *, rows_added: int, rows_total: int,
+                              generation: int, pending: int,
+                              duration_s: float) -> None:
+        """Fold one completed ingest rebuild-and-swap into metrics.
+
+        Called by :class:`~repro.ingest.IngestCoordinator` after the
+        new store generation is live.  Publishes the generation and
+        corpus size as gauges so a scrape sees the swap without
+        reading counters, and the rebuild latency as a histogram.
+        """
+        m = self.metrics
+        m.counter("ingest.rebuilds_total").inc()
+        m.counter("ingest.rows_ingested_total").inc(rows_added)
+        m.histogram("ingest.rebuild_seconds").observe(duration_s)
+        m.gauge("ingest.generation").set(generation)
+        m.gauge("ingest.rows").set(rows_total)
+        m.gauge("ingest.pending").set(pending)
+
+    def record_ingest_failure(self) -> None:
+        """Count one dropped ingest batch (rebuild raised)."""
+        self.metrics.counter("ingest.failures_total").inc()
+
     def _check_slow(self, kind: str, stats) -> None:
         if (self.slow_query_s is None
                 or stats.total_time_s < self.slow_query_s):
@@ -567,6 +589,13 @@ class _DisabledObservability(Observability):
 
     def record_quality_query(self, scenario, severity, rank, db_size, *,
                              duration_s=None, contour_rank=None) -> None:
+        """Do nothing (observability is disabled)."""
+
+    def record_ingest_rebuild(self, *, rows_added, rows_total, generation,
+                              pending, duration_s) -> None:
+        """Do nothing (observability is disabled)."""
+
+    def record_ingest_failure(self) -> None:
         """Do nothing (observability is disabled)."""
 
     def record_shadow_check(self, agree) -> None:

@@ -35,6 +35,9 @@ __all__ = [
     "load_index",
     "save_subsequence_index",
     "load_subsequence_index",
+    "save_index_to_store",
+    "load_index_from_store",
+    "load_subsequence_index_from_store",
     "save_corpus",
     "load_corpus",
     "melodies_from_midi_directory",
@@ -151,6 +154,12 @@ def save_subsequence_index(
     """
     spec, matrix = _transform_spec(index.env_transform)
     sequences = index._sequences
+    if sequences is None:
+        raise ValueError(
+            "this index is store-backed (SubsequenceIndex.from_store) and "
+            "does not retain raw sequences; its columnar store directory "
+            "is already its persistent form"
+        )
     flat = np.concatenate(sequences) if sequences else np.zeros(0)
     offsets = np.cumsum([0] + [seq.size for seq in sequences])
     window_lengths = sorted({length for *_, length in index._windows})
@@ -214,6 +223,97 @@ def load_subsequence_index(path: str | os.PathLike) -> SubsequenceIndex:
         ),
         ids=config["ids"],
     )
+
+
+def save_index_to_store(
+    index: WarpingIndex,
+    root: str | os.PathLike,
+    *,
+    generation: int | None = None,
+    activate: bool = True,
+):
+    """Write a warping index's corpus as a columnar-store generation.
+
+    Unlike :class:`~repro.ingest.StreamingIndexBuilder` this does *not*
+    re-normalise anything: the index's already-normalised rows are
+    quantised to float32 and written as-is, with GEMINI features
+    recomputed in float64 *from the quantised rows* so the stored
+    ``feature_margin`` covers every row (the same soundness contract the
+    builder keeps).  The resulting generation round-trips through
+    :func:`load_index_from_store` / ``WarpingIndex.from_store``.
+
+    Returns the sealed :class:`~repro.store.CorpusStore`.
+    """
+    from .core.envelope import warping_width_to_k
+    from .ingest.builder import batch_envelope, transform_config
+    from .store import GenerationWriter, activate_generation, list_generations
+
+    if generation is None:
+        existing = list_generations(root)
+        generation = (existing[-1] + 1) if existing else 0
+    data32 = np.ascontiguousarray(index._data, dtype=np.float32)
+    n = data32.shape[1]
+    feats64 = index.env_transform.transform.transform_batch(
+        data32.astype(np.float64)
+    )
+    feats32 = feats64.astype(np.float32)
+    margin = float(np.abs(feats64 - feats32).max()) if data32.size else 0.0
+    band = warping_width_to_k(index.delta, n)
+    env_lower, env_upper = batch_envelope(data32, band)
+    meta = np.empty((data32.shape[0], 3), dtype=np.int64)
+    meta[:, 0] = np.arange(data32.shape[0])
+    meta[:, 1] = 0
+    meta[:, 2] = n
+    config = {
+        "delta": index.delta,
+        "normal_form": {
+            "length": index.normal_form.length,
+            "shift": index.normal_form.shift,
+            "scale": index.normal_form.scale,
+        },
+        "env_transform": transform_config(index.env_transform),
+        "capacity": index._capacity,
+    }
+    writer = GenerationWriter(
+        root, generation,
+        normal_length=n,
+        n_features=feats32.shape[1],
+        metric=index.metric,
+        kind="melody",
+        config=config,
+    )
+    writer.add_ids(index.ids)
+    writer.append(data32, feats32, env_lower, env_upper, meta)
+    store = writer.seal(feature_margin=margin)
+    if activate:
+        activate_generation(root, generation)
+    return store
+
+
+def load_index_from_store(
+    root: str | os.PathLike, *, generation: int | None = None, **kwargs
+) -> WarpingIndex:
+    """Open a store generation as a :class:`WarpingIndex`.
+
+    ``generation=None`` follows the store's ``CURRENT`` pointer;
+    keyword arguments pass through to ``WarpingIndex.from_store``
+    (``index_kind``, ``dtw_backend``, ``workers``, ``shards``, …).
+    """
+    from .store import CorpusStore
+
+    store = CorpusStore.open(root, generation=generation)
+    return WarpingIndex.from_store(store, **kwargs)
+
+
+def load_subsequence_index_from_store(
+    root: str | os.PathLike, *, generation: int | None = None, **kwargs
+) -> SubsequenceIndex:
+    """Open a subsequence-kind store generation as a
+    :class:`SubsequenceIndex` (kwargs pass through to ``from_store``)."""
+    from .store import CorpusStore
+
+    store = CorpusStore.open(root, generation=generation)
+    return SubsequenceIndex.from_store(store, **kwargs)
 
 
 def save_corpus(melodies: Sequence[Melody], directory: str | os.PathLike) -> None:

@@ -158,6 +158,9 @@ class QBHService:
         # A shard router/manager built *for* this service by a
         # classmethod constructor; closed with it (poison-pill drain).
         self._owned_shards = None
+        # An ingest coordinator attached via attach_ingest; closed with
+        # the service (drains staged melodies into one last rebuild).
+        self._ingest = None
         self.health_interval_s = health_interval_s
         self._health_monitor = None
         self.scheduler = MicroBatchScheduler(
@@ -348,6 +351,13 @@ class QBHService:
         after the scheduler stops feeding it.
         """
         self._closed = True
+        if self._ingest is not None:
+            # Stop ingest first: a rebuild racing shutdown would swap
+            # a generation into an index nothing serves any more.  The
+            # coordinator drains staged melodies into one last rebuild
+            # before the serving machinery comes down.
+            self._ingest.close(drain=drain)
+            self._ingest = None
         if self._health_monitor is not None:
             # Stop the heartbeat before the fleet: a ping racing the
             # poison-pill drain would only see a closed router.
@@ -358,6 +368,29 @@ class QBHService:
             self._pool.shutdown(wait=True)
         if self._owned_shards is not None:
             self._owned_shards.close()
+
+    @property
+    def shard_manager(self):
+        """The service-owned shard fleet, or ``None`` when unsharded.
+
+        An ingest coordinator passes this as its ``shard_manager`` so
+        each generation swap respawns the fleet exactly once.
+        """
+        return self._owned_shards
+
+    def attach_ingest(self, coordinator) -> None:
+        """Adopt an :class:`~repro.ingest.IngestCoordinator`.
+
+        The coordinator's lifecycle becomes the service's: it is
+        started here if it is not running yet, its snapshot appears
+        under ``"ingest"`` in :meth:`saturation`, and :meth:`close`
+        drains and stops it before the serving machinery comes down.
+        """
+        if self._ingest is not None:
+            raise RuntimeError("an ingest coordinator is already attached")
+        self._ingest = coordinator
+        if not coordinator.running:
+            coordinator.start()
 
     def __enter__(self) -> "QBHService":
         return self
@@ -455,36 +488,56 @@ class QBHService:
         # cross a process boundary; the router re-anchors it in every
         # worker and still polls it parent-side between replies).
         sharded = getattr(engine, "is_sharded", False)
+        from ..shard.router import RouterClosed
 
         def run_one(request: ServeRequest):
             deadline = request.group_deadline_s
-            should_abort = (
-                None if deadline is None or sharded
-                else (lambda: monotonic_s() > deadline)
-            )
             query = (request.query if self._normalize is None
                      else self._normalize(request.query))
-            kwargs = ({"deadline_s": deadline} if sharded
-                      else {"should_abort": should_abort})
-            try:
-                if kind == "range":
-                    results, _ = engine.range_search(query, param, **kwargs)
-                else:
-                    results, _ = engine.knn(query, param, **kwargs)
-            except QueryAborted:
-                return request.fingerprint, ServeOutcome(
-                    status="deadline_exceeded"
+            engine_now, version_now = engine, version
+            for retried in (False, True):
+                sharded_now = getattr(engine_now, "is_sharded", False)
+                should_abort = (
+                    None if deadline is None or sharded_now
+                    else (lambda: monotonic_s() > deadline)
                 )
-            except Exception as exc:
-                return request.fingerprint, ServeOutcome(
-                    status="error", error=f"{type(exc).__name__}: {exc}",
+                kwargs = ({"deadline_s": deadline} if sharded_now
+                          else {"should_abort": should_abort})
+                try:
+                    if kind == "range":
+                        results, _ = engine_now.range_search(
+                            query, param, **kwargs
+                        )
+                    else:
+                        results, _ = engine_now.knn(query, param, **kwargs)
+                except RouterClosed as exc:
+                    # A generation swap prewarmed a fresh fleet and
+                    # closed the router this batch had already fetched.
+                    # Benign race: refetch and retry exactly once.
+                    if retried:
+                        return request.fingerprint, ServeOutcome(
+                            status="error",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    engine_now = self._engine_fn()
+                    version_now = self._version_fn()
+                    continue
+                except QueryAborted:
+                    return request.fingerprint, ServeOutcome(
+                        status="deadline_exceeded"
+                    )
+                except Exception as exc:
+                    return request.fingerprint, ServeOutcome(
+                        status="error", error=f"{type(exc).__name__}: {exc}",
+                    )
+                results = tuple(
+                    (item, float(dist)) for item, dist in results
                 )
-            results = tuple((item, float(dist)) for item, dist in results)
-            if self.cache is not None:
-                self.cache.put(request.fingerprint, version, results)
-            return request.fingerprint, ServeOutcome(
-                status="ok", results=results
-            )
+                if self.cache is not None:
+                    self.cache.put(request.fingerprint, version_now, results)
+                return request.fingerprint, ServeOutcome(
+                    status="ok", results=results
+                )
 
         # A shard router serializes fan-outs on an internal lock (the
         # shard processes are the parallelism), so spreading a sharded
@@ -540,4 +593,6 @@ class QBHService:
                 row.to_dict()
                 for row in self._owned_shards.health_snapshot()
             ]
+        if self._ingest is not None:
+            snapshot["ingest"] = self._ingest.snapshot()
         return snapshot

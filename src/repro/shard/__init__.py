@@ -27,6 +27,7 @@ tier").
 from .health import ShardHealth, ShardHealthMonitor, read_rss_bytes
 from .router import (
     IndexShardManager,
+    RouterClosed,
     ShardError,
     ShardRouter,
     resolve_mp_context,
@@ -36,6 +37,7 @@ from .spec import EngineSpec
 __all__ = [
     "ShardRouter",
     "ShardError",
+    "RouterClosed",
     "IndexShardManager",
     "EngineSpec",
     "resolve_mp_context",

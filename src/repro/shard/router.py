@@ -102,6 +102,13 @@ class ShardError(RuntimeError):
     ``error`` outcome — never a silent partial answer."""
 
 
+class RouterClosed(ShardError):
+    """The router was drained and closed between being handed out and
+    being used — the benign race of a generation swap closing the old
+    fleet.  The serving layer retries exactly once against the
+    manager's fresh router instead of surfacing an error."""
+
+
 def resolve_mp_context(context=None):
     """A usable multiprocessing context.  Accepts a context object, a
     start-method name, or ``None`` for the default:
@@ -499,7 +506,7 @@ class ShardRouter:
     def _fanout_locked(self, kind, queries, param, should_abort,
                        deadline_s):
         if self._closed:
-            raise ShardError("router is closed")
+            raise RouterClosed("router is closed")
         started = monotonic_s()
         req_id = next(self._req_ids)
         collect = self.obs.enabled
@@ -863,6 +870,21 @@ class IndexShardManager:
         """Composite cache version: ``(index mutations, router epoch)``."""
         with self._lock:
             return (self._index.mutations, self.epoch)
+
+    def prewarm(self) -> ShardRouter:
+        """Rebuild the fleet now if the index mutated (ingest path).
+
+        The ingest coordinator calls this right after a generation
+        swap so the respawn cost is paid on the rebuild thread, not by
+        the first serving batch.  Safe to call concurrently with
+        serving: :meth:`router`'s lock serializes the rebuild, and
+        closing the old router blocks until its in-flight fan-out
+        drains.  A dispatcher that already held the old router gets
+        :class:`RouterClosed` and is retried once by the serve layer.
+        Exactly one epoch bump per mutation — a no-op when the fleet
+        is already current.
+        """
+        return self.router()
 
     def current_router(self) -> ShardRouter | None:
         """The live router **without** triggering a rebuild — what the

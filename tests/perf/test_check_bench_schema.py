@@ -1,0 +1,118 @@
+"""The bench-schema checker's ingest and sized-context contracts."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+import check_bench_schema as checker  # noqa: E402
+
+
+def _entry(bench, context):
+    return {
+        "schema": 1, "bench": bench, "timestamp_s": 1.0, "git_sha": "x",
+        "machine": {"fingerprint": "f"}, "timings_ms": {"wall": 1.0},
+        "context": context,
+    }
+
+
+def _write_history(path, entries):
+    path.write_text("".join(json.dumps(e) + "\n" for e in entries))
+    return str(path)
+
+
+GOOD_INGEST = {
+    "rows": 100, "rows_per_s": 50.0, "flushes": 2, "chunk_rows": 64,
+    "peak_buffer_bytes": 900, "budget_bytes": 1000, "feature_margin": 1e-6,
+    "swaps": 3, "parity_mismatches": 0, "false_negatives": 0,
+    "swap_rebuild_s": [0.1, 0.1, 0.1],
+}
+
+
+def _write_snapshot(path, **overrides):
+    snapshot = {"timings_ms": {"build_wall": 1.0}, "workload": {},
+                "ingest": {**GOOD_INGEST, **overrides}}
+    path.write_text(json.dumps(snapshot))
+    return str(path)
+
+
+def test_sized_benches_require_cpu_count_and_corpus_size(tmp_path):
+    good = {"cpu_count": 4, "corpus_size": 1000}
+    for bench in ("shard", "ingest"):
+        errors = []
+        checker.check_history(
+            _write_history(tmp_path / "h.jsonl", [_entry(bench, good)]),
+            errors,
+        )
+        assert errors == []
+        for missing in ("cpu_count", "corpus_size"):
+            bad = {k: v for k, v in good.items() if k != missing}
+            errors = []
+            checker.check_history(
+                _write_history(tmp_path / "h.jsonl", [_entry(bench, bad)]),
+                errors,
+            )
+            assert any(missing in e for e in errors), (bench, missing)
+
+
+def test_other_benches_do_not_need_sizing_context(tmp_path):
+    errors = []
+    checker.check_history(
+        _write_history(tmp_path / "h.jsonl", [_entry("cascade", {})]),
+        errors,
+    )
+    assert errors == []
+
+
+def test_ingest_section_accepts_the_real_shape(tmp_path):
+    errors = []
+    checker.check_snapshot(_write_snapshot(tmp_path / "s.json"), errors,
+                           required_sections=("ingest",))
+    assert errors == []
+
+
+def test_ingest_budget_violation_is_an_error(tmp_path):
+    errors = []
+    checker.check_snapshot(
+        _write_snapshot(tmp_path / "s.json", peak_buffer_bytes=2000),
+        errors,
+    )
+    assert any("exceeded its memory budget" in e for e in errors)
+
+
+def test_ingest_nonzero_false_negatives_is_an_error(tmp_path):
+    errors = []
+    checker.check_snapshot(
+        _write_snapshot(tmp_path / "s.json", false_negatives=1),
+        errors,
+    )
+    assert any("false_negatives" in e for e in errors)
+
+
+def test_required_section_missing_is_an_error(tmp_path):
+    path = tmp_path / "s.json"
+    path.write_text(json.dumps({"timings_ms": {"wall": 1.0},
+                                "workload": {}}))
+    errors = []
+    checker.check_snapshot(str(path), errors,
+                           required_sections=("ingest",))
+    assert any("required section 'ingest'" in e for e in errors)
+
+
+def test_swap_rebuild_count_must_match_swaps(tmp_path):
+    errors = []
+    checker.check_snapshot(
+        _write_snapshot(tmp_path / "s.json", swap_rebuild_s=[0.1]),
+        errors,
+    )
+    assert any("swap_rebuild_s" in e for e in errors)
+
+
+def test_shipped_artifacts_pass(tmp_path):
+    repo = Path(__file__).resolve().parents[2]
+    errors = []
+    checker.check_history(str(repo / "BENCH_history.jsonl"), errors)
+    checker.check_snapshot(str(repo / "BENCH_ingest.json"), errors,
+                           required_sections=("ingest",))
+    assert errors == []

@@ -38,6 +38,13 @@ MODULES = [
     "repro.serve.cache",
     "repro.serve.service",
     "repro.serve.loadgen",
+    "repro.store",
+    "repro.store.corpus",
+    "repro.store.manifest",
+    "repro.ingest",
+    "repro.ingest.builder",
+    "repro.ingest.queue",
+    "repro.ingest.worker",
 ]
 
 

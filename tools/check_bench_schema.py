@@ -31,6 +31,13 @@ KNOWN_SCHEMAS = (1,)
 ENTRY_KEYS = {"schema", "bench", "timestamp_s", "git_sha", "machine",
               "timings_ms", "context"}
 
+#: Benches whose numbers are meaningless without knowing how many
+#: cores and how much corpus the run saw: their history contexts must
+#: record both, or trajectory comparisons silently mix machine sizes.
+SIZED_BENCHES = ("shard", "ingest")
+
+SIZED_CONTEXT_KEYS = ("cpu_count", "corpus_size")
+
 
 def check_history(path: str, errors: list[str]) -> int:
     """Validate a history JSONL file; returns the number of entries."""
@@ -83,10 +90,20 @@ def check_history(path: str, errors: list[str]) -> int:
                 errors.append(
                     f"{path}:{lineno}: machine record lacks a fingerprint"
                 )
-            if not isinstance(entry["context"], dict):
+            context = entry["context"]
+            if not isinstance(context, dict):
                 errors.append(
                     f"{path}:{lineno}: context must be a JSON object"
                 )
+            elif entry["bench"] in SIZED_BENCHES:
+                for key in SIZED_CONTEXT_KEYS:
+                    value = context.get(key)
+                    if not isinstance(value, int) or value < 1:
+                        errors.append(
+                            f"{path}:{lineno}: {entry['bench']} context "
+                            f"must record a positive integer {key!r}, "
+                            f"got {value!r}"
+                        )
             timestamp = entry["timestamp_s"]
             if not isinstance(timestamp, (int, float)) or timestamp <= 0:
                 errors.append(
@@ -104,7 +121,8 @@ def check_history(path: str, errors: list[str]) -> int:
     return entries
 
 
-def check_snapshot(path: str, errors: list[str]) -> None:
+def check_snapshot(path: str, errors: list[str],
+                   required_sections: tuple[str, ...] = ()) -> None:
     """Validate one ``BENCH_*.json`` snapshot file.
 
     A snapshot is the document a benchmark writes before it is
@@ -113,8 +131,12 @@ def check_snapshot(path: str, errors: list[str]) -> None:
     whose ``workload`` (the comparability context) is a JSON object.
     Optional sections get their own contracts: ``scenarios`` (the
     quality benchmark's per-cell rows — recall/MRR fractions in
-    [0, 1], non-negative latencies) and ``scaling`` (the shard
-    benchmark's per-shard-count throughput points).
+    [0, 1], non-negative latencies), ``scaling`` (the shard
+    benchmark's per-shard-count throughput points) and ``ingest``
+    (the streaming builder's accounting — see
+    :func:`check_ingest_section`).  *required_sections* (the
+    ``--section`` flag) turns named optional sections into hard
+    requirements for this snapshot.
     """
     try:
         with open(path) as handle:
@@ -125,6 +147,11 @@ def check_snapshot(path: str, errors: list[str]) -> None:
     if not isinstance(snapshot, dict):
         errors.append(f"{path}: snapshot is not a JSON object")
         return
+    for section in required_sections:
+        if section not in snapshot:
+            errors.append(
+                f"{path}: required section {section!r} is missing"
+            )
     timings = snapshot.get("timings_ms")
     if not isinstance(timings, dict) or not timings:
         errors.append(f"{path}: timings_ms must be a non-empty object")
@@ -200,6 +227,74 @@ def check_snapshot(path: str, errors: list[str]) -> None:
                             f"{path}: scaling[{i}].{key} has bad "
                             f"value {value!r}"
                         )
+    if "ingest" in snapshot:
+        check_ingest_section(path, snapshot["ingest"], errors)
+
+
+#: Required numeric fields of a snapshot's ``ingest`` section, with
+#: their minimum legal values.
+INGEST_FIELDS = {
+    "rows": 1,
+    "rows_per_s": 0,
+    "flushes": 1,
+    "chunk_rows": 1,
+    "peak_buffer_bytes": 0,
+    "budget_bytes": 1,
+    "feature_margin": 0,
+    "swaps": 0,
+    "parity_mismatches": 0,
+    "false_negatives": 0,
+}
+
+
+def check_ingest_section(path: str, section, errors: list[str]) -> None:
+    """Validate the streaming-ingest benchmark's accounting section.
+
+    Beyond field presence/types, two invariants are the actual gates:
+    the builder's staging buffers never exceeded the declared budget
+    (``peak_buffer_bytes <= budget_bytes``), and the zero-downtime
+    swap loop lost nothing (``parity_mismatches`` and
+    ``false_negatives`` are both zero).
+    """
+    if not isinstance(section, dict):
+        errors.append(f"{path}: ingest section is not an object")
+        return
+    for key, floor in INGEST_FIELDS.items():
+        value = section.get(key)
+        if not isinstance(value, (int, float)) or value < floor:
+            errors.append(
+                f"{path}: ingest.{key} has bad value {value!r} "
+                f"(need a number >= {floor})"
+            )
+    peak = section.get("peak_buffer_bytes")
+    budget = section.get("budget_bytes")
+    if (isinstance(peak, (int, float)) and isinstance(budget, (int, float))
+            and peak > budget):
+        errors.append(
+            f"{path}: ingest build exceeded its memory budget "
+            f"({peak} > {budget} bytes)"
+        )
+    for key in ("parity_mismatches", "false_negatives"):
+        value = section.get(key)
+        if isinstance(value, (int, float)) and value != 0:
+            errors.append(
+                f"{path}: ingest.{key} must be 0, got {value!r}"
+            )
+    rebuilds = section.get("swap_rebuild_s")
+    if rebuilds is not None:
+        if (not isinstance(rebuilds, list)
+                or any(not isinstance(v, (int, float)) or v < 0
+                       for v in rebuilds)):
+            errors.append(
+                f"{path}: ingest.swap_rebuild_s must be a list of "
+                f"non-negative seconds"
+            )
+        elif isinstance(section.get("swaps"), int) \
+                and len(rebuilds) != section["swaps"]:
+            errors.append(
+                f"{path}: ingest.swap_rebuild_s has {len(rebuilds)} "
+                f"entries for {section['swaps']} swaps"
+            )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -210,12 +305,19 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="FILE",
                         help="also validate a BENCH_*.json snapshot "
                              "(repeatable)")
+    parser.add_argument("--section", action="append", default=[],
+                        metavar="NAME",
+                        help="require each --snapshot to carry this "
+                             "section (e.g. 'ingest'; repeatable)")
     args = parser.parse_args(argv)
+    if args.section and not args.snapshot:
+        parser.error("--section requires at least one --snapshot")
     errors: list[str] = []
     count = check_history(args.history, errors)
     print(f"{args.history}: {count} entries")
     for snapshot in args.snapshot:
-        check_snapshot(snapshot, errors)
+        check_snapshot(snapshot, errors,
+                       required_sections=tuple(args.section))
         print(f"{snapshot}: snapshot checked")
     for error in errors:
         print(f"SCHEMA ERROR: {error}", file=sys.stderr)

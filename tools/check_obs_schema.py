@@ -49,7 +49,7 @@ STAGE_ATTRS = {"name", "candidates_in", "pruned", "survivors",
 #: request/batch traces; shard lifecycle events export as instant
 #: single-span traces.
 ROOT_NAMES = {"query", "serve:request", "serve:batch", "shard:lifecycle",
-              "quality:query"}
+              "quality:query", "ingest:build", "ingest:rebuild"}
 #: Attributes every quality:query instant span must carry — the
 #: event the scenario matrix is rebuilt from offline.
 QUALITY_ATTRS = {"scenario", "severity", "rank", "db"}

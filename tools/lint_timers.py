@@ -27,7 +27,7 @@ import tokenize
 
 #: Packages in which raw timers are forbidden.
 LINTED_DIRS = ("src/repro/engine", "src/repro/perf", "src/repro/serve",
-               "src/repro/shard")
+               "src/repro/shard", "src/repro/store", "src/repro/ingest")
 
 #: The allowed home of the timer wrappers.
 ALLOWED_FILES = ("src/repro/obs/clock.py",)
